@@ -1,0 +1,42 @@
+"""E1 — the section 3.3 job-search benchmark table.
+
+Regenerates the paper's only measurement table: wall-clock time for three
+pre-selection sizes (300 / 600 / 1000 survivors) × two second-selection
+condition sets × three solutions (conjunctive SQL, disjunctive SQL, Pareto
+Preference SQL).  Absolute numbers differ from the paper's Informix/AIX
+testbed; the reproduction target is the *shape* — asserted below.
+"""
+
+import pytest
+
+from repro.workloads.jobs import CONDITION_SETS, POOLS, benchmark_queries
+
+CELLS = [
+    (pool, conditions)
+    for pool in POOLS
+    for conditions in CONDITION_SETS
+]
+
+
+@pytest.mark.parametrize("pool,conditions", CELLS, ids=lambda v: str(v))
+class TestE1Cell:
+    def test_sql1_conjunctive(self, benchmark, jobs_connection, pool, conditions):
+        queries = benchmark_queries(pool, conditions)
+        rows = benchmark(lambda: jobs_connection.execute(queries.conjunctive).fetchall())
+        benchmark.extra_info["result_rows"] = len(rows)
+        # Starvation: the conjunctive answer is (near-)empty.
+        assert len(rows) <= int(pool) * 0.05
+
+    def test_sql2_disjunctive(self, benchmark, jobs_connection, pool, conditions):
+        queries = benchmark_queries(pool, conditions)
+        rows = benchmark(lambda: jobs_connection.execute(queries.disjunctive).fetchall())
+        benchmark.extra_info["result_rows"] = len(rows)
+        # Flooding: most of the pool comes back.
+        assert len(rows) >= int(pool) * 0.3
+
+    def test_preference_sql(self, benchmark, jobs_connection, pool, conditions):
+        queries = benchmark_queries(pool, conditions)
+        rows = benchmark(lambda: jobs_connection.execute(queries.preferring).fetchall())
+        benchmark.extra_info["result_rows"] = len(rows)
+        # Best matches only: a small, non-empty shortlist.
+        assert 1 <= len(rows) <= 50

@@ -1,0 +1,31 @@
+"""E2 — the section 2.2.3 oldtimer answer-explanation example.
+
+The adorned Pareto-optimal result must match the paper's printed table
+row for row; the benchmark measures the full driver path (parse → rewrite
+→ sqlite → fetch).
+"""
+
+QUERY = (
+    "SELECT ident, color, age, LEVEL(color), DISTANCE(age) FROM oldtimer "
+    "PREFERRING color = 'white' ELSE color = 'yellow' AND age AROUND 40"
+)
+
+EXPECTED = {
+    ("Selma", "red", 40, 3, 0),
+    ("Homer", "yellow", 35, 2, 5),
+    ("Maggie", "white", 19, 1, 21),
+}
+
+
+def test_oldtimer_adorned_result(benchmark, fixtures_connection):
+    rows = benchmark(lambda: fixtures_connection.execute(QUERY).fetchall())
+    assert {tuple(r) for r in rows} == EXPECTED
+
+
+def test_oldtimer_without_explanation(benchmark, fixtures_connection):
+    query = (
+        "SELECT ident FROM oldtimer PREFERRING color = 'white' ELSE "
+        "color = 'yellow' AND age AROUND 40"
+    )
+    rows = benchmark(lambda: fixtures_connection.execute(query).fetchall())
+    assert {r[0] for r in rows} == {"Selma", "Homer", "Maggie"}

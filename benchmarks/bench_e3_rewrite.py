@@ -1,0 +1,42 @@
+"""E3 — the section 3.2 Cars rewrite: planner vs paper-style script.
+
+Benchmarks the Preference SQL Optimizer itself (parse + rewrite, no
+execution) and both execution paths; asserts the paper's winners
+{Audi A6, BMW 5 series}.
+"""
+
+import repro
+from repro.rewrite.planner import rewrite_statement
+from repro.sql.parser import parse_statement
+
+QUERY = "SELECT * FROM Cars PREFERRING Make = 'Audi' AND Diesel = 'yes'"
+
+
+def test_rewrite_only(benchmark):
+    """Pre-processor overhead: parse + rewrite + print, no execution."""
+    def rewrite():
+        statement = parse_statement(QUERY)
+        return repro.to_sql(rewrite_statement(statement).statement)
+
+    sql = benchmark(rewrite)
+    assert "NOT EXISTS" in sql
+
+
+def test_planner_execution(benchmark, fixtures_connection):
+    rows = benchmark(lambda: fixtures_connection.execute(QUERY).fetchall())
+    assert sorted(r[0] for r in rows) == [1, 2]
+
+
+def test_paper_script_execution(benchmark, fixtures_connection):
+    script = repro.paper_style_script(parse_statement(QUERY), view_name="aux_bench")
+    raw = fixtures_connection.raw
+
+    def run():
+        raw.execute(script[0])
+        try:
+            return raw.execute(script[1]).fetchall()
+        finally:
+            raw.execute(script[2])
+
+    rows = benchmark(run)
+    assert sorted(r[0] for r in rows) == [1, 2]

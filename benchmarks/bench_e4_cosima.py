@@ -1,0 +1,35 @@
+"""E4 — the section 4.3 COSIMA observations.
+
+Benchmarks the preference-evaluation step of a meta-search session (the
+paper reports it adds "only a small overhead" to shop-access-dominated
+latency) and asserts the Pareto-set-size claim over a session batch.
+"""
+
+from repro.workloads.cosima import MetaSearch, make_catalog, make_shops
+
+
+def make_search() -> MetaSearch:
+    return MetaSearch(shops=make_shops(3), catalog=make_catalog(120))
+
+
+def test_session_preference_evaluation(benchmark):
+    search = make_search()
+    result = benchmark(lambda: search.run_session(42))
+    assert 1 <= result.pareto_size <= 20
+    # Preference evaluation is a small fraction of the simulated total.
+    assert result.preference_seconds < result.shop_seconds
+
+
+def test_pareto_sizes_predominantly_1_to_20():
+    search = make_search()
+    sizes = [r.pareto_size for r in search.run_sessions(100)]
+    in_range = sum(1 for s in sizes if 1 <= s <= 20)
+    assert in_range >= 90  # "predominantly"
+
+
+def test_preference_share_of_total_latency():
+    search = make_search()
+    sessions = search.run_sessions(50)
+    total = sum(r.total_seconds for r in sessions)
+    preference = sum(r.preference_seconds for r in sessions)
+    assert preference / total < 0.1

@@ -1,0 +1,50 @@
+"""F1 — the pre-processor overhead claims of section 3.1.
+
+"Queries without preferences are just passed through to the database
+system without causing any noticeable overhead."  Benchmarks the
+pass-through fast path against raw sqlite, plus parser and optimizer
+throughput on the paper's most complex query.
+"""
+
+import sqlite3
+
+import repro
+from repro.rewrite.planner import rewrite_statement
+from repro.sql.parser import parse_statement
+
+COMPLEX_QUERY = (
+    "SELECT * FROM car WHERE make = 'Opel' "
+    "PREFERRING (category = 'roadster' ELSE category <> 'passenger' AND "
+    "price AROUND 40000 AND HIGHEST(power)) "
+    "CASCADE color = 'red' CASCADE LOWEST(mileage)"
+)
+
+
+def test_parse_complex_query(benchmark):
+    statement = benchmark(lambda: parse_statement(COMPLEX_QUERY))
+    assert statement.is_preference_query
+
+
+def test_rewrite_complex_query(benchmark):
+    statement = parse_statement(COMPLEX_QUERY)
+    result = benchmark(lambda: rewrite_statement(statement))
+    assert result.rewritten
+
+
+def test_passthrough_overhead(benchmark, fixtures_connection):
+    """Driver pass-through: keyword scan + delegation, no parsing."""
+    rows = benchmark(
+        lambda: fixtures_connection.execute(
+            "SELECT * FROM oldtimer WHERE age > 30"
+        ).fetchall()
+    )
+    assert len(rows) == 4
+
+
+def test_raw_sqlite_baseline(benchmark, fixtures_connection):
+    """The same query on the naked sqlite connection, for comparison."""
+    raw = fixtures_connection.raw
+    rows = benchmark(
+        lambda: raw.execute("SELECT * FROM oldtimer WHERE age > 30").fetchall()
+    )
+    assert len(rows) == 4

@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite (pytest-benchmark)."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+import repro  # noqa: E402
+from repro.workloads.fixtures import load_fixtures  # noqa: E402
+from repro.workloads.jobs import load_jobs  # noqa: E402
+
+#: Row count for the jobs table; scaled down from the paper's 1.4 M so a
+#: full benchmark run stays in CI territory (see DESIGN.md substitutions).
+JOBS_ROWS = 30_000
+
+
+@pytest.fixture(scope="session")
+def jobs_connection():
+    """One shared connection with the jobs benchmark table loaded."""
+    con = repro.connect(":memory:")
+    load_jobs(con, n=JOBS_ROWS)
+    yield con
+    con.close()
+
+
+@pytest.fixture(scope="session")
+def fixtures_connection():
+    """One shared connection with the paper fixtures loaded."""
+    con = repro.connect(":memory:")
+    load_fixtures(con)
+    yield con
+    con.close()

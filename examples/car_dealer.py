@@ -1,0 +1,70 @@
+"""The used-car dealership of paper section 2.2.2.
+
+Run with:  python examples/car_dealer.py
+
+The customer's wish, in natural language:
+
+    "My favorite car must be an Opel.  It should be a roadster, but if
+    there is none, please no passenger car.  Equally important I want to
+    spend around DM 40,000 and the car should be as powerful as possible.
+    Less important I like a red one.  If there remain several choices,
+    let better mileage decide."
+
+This translates almost one-to-one into Preference SQL.  The example also
+shows answer explanation (quality functions) and a persistent preference
+via the Preference Definition Language.
+"""
+
+import repro
+from repro.workloads.fixtures import load_fixtures
+
+CUSTOMER_WISH = """
+SELECT car_id, category, color, price, power, mileage
+FROM car WHERE make = 'Opel'
+PREFERRING (category = 'roadster' ELSE category <> 'passenger' AND
+            price AROUND 40000 AND HIGHEST(power))
+CASCADE color = 'red'
+CASCADE LOWEST(mileage)
+"""
+
+
+def main() -> None:
+    con = repro.connect(":memory:")
+    load_fixtures(con, names=("car",))
+
+    total = con.execute("SELECT COUNT(*) FROM car WHERE make = 'Opel'").fetchone()[0]
+    print(f"stock: {total} Opels on the lot\n")
+
+    cursor = con.execute(CUSTOMER_WISH)
+    rows = cursor.fetchall()
+    print(f"best matches only ({len(rows)} cars):")
+    print(f"  {'id':>4}  {'category':10} {'color':8} {'price':>7} {'power':>5} {'mileage':>8}")
+    for row in rows:
+        print(f"  {row[0]:>4}  {row[1]:10} {row[2]:8} {row[3]:>7} {row[4]:>5} {row[5]:>8}")
+
+    # Answer explanation: how good is each winner on the price wish?
+    explained = con.execute(
+        "SELECT car_id, price, DISTANCE(price), TOP(price) FROM car "
+        "WHERE make = 'Opel' PREFERRING price AROUND 40000"
+    ).fetchall()
+    print("\nanswer explanation for the price wish (DISTANCE, TOP):")
+    for car_id, price, distance, top in explained:
+        marker = "perfect match" if top else f"DM {distance:.0f} off target"
+        print(f"   car {car_id}: DM {price} — {marker}")
+
+    # Persist the dealership's house preference with the PDL.
+    con.execute(
+        "CREATE PREFERENCE house_style ON car AS "
+        "category = 'roadster' ELSE category <> 'passenger'"
+    )
+    rows = con.execute(
+        "SELECT car_id, category, mileage FROM car WHERE make = 'Opel' "
+        "PREFERRING PREFERENCE house_style CASCADE LOWEST(mileage)"
+    ).fetchall()
+    print(f"\nusing the stored 'house_style' preference: {len(rows)} cars")
+    for row in rows[:5]:
+        print("  ", row)
+
+
+if __name__ == "__main__":
+    main()

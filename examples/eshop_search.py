@@ -1,0 +1,52 @@
+"""The washing-machine e-shop of paper section 4.1.
+
+Run with:  python examples/eshop_search.py
+
+A customer fills in the search mask; the shop generates dynamic Preference
+SQL from it.  The e-merchant silently appends a *vendor preference* on a
+hidden attribute — "an e-merchant has complete freedom to add further
+so-called vendor preferences, maybe on hidden attributes, to this query at
+his discretion" (section 4.1).
+"""
+
+import repro
+from repro.workloads.fixtures import relation_to_sqlite
+from repro.workloads.shop import SearchMask, mask_to_preference_sql, washing_machines_relation
+
+
+def main() -> None:
+    con = repro.connect(":memory:")
+    relation_to_sqlite(con, "products", washing_machines_relation(rows=200))
+
+    # The customer's search mask, as in the paper's screenshot.
+    mask = SearchMask(
+        manufacturer="Aturi",
+        width=60,
+        spinspeed=1200,
+        max_powerconsumption=0.9,
+        minimize_waterconsumption=True,
+        price_low=1500,
+        price_high=2000,
+    )
+    query = mask_to_preference_sql(mask)
+    print("generated dynamic Preference SQL:")
+    print(" ", query, "\n")
+
+    rows = con.execute(query).fetchall()
+    print(f"best matches only ({len(rows)} machines):")
+    for row in rows:
+        print("  ", row)
+
+    # Now with the merchant's hidden vendor preference: prefer the house
+    # brand among otherwise equally good machines.
+    mask.vendor_preferences.append("manufacturer = 'Aturi'")
+    mask.manufacturer = None  # customer left the brand open this time
+    vendor_query = mask_to_preference_sql(mask)
+    rows = con.execute(vendor_query).fetchall()
+    print(f"\nwith the vendor preference appended ({len(rows)} machines):")
+    for row in rows[:8]:
+        print("  ", row)
+
+
+if __name__ == "__main__":
+    main()

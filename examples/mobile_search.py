@@ -1,0 +1,48 @@
+"""Mobile search (paper section 4.2): why BMO matters on a phone.
+
+Run with:  python examples/mobile_search.py
+
+On a WAP phone, every retry costs typing and airtime.  The example
+contrasts the parametric-search experience (iteratively relaxing hard
+filters until something comes back) with the single Preference SQL query
+that "delivers already the best possible results only".
+"""
+
+import repro
+from repro.workloads.fixtures import load_fixtures
+
+#: The parametric search: a user relaxing their hotel filters step by step.
+PARAMETRIC_ATTEMPTS = [
+    ("4 stars, under 100, not downtown",
+     "SELECT name FROM hotels WHERE stars >= 4 AND rate <= 100 AND location <> 'downtown'"),
+    ("3 stars, under 100, not downtown",
+     "SELECT name FROM hotels WHERE stars >= 3 AND rate <= 100 AND location <> 'downtown'"),
+]
+
+PREFERENCE_QUERY = (
+    "SELECT name, location, stars, rate FROM hotels "
+    "PREFERRING HIGHEST(stars) AND rate BETWEEN 0, 100 AND location <> 'downtown'"
+)
+
+
+def main() -> None:
+    con = repro.connect(":memory:")
+    load_fixtures(con, names=("hotels",))
+
+    print("parametric search (each attempt = one round trip on the phone):")
+    round_trips = 0
+    for description, sql in PARAMETRIC_ATTEMPTS:
+        round_trips += 1
+        rows = con.execute(sql).fetchall()
+        status = ", ".join(r[0] for r in rows) if rows else "EMPTY — try again"
+        print(f"  attempt {round_trips}: {description:38} -> {status}")
+
+    print("\nPreference SQL (one round trip, best matches only):")
+    rows = con.execute(PREFERENCE_QUERY).fetchall()
+    for row in rows:
+        print("  ", row)
+    print(f"\n{round_trips} round trips become 1 — less typing, lower phone bill.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Quickstart: soft constraints in three statements.
+
+Run with:  python examples/quickstart.py
+
+Standard SQL forces every wish into a hard WHERE filter: either the
+perfect trip exists, or you get nothing.  Preference SQL treats wishes as
+*preferences* (strict partial orders) and returns the Best Matches Only.
+"""
+
+import repro
+
+
+def main() -> None:
+    con = repro.connect(":memory:")
+    con.execute("CREATE TABLE trips (trip_id INTEGER, destination TEXT, duration INTEGER, price INTEGER)")
+    con.cursor().executemany(
+        "INSERT INTO trips VALUES (?, ?, ?, ?)",
+        [
+            (1, "Crete", 7, 890),
+            (2, "Tuscany", 10, 980),
+            (3, "Norway", 13, 1890),
+            (4, "Iceland", 15, 2690),
+            (5, "Provence", 28, 1750),
+        ],
+    )
+
+    # Hard constraint: no trip takes exactly 14 days -> empty answer.
+    hard = con.execute("SELECT * FROM trips WHERE duration = 14").fetchall()
+    print(f"standard SQL (duration = 14): {len(hard)} rows — the empty-result problem\n")
+
+    # Soft constraint: the 13- and 15-day trips are the best matches.
+    cursor = con.execute("SELECT * FROM trips PREFERRING duration AROUND 14")
+    print("Preference SQL (duration AROUND 14):")
+    for row in cursor.fetchall():
+        print("  ", row)
+
+    # The driver rewrote the query to plain SQL for the host database:
+    print("\nwhat the database actually executed:")
+    print("  ", cursor.executed_sql[:120], "...")
+
+    # Pareto accumulation: two equally important wishes.
+    rows = con.execute(
+        "SELECT destination, duration, price FROM trips "
+        "PREFERRING duration AROUND 14 AND LOWEST(price)"
+    ).fetchall()
+    print("\nduration AROUND 14 AND LOWEST(price)  (Pareto-optimal set):")
+    for row in rows:
+        print("  ", row)
+
+
+if __name__ == "__main__":
+    main()

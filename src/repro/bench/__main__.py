@@ -1,0 +1,35 @@
+"""CLI: ``python -m repro.bench [e1 e2 ...] [--quick]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=list(EXPERIMENTS),
+        help=f"experiment ids (default: all of {', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller data sizes for smoke runs"
+    )
+    args = parser.parse_args(argv)
+
+    for name in args.experiments:
+        report = run_experiment(name, quick=args.quick)
+        print(report.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+"""Timing and report plumbing shared by all experiments."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+
+@dataclass
+class Timing:
+    """Wall-clock samples of one measured operation."""
+
+    samples: list[float]
+
+    @property
+    def best(self) -> float:
+        return min(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return statistics.fmean(self.samples)
+
+    def ms(self) -> str:
+        """The best sample, formatted in milliseconds."""
+        return f"{self.best * 1000:.1f}"
+
+
+def time_call(fn: Callable[[], object], repeats: int = 3) -> tuple[object, Timing]:
+    """Run ``fn`` ``repeats`` times; return (last result, timing)."""
+    samples = []
+    result: object = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        samples.append(time.perf_counter() - started)
+    return result, Timing(samples=samples)
+
+
+class Table:
+    """A fixed-width text table, in the spirit of the paper's result table."""
+
+    def __init__(self, headers: Sequence[str]):
+        self.headers = list(headers)
+        self.rows: list[list[str]] = []
+
+    def add(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(cell) for cell in cells])
+
+    def render(self) -> str:
+        grid = [self.headers] + self.rows
+        widths = [
+            max(len(row[column]) for row in grid)
+            for column in range(len(self.headers))
+        ]
+        lines = []
+        for row_number, row in enumerate(grid):
+            lines.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+            if row_number == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        return "\n".join(lines)
+
+
+@dataclass
+class Report:
+    """The output of one experiment: title, tables, notes, raw data."""
+
+    experiment: str
+    title: str
+    tables: list[tuple[str, Table]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+
+    def add_table(self, caption: str, table: Table) -> None:
+        self.tables.append((caption, table))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment}: {self.title} =="]
+        for caption, table in self.tables:
+            parts.append(f"\n-- {caption} --")
+            parts.append(table.render())
+        if self.notes:
+            parts.append("")
+            parts.extend(f"* {note}" for note in self.notes)
+        return "\n".join(parts)

@@ -1,0 +1,13 @@
+"""The Preference driver: plug-and-go application integration.
+
+Reproduces the paper's architecture (section 3.1): the application talks to
+a Preference driver with the usual DB-API shape; preference queries are
+translated by the Preference SQL Optimizer into standard SQL and shipped to
+the host database, while "queries without preferences are just passed
+through to the database system without causing any noticeable overhead" —
+the driver fast-paths them on a keyword scan without even parsing.
+"""
+
+from repro.driver.dbapi import Connection, Cursor, connect
+
+__all__ = ["connect", "Connection", "Cursor"]

@@ -1,0 +1,287 @@
+"""PEP 249-style driver wrapping sqlite3 with Preference SQL support.
+
+Layering (paper section 3.1, figure):
+
+    application → Preference driver → Preference SQL Optimizer
+                → standard driver (sqlite3) → SQL database
+
+Behaviour:
+
+* statements without preference keywords pass straight through (native
+  parameter binding, zero parsing overhead),
+* ``CREATE/DROP PREFERENCE`` maintain the persistent catalog,
+* preference SELECT/INSERT statements are parsed, their parameters bound,
+  the catalog consulted for named preferences, the statement rewritten to
+  standard SQL and executed on sqlite; the rewritten text is kept on the
+  cursor (``executed_sql``) for inspection.
+"""
+
+from __future__ import annotations
+
+import re
+import sqlite3
+from typing import Iterable, Sequence
+
+from repro.errors import DriverError, PreferenceSQLError
+from repro.pdl.catalog import PreferenceCatalog
+from repro.rewrite.planner import rewrite_statement
+from repro.sql import ast
+from repro.sql.params import bind_parameters
+from repro.sql.parser import parse_statement
+from repro.sql.printer import to_sql
+
+#: Cheap detector for statements that *may* use Preference SQL constructs.
+#: False positives only cost a parse; false negatives are impossible since
+#: every preference construct requires one of these keywords.
+_PREFERENCE_HINT = re.compile(r"\b(PREFERRING|PREFERENCE)\b", re.IGNORECASE)
+
+
+def connect(database: str = ":memory:", **kwargs) -> "Connection":
+    """Open a Preference SQL connection to a sqlite database."""
+    raw = sqlite3.connect(database, **kwargs)
+    return Connection(raw)
+
+
+class Connection:
+    """A connection through the Preference driver."""
+
+    def __init__(self, raw: sqlite3.Connection):
+        self._raw = raw
+        self._catalog: PreferenceCatalog | None = None
+        #: (original, executed) statement pairs, newest last; for tests
+        #: and the answer-explanation examples.
+        self.trace: list[tuple[str, str]] = []
+
+    @property
+    def raw(self) -> sqlite3.Connection:
+        """The underlying sqlite3 connection."""
+        return self._raw
+
+    @property
+    def catalog(self) -> PreferenceCatalog:
+        """The persistent preference catalog (created on first use)."""
+        if self._catalog is None:
+            self._catalog = PreferenceCatalog(self._raw)
+        return self._catalog
+
+    def cursor(self) -> "Cursor":
+        """Open a cursor."""
+        return Cursor(self)
+
+    def execute(self, sql: str, params: Sequence[object] = ()) -> "Cursor":
+        """Convenience: open a cursor and execute one statement."""
+        cursor = self.cursor()
+        cursor.execute(sql, params)
+        return cursor
+
+    def commit(self) -> None:
+        self._raw.commit()
+
+    def rollback(self) -> None:
+        self._raw.rollback()
+
+    def close(self) -> None:
+        self._raw.close()
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def schema(self) -> dict[str, list[str]]:
+        """Table → column names, read from the sqlite catalog."""
+        tables = self._raw.execute(
+            "SELECT name FROM sqlite_master WHERE type IN ('table', 'view')"
+        ).fetchall()
+        result: dict[str, list[str]] = {}
+        for (name,) in tables:
+            info = self._raw.execute(f"PRAGMA table_info({_quote(name)})").fetchall()
+            result[name] = [row[1] for row in info]
+        return result
+
+    def explain(self, sql: str) -> str:
+        """Explain how a statement would be executed, without running it.
+
+        For preference queries the report shows the normalised preference
+        tree, the rewrite notes of the Preference SQL Optimizer, the
+        emitted standard SQL and the host database's own query plan.
+        Plain SQL reports the pass-through path.
+        """
+        from repro.model.algebra import describe, normalize
+
+        if not _PREFERENCE_HINT.search(sql):
+            return "pass-through: no preference constructs, executed as-is"
+        try:
+            statement = parse_statement(sql)
+        except PreferenceSQLError as error:
+            return f"pass-through: not parseable as Preference SQL ({error})"
+        if isinstance(statement, (ast.CreatePreference, ast.DropPreference)):
+            return "catalog statement: maintains the persistent preference catalog"
+
+        result = rewrite_statement(
+            statement, schema=self.schema(), resolver=self.catalog.resolve
+        )
+        if not result.rewritten:
+            return "pass-through: no PREFERRING clause, executed as-is"
+
+        query = statement.query if isinstance(statement, ast.Insert) else statement
+        lines = ["preference query", "", "preference tree:"]
+        lines.append(describe(normalize(query.preferring), indent=1))
+        for note in result.notes:
+            lines.append(f"note: {note}")
+        rewritten_sql = to_sql(result.statement)
+        lines += ["", "rewritten SQL:", f"  {rewritten_sql}", "", "host plan:"]
+        try:
+            plan = self._raw.execute(
+                f"EXPLAIN QUERY PLAN {rewritten_sql}"
+            ).fetchall()
+            lines += [f"  {row[-1]}" for row in plan]
+        except sqlite3.Error as error:  # pragma: no cover - plan is advisory
+            lines.append(f"  (unavailable: {error})")
+        return "\n".join(lines)
+
+
+class Cursor:
+    """A DB-API cursor that understands Preference SQL."""
+
+    arraysize = 1
+
+    def __init__(self, connection: Connection):
+        self._connection = connection
+        self._raw = connection.raw.cursor()
+        #: The SQL text actually sent to the host database, None before
+        #: the first execute.  For preference queries this is the rewrite.
+        self.executed_sql: str | None = None
+        #: True when the last statement went through the rewriter.
+        self.was_rewritten: bool = False
+
+    # ------------------------------------------------------------------
+    # Execution
+
+    def execute(self, sql: str, params: Sequence[object] = ()) -> "Cursor":
+        """Execute one statement (preference-extended or plain SQL)."""
+        if not _PREFERENCE_HINT.search(sql):
+            return self._passthrough(sql, params)
+
+        try:
+            statement = parse_statement(sql)
+        except PreferenceSQLError:
+            # Keyword was a column/table name in plain SQL the dialect
+            # parser does not fully cover — let the host database decide.
+            return self._passthrough(sql, params)
+
+        if isinstance(statement, ast.CreatePreference):
+            self._connection.catalog.create(statement)
+            self.executed_sql = None
+            self.was_rewritten = False
+            return self
+        if isinstance(statement, ast.DropPreference):
+            self._connection.catalog.drop(statement.name)
+            self.executed_sql = None
+            self.was_rewritten = False
+            return self
+
+        if params:
+            statement = bind_parameters(statement, params)
+            params = ()
+        result = rewrite_statement(
+            statement,
+            schema=self._connection.schema(),
+            resolver=self._connection.catalog.resolve,
+        )
+        if not result.rewritten:
+            return self._passthrough(sql, params)
+        rewritten_sql = to_sql(result.statement)
+        self._connection.trace.append((sql, rewritten_sql))
+        self.executed_sql = rewritten_sql
+        self.was_rewritten = True
+        try:
+            self._raw.execute(rewritten_sql)
+        except sqlite3.Error as error:
+            raise DriverError(
+                f"host database rejected rewritten SQL: {error}\n{rewritten_sql}"
+            ) from error
+        return self
+
+    def _passthrough(self, sql: str, params: Sequence[object]) -> "Cursor":
+        self.executed_sql = sql
+        self.was_rewritten = False
+        self._connection.trace.append((sql, sql))
+        try:
+            self._raw.execute(sql, tuple(params))
+        except sqlite3.Error as error:
+            raise DriverError(str(error)) from error
+        return self
+
+    def executemany(self, sql: str, rows: Iterable[Sequence[object]]) -> "Cursor":
+        """Bulk execution; preference statements are executed row by row."""
+        if not _PREFERENCE_HINT.search(sql):
+            self.executed_sql = sql
+            self.was_rewritten = False
+            try:
+                self._raw.executemany(sql, [tuple(row) for row in rows])
+            except sqlite3.Error as error:
+                raise DriverError(str(error)) from error
+            return self
+        for row in rows:
+            self.execute(sql, row)
+        return self
+
+    def executescript(self, script: str) -> "Cursor":
+        """Run a plain SQL script (no preference constructs)."""
+        if _PREFERENCE_HINT.search(script):
+            raise DriverError(
+                "executescript is a plain-SQL fast path; execute preference "
+                "statements one by one"
+            )
+        self._raw.executescript(script)
+        return self
+
+    # ------------------------------------------------------------------
+    # Results (delegated)
+
+    @property
+    def description(self):
+        return self._raw.description
+
+    @property
+    def rowcount(self) -> int:
+        return self._raw.rowcount
+
+    @property
+    def lastrowid(self):
+        return self._raw.lastrowid
+
+    def fetchone(self):
+        return self._raw.fetchone()
+
+    def fetchall(self):
+        return self._raw.fetchall()
+
+    def fetchmany(self, size: int | None = None):
+        return self._raw.fetchmany(size if size is not None else self.arraysize)
+
+    def __iter__(self):
+        return iter(self._raw)
+
+    def close(self) -> None:
+        self._raw.close()
+
+    @property
+    def column_names(self) -> list[str]:
+        """Result column names of the last query."""
+        if self._raw.description is None:
+            return []
+        return [entry[0] for entry in self._raw.description]
+
+
+def _quote(name: str) -> str:
+    escaped = name.replace('"', '""')
+    return f'"{escaped}"'

@@ -1,0 +1,43 @@
+"""In-memory evaluation engine: the executable specification of BMO.
+
+The paper implements Preference SQL purely by rewriting to the host SQL
+system.  This package provides the second evaluation path: a small
+relational engine that executes the Preference SQL query block directly
+over in-memory relations.  It serves as
+
+* the semantics oracle — differential tests assert the rewriter and this
+  engine agree on every query,
+* the substrate for the skyline algorithm baselines
+  (:mod:`repro.engine.algorithms`: the paper's abstract nested-loop
+  selection method, BNL [BKS01], sort-filter-skyline, divide & conquer),
+* the evaluator used by the COSIMA-style meta-search simulation, which in
+  the paper ran Preference SQL over a temporary database.
+"""
+
+from repro.engine.relation import Relation, column_index_map
+from repro.engine.expressions import Evaluator, RowEnvironment
+from repro.engine.algorithms import (
+    ALGORITHMS,
+    block_nested_loops,
+    divide_and_conquer,
+    maximal_indices,
+    nested_loop_maximal,
+    sort_filter_skyline,
+)
+from repro.engine.bmo import BmoResult, PreferenceEngine, bmo_filter
+
+__all__ = [
+    "Relation",
+    "column_index_map",
+    "Evaluator",
+    "RowEnvironment",
+    "ALGORITHMS",
+    "maximal_indices",
+    "nested_loop_maximal",
+    "block_nested_loops",
+    "sort_filter_skyline",
+    "divide_and_conquer",
+    "PreferenceEngine",
+    "BmoResult",
+    "bmo_filter",
+]

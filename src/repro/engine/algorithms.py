@@ -1,0 +1,190 @@
+"""Skyline / maximal-set algorithms over arbitrary preferences.
+
+The paper computes Pareto-optimal sets by rewriting to a correlated
+``NOT EXISTS`` anti-join executed by the host database (section 3.2) and
+notes that dedicated skyline algorithms "clearly hold much promise for
+additional speed-ups" (section 3.3, citing [BKS01] and [TEO01]).  This
+module provides those baselines as in-memory algorithms, all generic over
+:class:`~repro.model.preference.Preference`:
+
+* :func:`nested_loop_maximal` — the paper's own *abstract selection method*
+  (section 3.2): keep a tuple iff no other tuple is better,
+* :func:`block_nested_loops` — BNL with a self-cleaning window [BKS01],
+* :func:`sort_filter_skyline` — presort by a dominance-compatible key, then
+  filter (SFS; the key construction is described below),
+* :func:`divide_and_conquer` — recursive halving with cross-filtering.
+
+All algorithms take the list of per-row operand vectors (one flat vector
+per tuple, see :class:`~repro.model.preference.Preference`) and return the
+*indices* of maximal rows in their original order, so ties and duplicates
+are preserved exactly the way the NOT EXISTS rewrite preserves them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import EvaluationError
+from repro.engine.compiled import best_better
+from repro.model.categorical import ExplicitPreference, LayeredPreference
+from repro.model.composite import _Composite
+from repro.model.preference import Preference, WeakOrderBase
+
+Vector = tuple
+
+
+def nested_loop_maximal(
+    preference: Preference, vectors: Sequence[Vector]
+) -> list[int]:
+    """The paper's abstract selection method (section 3.2), verbatim:
+
+    (1) start with an empty Max set; (2) select a tuple t1; (3) insert t1
+    into Max if there is no tuple t2 better than t1; (4) repeat for all
+    tuples.  Quadratic, but the exact semantics every other algorithm must
+    match.
+    """
+    better = best_better(preference, vectors)
+    result = []
+    count = len(vectors)
+    for i in range(count):
+        dominated = any(better(j, i) for j in range(count) if j != i)
+        if not dominated:
+            result.append(i)
+    return result
+
+
+def block_nested_loops(
+    preference: Preference, vectors: Sequence[Vector]
+) -> list[int]:
+    """Block-Nested-Loops [BKS01] with an unbounded in-memory window.
+
+    Each incoming tuple is compared against the window: dominated tuples
+    are dropped, and window members dominated by the newcomer are evicted.
+    With the window fully in memory there is a single pass.
+    """
+    better = best_better(preference, vectors)
+    window: list[int] = []
+    for i in range(len(vectors)):
+        dominated = False
+        survivors: list[int] = []
+        for j in window:
+            if better(j, i):
+                dominated = True
+                break
+            if not better(i, j):
+                survivors.append(j)
+            # else: window member j is dominated by the newcomer — evicted.
+        if not dominated:
+            survivors.append(i)
+            window = survivors
+        # when dominated, the window is unchanged
+    return sorted(window)
+
+
+def dominance_key(preference: Preference, vector: Vector) -> tuple[float, ...]:
+    """A total-order key compatible with dominance: if ``v`` is better than
+    ``w`` then ``key(v) < key(w)`` lexicographically.
+
+    The key is the flat tuple of per-base rank proxies in tree order:
+    weak-order bases contribute their rank, EXPLICIT bases their DAG depth,
+    layered bases their level.  Compatibility holds because substitutable
+    values share the same proxy and strictly better values a strictly
+    smaller one, for every constructor (see tests/test_algorithms.py).
+    """
+    key: list[float] = []
+    _append_key(preference, vector, key)
+    return tuple(key)
+
+
+def _append_key(preference: Preference, vector: Sequence, key: list[float]) -> None:
+    if isinstance(preference, _Composite):
+        for part, sub in zip(
+            preference.children(), preference.component_vectors(vector)
+        ):
+            _append_key(part, sub, key)
+    elif isinstance(preference, LayeredPreference):
+        key.append(float(preference.level(vector)))
+    elif isinstance(preference, ExplicitPreference):
+        key.append(float(preference.level(vector[0])))
+    elif isinstance(preference, WeakOrderBase):
+        key.append(preference.rank(vector[0]))
+    else:
+        raise EvaluationError(
+            f"cannot derive a sorting key for {preference.kind} preferences"
+        )
+
+
+def sort_filter_skyline(
+    preference: Preference, vectors: Sequence[Vector]
+) -> list[int]:
+    """Sort-Filter-Skyline: presort by :func:`dominance_key`, then filter.
+
+    After sorting, no tuple can be dominated by a later one, so a single
+    forward pass comparing against the skyline-so-far suffices.
+    """
+    better = best_better(preference, vectors)
+    order = sorted(
+        range(len(vectors)), key=lambda i: dominance_key(preference, vectors[i])
+    )
+    skyline: list[int] = []
+    for i in order:
+        if not any(better(j, i) for j in skyline):
+            skyline.append(i)
+    return sorted(skyline)
+
+
+def divide_and_conquer(
+    preference: Preference, vectors: Sequence[Vector]
+) -> list[int]:
+    """Divide & conquer: split, recurse, then cross-filter the halves.
+
+    A tuple dominated by anything in the other half is dominated by a
+    *maximal* tuple of that half (finite strict orders have maximal
+    dominators), so filtering against the other half's skyline is enough.
+    """
+
+    better = best_better(preference, vectors)
+
+    def recurse(indices: list[int]) -> list[int]:
+        if len(indices) <= 16:
+            return [
+                i
+                for i in indices
+                if not any(better(j, i) for j in indices if j != i)
+            ]
+        mid = len(indices) // 2
+        left = recurse(indices[:mid])
+        right = recurse(indices[mid:])
+        surviving_left = [
+            i for i in left if not any(better(j, i) for j in right)
+        ]
+        surviving_right = [
+            i for i in right if not any(better(j, i) for j in left)
+        ]
+        return surviving_left + surviving_right
+
+    return sorted(recurse(list(range(len(vectors)))))
+
+
+ALGORITHMS = {
+    "nested_loop": nested_loop_maximal,
+    "bnl": block_nested_loops,
+    "sfs": sort_filter_skyline,
+    "dnc": divide_and_conquer,
+}
+
+
+def maximal_indices(
+    preference: Preference,
+    vectors: Sequence[Vector],
+    algorithm: str = "bnl",
+) -> list[int]:
+    """Compute the maximal (BMO) row indices with the chosen algorithm."""
+    try:
+        implementation = ALGORITHMS[algorithm]
+    except KeyError:
+        raise EvaluationError(
+            f"unknown skyline algorithm {algorithm!r}; "
+            f"choose from {', '.join(sorted(ALGORITHMS))}"
+        )
+    return implementation(preference, vectors)

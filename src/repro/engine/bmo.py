@@ -1,0 +1,595 @@
+"""The BMO ("Best Matches Only") evaluator and the in-memory query engine.
+
+Answer semantics per paper section 2.2.5:
+
+* preferences only apply to tuples fulfilling the WHERE condition,
+* perfect matches win; otherwise all non-dominated tuples are returned,
+* the BUT ONLY condition is logically tested after the preferences:
+  candidates outside the quality threshold are discarded, and worse values
+  w.r.t. ``<_P`` are discarded on the fly — i.e. the result is the maximal
+  set of the threshold-surviving candidates,
+* GROUPING partitions the candidates by the listed attributes and applies
+  BMO within each partition (what GROUP BY does with hard constraints,
+  GROUPING does with soft ones).
+
+Because every perfect match dominates every non-perfect candidate, the
+"perfect matches first" rule of the BMO model coincides with maximality —
+computed here by the algorithms in :mod:`repro.engine.algorithms`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import EvaluationError, PreferenceConstructionError
+from repro.engine.algorithms import maximal_indices
+from repro.engine.expressions import Evaluator, RowEnvironment
+from repro.engine.relation import Relation
+from repro.model.builder import build_preference
+from repro.model.preference import Preference, WeakOrderBase
+from repro.model.quality import QUALITY_FUNCTIONS, QualityResolver, ResolvedQuality
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+from repro.sql.printer import to_sql
+
+
+def bmo_filter(
+    preference: Preference,
+    vectors: Sequence[tuple],
+    group_keys: Sequence[object] | None = None,
+    threshold: Callable[[int], bool] | None = None,
+    algorithm: str = "bnl",
+) -> list[int]:
+    """Indices of BMO winners among candidate operand vectors.
+
+    ``group_keys[i]`` assigns candidate ``i`` to a GROUPING partition;
+    ``threshold(i)`` is the BUT ONLY test.  Winners are reported in their
+    original input order.
+    """
+    indices = list(range(len(vectors)))
+    if threshold is not None:
+        indices = [i for i in indices if threshold(i)]
+
+    if group_keys is None:
+        groups = {None: indices}
+    else:
+        groups: dict[object, list[int]] = {}
+        for i in indices:
+            groups.setdefault(group_keys[i], []).append(i)
+
+    winners: list[int] = []
+    for members in groups.values():
+        local_vectors = [vectors[i] for i in members]
+        for local in maximal_indices(preference, local_vectors, algorithm):
+            winners.append(members[local])
+    return sorted(winners)
+
+
+@dataclass
+class BmoResult:
+    """A preference query result plus evaluation diagnostics."""
+
+    relation: Relation
+    candidate_count: int
+    winner_count: int
+    group_count: int
+
+
+# ----------------------------------------------------------------------
+# Row bundles: rows of the FROM clause with their binding structure
+
+
+@dataclass
+class _Bundle:
+    """One joined row: parallel (binding, columns, values) segments."""
+
+    segments: tuple[tuple[str, tuple[str, ...], tuple[object, ...]], ...]
+
+    def environment(self, outer: RowEnvironment | None = None) -> RowEnvironment:
+        scopes: dict[str, dict[str, object]] = {}
+        for binding, columns, values in self.segments:
+            scopes[binding.lower()] = {
+                name.lower(): value for name, value in zip(columns, values)
+            }
+        return RowEnvironment(scopes, parent=outer)
+
+    def merged(self, other: "_Bundle") -> "_Bundle":
+        return _Bundle(segments=self.segments + other.segments)
+
+    def star_columns(self, table: str | None = None) -> list[tuple[str, object]]:
+        """(name, value) pairs for ``*`` or ``table.*`` expansion."""
+        pairs: list[tuple[str, object]] = []
+        for binding, columns, values in self.segments:
+            if table is not None and binding.lower() != table.lower():
+                continue
+            pairs.extend(zip(columns, values))
+        if table is not None and not pairs:
+            raise EvaluationError(f"unknown table binding {table!r} in select list")
+        return pairs
+
+
+class PreferenceEngine:
+    """Executes Preference SQL directly over in-memory relations.
+
+    The engine understands the preference query block plus enough plain
+    SQL (joins, sub-queries, ORDER BY, LIMIT) to run realistic workloads;
+    aggregation (GROUP BY / HAVING) is intentionally left to the host
+    database path.  It doubles as the semantics oracle for the rewriter.
+    """
+
+    def __init__(
+        self,
+        relations: dict[str, Relation] | None = None,
+        algorithm: str = "bnl",
+    ):
+        self._relations: dict[str, Relation] = {}
+        if relations:
+            for name, relation in relations.items():
+                self.register(name, relation)
+        self._algorithm = algorithm
+        self._preferences: dict[str, ast.PrefTerm] = {}
+
+    def register(self, name: str, relation: Relation) -> None:
+        """Register (or replace) a named relation."""
+        self._relations[name.lower()] = relation
+
+    def relation(self, name: str) -> Relation:
+        """Look up a registered relation (case-insensitive)."""
+        key = name.lower()
+        if key not in self._relations:
+            raise EvaluationError(f"unknown table {name!r}")
+        return self._relations[key]
+
+    def resolve_preference(self, name: str) -> ast.PrefTerm:
+        """Resolve a named preference (the engine's in-memory catalog)."""
+        key = name.lower()
+        if key not in self._preferences:
+            raise PreferenceConstructionError(f"unknown preference {name!r}")
+        return self._preferences[key]
+
+    # ------------------------------------------------------------------
+
+    def execute(self, statement: ast.Statement | str, params: Sequence[object] = ()) -> Relation:
+        """Execute a statement; SELECTs return their result relation."""
+        if isinstance(statement, str):
+            statement = parse_statement(statement)
+        if isinstance(statement, ast.Select):
+            return self.execute_select(statement, params=params)
+        if isinstance(statement, ast.Insert):
+            return self._execute_insert(statement, params)
+        if isinstance(statement, ast.CreatePreference):
+            self._preferences[statement.name.lower()] = statement.term
+            return Relation(columns=("status",), rows=[("preference created",)])
+        if isinstance(statement, ast.DropPreference):
+            if statement.name.lower() not in self._preferences:
+                raise PreferenceConstructionError(
+                    f"unknown preference {statement.name!r}"
+                )
+            del self._preferences[statement.name.lower()]
+            return Relation(columns=("status",), rows=[("preference dropped",)])
+        raise EvaluationError(f"cannot execute {type(statement).__name__}")
+
+    def _execute_insert(self, insert: ast.Insert, params: Sequence[object]) -> Relation:
+        target = self.relation(insert.table)
+        if insert.query is not None:
+            source = self.execute_select(insert.query, params=params)
+            incoming = source.rows
+        else:
+            evaluator = Evaluator(params=params)
+            empty = RowEnvironment({})
+            incoming = [
+                tuple(evaluator.evaluate(value, empty) for value in row)
+                for row in insert.values
+            ]
+        if insert.columns:
+            positions = [target.column_position(name) for name in insert.columns]
+            for row in incoming:
+                if len(row) != len(positions):
+                    raise EvaluationError(
+                        f"INSERT row width {len(row)} does not match column "
+                        f"list width {len(positions)}"
+                    )
+                full: list[object] = [None] * len(target.columns)
+                for position, value in zip(positions, row):
+                    full[position] = value
+                target.append(full)
+        else:
+            for row in incoming:
+                target.append(row)
+        return Relation(
+            columns=("inserted",), rows=[(len(incoming),)]
+        )
+
+    def execute_select(
+        self,
+        select: ast.Select,
+        params: Sequence[object] = (),
+        outer: RowEnvironment | None = None,
+    ) -> Relation:
+        """Run one (possibly preference-extended) SELECT block."""
+        return self.execute_select_diagnosed(select, params, outer).relation
+
+    def execute_select_diagnosed(
+        self,
+        select: ast.Select,
+        params: Sequence[object] = (),
+        outer: RowEnvironment | None = None,
+    ) -> BmoResult:
+        """Like :meth:`execute_select` but reporting BMO diagnostics."""
+        if select.group_by or select.having:
+            raise EvaluationError(
+                "the in-memory engine does not aggregate; GROUP BY/HAVING "
+                "queries run through the driver against the host database"
+            )
+
+        def run_subquery(query: ast.Select, env: RowEnvironment) -> list[tuple]:
+            return self.execute_select(query, params=params, outer=env).rows
+
+        evaluator = Evaluator(params=params, query_executor=run_subquery)
+
+        bundles = self._from_rows(select.sources, evaluator, params, outer)
+        if select.where is not None:
+            bundles = [
+                bundle
+                for bundle in bundles
+                if evaluator.is_true(select.where, bundle.environment(outer))
+            ]
+        candidate_count = len(bundles)
+        group_count = 1
+
+        quality_columns: dict[ast.Expr, ast.Expr] = {}
+        quality_values: list[dict[str, object]] = [dict() for _ in bundles]
+
+        if select.preferring is not None:
+            preference = build_preference(
+                select.preferring, resolver=self.resolve_preference
+            )
+            environments = [bundle.environment(outer) for bundle in bundles]
+            vectors = [
+                tuple(evaluator.evaluate(op, env) for op in preference.operands)
+                for env in environments
+            ]
+
+            group_keys = None
+            if select.grouping:
+                group_keys = [
+                    tuple(evaluator.evaluate(col, env) for col in select.grouping)
+                    for env in environments
+                ]
+                group_count = len(set(group_keys))
+
+            resolver = QualityResolver(preference)
+            quality_calls = self._collect_quality_calls(select)
+            optima = self._candidate_optima(
+                resolver, quality_calls, vectors, group_keys
+            )
+            for call in quality_calls:
+                column = ast.Column(name=f"q{len(quality_columns)}", table="#quality")
+                quality_columns[call] = column
+                resolved = resolver.resolve(call.args[0])
+                for i, vector in enumerate(vectors):
+                    key = (group_keys[i] if group_keys is not None else None, id(resolved.base))
+                    optimum = optima.get(key)
+                    quality_values[i][column.name.lower()] = self._quality_value(
+                        resolver, call.name, resolved, vector, optimum
+                    )
+
+            threshold = None
+            if select.but_only is not None:
+                but_only = ast.substitute(select.but_only, quality_columns)
+
+                def threshold(i: int) -> bool:
+                    env = self._with_quality(environments[i], quality_values[i])
+                    return evaluator.is_true(but_only, env)
+
+            winners = bmo_filter(
+                preference,
+                vectors,
+                group_keys=group_keys,
+                threshold=threshold,
+                algorithm=self._algorithm,
+            )
+            bundles = [bundles[i] for i in winners]
+            quality_values = [quality_values[i] for i in winners]
+
+        if select.order_by:
+            bundles, quality_values = self._sort_bundles(
+                select, bundles, quality_values, quality_columns, evaluator, outer
+            )
+
+        rows, columns = self._project(
+            select, bundles, quality_values, quality_columns, evaluator, outer
+        )
+        if select.distinct:
+            seen = set()
+            unique = []
+            for row in rows:
+                if row not in seen:
+                    seen.add(row)
+                    unique.append(row)
+            rows = unique
+        if select.limit is not None:
+            env = RowEnvironment({})
+            limit = int(evaluator.evaluate(select.limit, env))
+            offset = (
+                int(evaluator.evaluate(select.offset, env))
+                if select.offset is not None
+                else 0
+            )
+            rows = rows[offset : offset + limit]
+
+        relation = Relation(columns=columns, rows=rows)
+        return BmoResult(
+            relation=relation,
+            candidate_count=candidate_count,
+            winner_count=len(relation),
+            group_count=group_count,
+        )
+
+    # ------------------------------------------------------------------
+    # FROM clause
+
+    def _from_rows(
+        self,
+        sources: Sequence[ast.FromSource],
+        evaluator: Evaluator,
+        params: Sequence[object],
+        outer: RowEnvironment | None,
+    ) -> list[_Bundle]:
+        bundles: list[_Bundle] | None = None
+        for source in sources:
+            current = self._source_rows(source, evaluator, params, outer)
+            if bundles is None:
+                bundles = current
+            else:
+                bundles = [a.merged(b) for a in bundles for b in current]
+        return bundles if bundles is not None else []
+
+    def _source_rows(
+        self,
+        source: ast.FromSource,
+        evaluator: Evaluator,
+        params: Sequence[object],
+        outer: RowEnvironment | None,
+    ) -> list[_Bundle]:
+        if isinstance(source, ast.TableRef):
+            relation = self.relation(source.name)
+            return [
+                _Bundle(segments=((source.binding, relation.columns, row),))
+                for row in relation.rows
+            ]
+        if isinstance(source, ast.SubquerySource):
+            relation = self.execute_select(source.query, params=params, outer=outer)
+            return [
+                _Bundle(segments=((source.alias, relation.columns, row),))
+                for row in relation.rows
+            ]
+        if isinstance(source, ast.Join):
+            left = self._source_rows(source.left, evaluator, params, outer)
+            right = self._source_rows(source.right, evaluator, params, outer)
+            if source.kind == "CROSS":
+                return [a.merged(b) for a in left for b in right]
+            joined: list[_Bundle] = []
+            for a in left:
+                matched = False
+                for b in right:
+                    bundle = a.merged(b)
+                    if evaluator.is_true(source.condition, bundle.environment(outer)):
+                        joined.append(bundle)
+                        matched = True
+                if source.kind == "LEFT" and not matched:
+                    null_segments = tuple(
+                        (binding, columns, tuple(None for _ in columns))
+                        for b in right[:1]
+                        for binding, columns, _values in b.segments
+                    )
+                    if right:
+                        joined.append(_Bundle(segments=a.segments + null_segments))
+                    else:
+                        joined.append(a)
+            return joined
+        raise EvaluationError(f"unknown FROM source {type(source).__name__}")
+
+    # ------------------------------------------------------------------
+    # Quality functions
+
+    def _collect_quality_calls(self, select: ast.Select) -> list[ast.FuncCall]:
+        calls: list[ast.FuncCall] = []
+
+        def collect(expr: ast.Expr) -> None:
+            for node in ast.walk_expr(expr):
+                if (
+                    isinstance(node, ast.FuncCall)
+                    and node.name in QUALITY_FUNCTIONS
+                    and node not in calls
+                ):
+                    if len(node.args) != 1:
+                        raise PreferenceConstructionError(
+                            f"{node.name} takes exactly one argument"
+                        )
+                    calls.append(node)
+
+        for item in select.items:
+            if isinstance(item, ast.SelectItem):
+                collect(item.expr)
+        if select.but_only is not None:
+            collect(select.but_only)
+        for order_item in select.order_by:
+            collect(order_item.expr)
+        return calls
+
+    def _candidate_optima(
+        self,
+        resolver: QualityResolver,
+        calls: Sequence[ast.FuncCall],
+        vectors: Sequence[tuple],
+        group_keys: Sequence[object] | None,
+    ) -> dict[tuple, float]:
+        """Per-(group, base) minimum rank for data-dependent optima."""
+        optima: dict[tuple, float] = {}
+        for call in calls:
+            resolved = resolver.resolve(call.args[0])
+            if not resolved.dynamic_optimum:
+                continue
+            base = resolved.base
+            assert isinstance(base, WeakOrderBase)
+            for i, vector in enumerate(vectors):
+                key = (group_keys[i] if group_keys is not None else None, id(base))
+                rank = base.rank(vector[resolved.vector_slice][0])
+                if key not in optima or rank < optima[key]:
+                    optima[key] = rank
+        return optima
+
+    def _quality_value(
+        self,
+        resolver: QualityResolver,
+        function: str,
+        resolved: ResolvedQuality,
+        vector: tuple,
+        optimum: float | None,
+    ) -> object:
+        if function == "LEVEL":
+            return resolver.level(resolved, vector)
+        if function == "DISTANCE":
+            return resolver.distance(resolved, vector, candidate_optimum=optimum)
+        return 1 if resolver.top(resolved, vector, candidate_optimum=optimum) else 0
+
+    @staticmethod
+    def _with_quality(
+        env: RowEnvironment, values: dict[str, object]
+    ) -> RowEnvironment:
+        scopes = dict(env._scopes)
+        scopes["#quality"] = values
+        return RowEnvironment(scopes, parent=env._parent)
+
+    # ------------------------------------------------------------------
+    # Projection and ordering
+
+    def _project(
+        self,
+        select: ast.Select,
+        bundles: Sequence[_Bundle],
+        quality_values: Sequence[dict[str, object]],
+        quality_columns: dict[ast.Expr, ast.Expr],
+        evaluator: Evaluator,
+        outer: RowEnvironment | None,
+    ) -> tuple[list[tuple], list[str]]:
+        columns: list[str] = []
+        evaluators: list[ast.Expr | ast.Star] = []
+        first_bundle = bundles[0] if bundles else None
+
+        for item in select.items:
+            if isinstance(item, ast.Star):
+                if first_bundle is None:
+                    # Empty input: derive names from registered relations.
+                    names = self._star_names(select.sources, item.table)
+                else:
+                    names = [n for n, _v in first_bundle.star_columns(item.table)]
+                columns.extend(names)
+                evaluators.append(item)
+                continue
+            expr = ast.substitute(item.expr, quality_columns)
+            columns.append(item.alias or to_sql(item.expr))
+            evaluators.append(expr)
+
+        rows: list[tuple] = []
+        for i, bundle in enumerate(bundles):
+            env = self._with_quality(bundle.environment(outer), quality_values[i])
+            values: list[object] = []
+            for expr in evaluators:
+                if isinstance(expr, ast.Star):
+                    values.extend(v for _n, v in bundle.star_columns(expr.table))
+                else:
+                    values.append(evaluator.evaluate(expr, env))
+            rows.append(tuple(values))
+        return rows, columns
+
+    def _star_names(
+        self, sources: Sequence[ast.FromSource], table: str | None
+    ) -> list[str]:
+        names: list[str] = []
+
+        def visit(source: ast.FromSource) -> None:
+            if isinstance(source, ast.TableRef):
+                if table is None or source.binding.lower() == table.lower():
+                    names.extend(self.relation(source.name).columns)
+            elif isinstance(source, ast.SubquerySource):
+                if table is None or source.alias.lower() == table.lower():
+                    names.extend(
+                        self.execute_select(source.query).columns
+                    )  # pragma: no cover - empty-input star expansion
+            elif isinstance(source, ast.Join):
+                visit(source.left)
+                visit(source.right)
+
+        for source in sources:
+            visit(source)
+        return names
+
+    def _sort_bundles(
+        self,
+        select: ast.Select,
+        bundles: Sequence[_Bundle],
+        quality_values: Sequence[dict[str, object]],
+        quality_columns: dict[ast.Expr, ast.Expr],
+        evaluator: Evaluator,
+        outer: RowEnvironment | None,
+    ) -> tuple[list[_Bundle], list[dict[str, object]]]:
+        """Sort candidate rows before projection, so ORDER BY can reference
+        source columns that are not in the select list (standard SQL)."""
+        aliases: dict[str, ast.Expr] = {}
+        for item in select.items:
+            if isinstance(item, ast.SelectItem) and item.alias:
+                aliases[item.alias.lower()] = item.expr
+
+        order_exprs: list[ast.Expr] = []
+        for order_item in select.order_by:
+            expr = order_item.expr
+            if isinstance(expr, ast.Column) and expr.table is None:
+                expr = aliases.get(expr.name.lower(), expr)
+            order_exprs.append(ast.substitute(expr, quality_columns))
+
+        def key_for(index: int) -> tuple:
+            env = self._with_quality(
+                bundles[index].environment(outer), quality_values[index]
+            )
+            parts = []
+            for order_item, expr in zip(select.order_by, order_exprs):
+                value = evaluator.evaluate(expr, env)
+                # SQL sorts NULLs first ascending; encode as a rank prefix.
+                null_rank = 0 if value is None else 1
+                if order_item.descending:
+                    parts.append((-null_rank, _Reversed(value)))
+                else:
+                    parts.append((null_rank, _Sortable(value)))
+            return tuple(parts)
+
+        order = sorted(range(len(bundles)), key=key_for)
+        return [bundles[i] for i in order], [quality_values[i] for i in order]
+
+
+class _Sortable:
+    """Total-order wrapper so mixed None/values never reach ``<``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object):
+        self.value = value
+
+    def __lt__(self, other: "_Sortable") -> bool:
+        if self.value is None:
+            return other.value is not None
+        if other.value is None:
+            return False
+        return self.value < other.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Sortable) and self.value == other.value
+
+
+class _Reversed(_Sortable):
+    """Descending order wrapper."""
+
+    def __lt__(self, other: "_Sortable") -> bool:
+        return _Sortable(other.value).__lt__(_Sortable(self.value))

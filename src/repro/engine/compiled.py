@@ -1,0 +1,172 @@
+"""Compiled dominance comparators: precomputed ranks for fast skylines.
+
+The generic :meth:`Preference.is_better` re-evaluates base-preference
+ranks on every comparison.  Skyline algorithms perform O(n·s) comparisons,
+so for rank-based preference trees (every built-in except EXPLICIT) it
+pays to precompute one rank per base preference per row and compare plain
+floats afterwards — the same idea as the rewrite's materialised level
+columns (paper section 3.2), applied to the in-memory path.
+
+:func:`compile_better` returns an index-based ``better(i, j)`` predicate
+equivalent to ``preference.is_better(vectors[i], vectors[j])``, or
+``None`` when the tree contains an EXPLICIT preference (a genuine partial
+order without a rank) — callers then fall back to the generic path.
+Equivalence with the generic semantics is property-tested in
+``tests/test_compiled.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.model.categorical import ExplicitPreference, LayeredPreference
+from repro.model.composite import ParetoPreference, PrioritizationPreference
+from repro.model.preference import Preference, WeakOrderBase
+
+BetterFn = Callable[[int, int], bool]
+EqualFn = Callable[[int, int], bool]
+
+
+def _leaf_ranks(
+    leaf: Preference, vectors: Sequence[tuple], offset: int
+) -> list[float] | None:
+    """Per-row ranks of one base preference, or None if not rank-based."""
+    if isinstance(leaf, LayeredPreference):
+        end = offset + leaf.arity
+        return [float(leaf.level(v[offset:end])) for v in vectors]
+    if isinstance(leaf, WeakOrderBase):
+        return [leaf.rank(v[offset]) for v in vectors]
+    return None  # EXPLICIT (or a custom preference): no total rank
+
+
+def _collect(
+    node: Preference, vectors: Sequence[tuple], offset: int
+) -> tuple[object, int] | None:
+    """Build a comparison tree of ('leaf', ranks) / (op, children) nodes."""
+    kids = node.children()
+    if not kids:
+        ranks = _leaf_ranks(node, vectors, offset)
+        if ranks is None:
+            return None
+        return ("leaf", ranks), offset + node.arity
+    children = []
+    for child in kids:
+        built = _collect(child, vectors, offset)
+        if built is None:
+            return None
+        child_node, offset = built
+        children.append(child_node)
+    if isinstance(node, ParetoPreference):
+        return ("pareto", children), offset
+    if isinstance(node, PrioritizationPreference):
+        return ("cascade", children), offset
+    return None  # unknown composite
+
+
+def _all_leaves(children: list) -> list[list[float]] | None:
+    ranks = []
+    for child in children:
+        if child[0] != "leaf":
+            return None
+        ranks.append(child[1])
+    return ranks
+
+
+def _make(node) -> tuple[BetterFn, EqualFn]:
+    kind = node[0]
+    if kind == "leaf":
+        ranks = node[1]
+        return (
+            lambda i, j: ranks[i] < ranks[j],
+            lambda i, j: ranks[i] == ranks[j],
+        )
+
+    children = node[1]
+    flat = _all_leaves(children)
+    if kind == "pareto":
+        if flat is not None:
+            # Flat Pareto of rank leaves: one tuple per row; dominance is
+            # componentwise <= plus inequality.
+            rows = list(zip(*flat))
+
+            def better(i: int, j: int) -> bool:
+                a, b = rows[i], rows[j]
+                if a == b:
+                    return False
+                return all(x <= y for x, y in zip(a, b))
+
+            def equal(i: int, j: int) -> bool:
+                return rows[i] == rows[j]
+
+            return better, equal
+
+        parts = [_make(child) for child in children]
+
+        def better(i: int, j: int) -> bool:
+            strict = False
+            for child_better, child_equal in parts:
+                if child_better(i, j):
+                    strict = True
+                elif not child_equal(i, j):
+                    return False
+            return strict
+
+        def equal(i: int, j: int) -> bool:
+            return all(child_equal(i, j) for _b, child_equal in parts)
+
+        return better, equal
+
+    # cascade
+    if flat is not None:
+        # Flat cascade of rank leaves: plain lexicographic tuple order.
+        rows = list(zip(*flat))
+        return (
+            lambda i, j: rows[i] < rows[j],
+            lambda i, j: rows[i] == rows[j],
+        )
+
+    parts = [_make(child) for child in children]
+
+    def better(i: int, j: int) -> bool:
+        for child_better, child_equal in parts:
+            if child_better(i, j):
+                return True
+            if not child_equal(i, j):
+                return False
+        return False
+
+    def equal(i: int, j: int) -> bool:
+        return all(child_equal(i, j) for _b, child_equal in parts)
+
+    return better, equal
+
+
+def compile_better(
+    preference: Preference, vectors: Sequence[tuple]
+) -> BetterFn | None:
+    """An index-based fast ``better(i, j)``, or None if unsupported."""
+    built = _collect(preference, vectors, 0)
+    if built is None:
+        return None
+    node, _offset = built
+    better, _equal = _make(node)
+    return better
+
+
+def generic_better(
+    preference: Preference, vectors: Sequence[tuple]
+) -> BetterFn:
+    """The uncompiled fallback with the same index-based signature."""
+
+    def better(i: int, j: int) -> bool:
+        return preference.is_better(vectors[i], vectors[j])
+
+    return better
+
+
+def best_better(preference: Preference, vectors: Sequence[tuple]) -> BetterFn:
+    """The fastest available dominance predicate for this input."""
+    compiled = compile_better(preference, vectors)
+    if compiled is not None:
+        return compiled
+    return generic_better(preference, vectors)

@@ -1,0 +1,98 @@
+"""In-memory relations: ordered columns, tuple rows, case-insensitive names.
+
+SQL identifiers are case-insensitive; relations preserve the original
+column spelling for display but resolve lookups through a lowercase map,
+matching how the host databases of the paper era (and sqlite) behave.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import EvaluationError
+
+
+def column_index_map(columns: Sequence[str]) -> dict[str, int]:
+    """Map lowercase column names to positions, rejecting duplicates."""
+    mapping: dict[str, int] = {}
+    for index, name in enumerate(columns):
+        key = name.lower()
+        if key in mapping:
+            raise EvaluationError(f"duplicate column name {name!r}")
+        mapping[key] = index
+    return mapping
+
+
+class Relation:
+    """An ordered bag of rows with a named schema."""
+
+    def __init__(self, columns: Sequence[str], rows: Iterable[Sequence[object]] = ()):
+        self.columns: tuple[str, ...] = tuple(columns)
+        self._index = column_index_map(self.columns)
+        self.rows: list[tuple[object, ...]] = []
+        for row in rows:
+            self.append(row)
+
+    def append(self, row: Sequence[object]) -> None:
+        """Add one row, checking its width against the schema."""
+        values = tuple(row)
+        if len(values) != len(self.columns):
+            raise EvaluationError(
+                f"row width {len(values)} does not match schema width "
+                f"{len(self.columns)}"
+            )
+        self.rows.append(values)
+
+    def column_position(self, name: str) -> int:
+        """Position of a column by (case-insensitive) name."""
+        key = name.lower()
+        if key not in self._index:
+            raise EvaluationError(
+                f"no column {name!r}; available: {', '.join(self.columns)}"
+            )
+        return self._index[key]
+
+    def has_column(self, name: str) -> bool:
+        """True if the relation has a column of this name."""
+        return name.lower() in self._index
+
+    def column_values(self, name: str) -> list[object]:
+        """All values of one column, in row order."""
+        position = self.column_position(name)
+        return [row[position] for row in self.rows]
+
+    def as_dicts(self) -> list[dict[str, object]]:
+        """Rows as dictionaries keyed by original column spelling."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.columns == other.columns and self.rows == other.rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Relation {', '.join(self.columns)}: {len(self.rows)} rows>"
+
+    def pretty(self, max_rows: int = 20) -> str:
+        """A fixed-width text rendering (used by examples and the bench CLI)."""
+        shown = self.rows[:max_rows]
+        cells = [[str(col) for col in self.columns]]
+        for row in shown:
+            cells.append(["NULL" if v is None else str(v) for v in row])
+        widths = [
+            max(len(line[i]) for line in cells) for i in range(len(self.columns))
+        ]
+        lines = []
+        for line_no, line in enumerate(cells):
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+            if line_no == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)

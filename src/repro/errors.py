@@ -1,0 +1,76 @@
+"""Exception hierarchy for the Preference SQL reproduction.
+
+Every error raised by this library derives from :class:`PreferenceSQLError`
+so applications can catch the whole family with one ``except`` clause, which
+is what the commercial driver stack did: errors surfaced through the
+ODBC/JDBC layer as a single SQLSTATE family.
+"""
+
+from __future__ import annotations
+
+
+class PreferenceSQLError(Exception):
+    """Base class for all Preference SQL errors."""
+
+
+class LexerError(PreferenceSQLError):
+    """Raised when the input text cannot be tokenized.
+
+    Carries the offending position so interactive callers (the paper's
+    GUI-generated queries) can point at the bad character.
+    """
+
+    def __init__(self, message: str, position: int, line: int, column: int):
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.position = position
+        self.line = line
+        self.column = column
+
+
+class ParseError(PreferenceSQLError):
+    """Raised when tokens do not form a valid Preference SQL statement."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        if line:
+            super().__init__(f"{message} (line {line}, column {column})")
+        else:
+            super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class UnsupportedPreferenceSQL(PreferenceSQLError):
+    """A construct the paper names as a current restriction of release 1.3.
+
+    Example: sub-queries in the WHERE clause may not contain PREFERRING
+    clauses (paper section 2.2.5).
+    """
+
+
+class PreferenceConstructionError(PreferenceSQLError):
+    """Raised when a preference term cannot be built.
+
+    Covers ill-typed base preferences (e.g. AROUND on a non-numeric
+    expression) and illegal compositions (e.g. an EXPLICIT graph with a
+    cycle, which would violate the strict-partial-order requirement).
+    """
+
+
+class NotAStrictPartialOrder(PreferenceConstructionError):
+    """The better-than relation violates irreflexivity/asymmetry/transitivity."""
+
+
+class RewriteError(PreferenceSQLError):
+    """The Preference SQL Optimizer could not produce standard SQL."""
+
+
+class EvaluationError(PreferenceSQLError):
+    """The in-memory engine failed to evaluate an expression over a row."""
+
+
+class CatalogError(PreferenceSQLError):
+    """Problems with persistent preference definitions (the PDL catalog)."""
+
+
+class DriverError(PreferenceSQLError):
+    """PEP 249-level failures in the Preference driver layer."""

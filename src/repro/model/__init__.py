@@ -1,0 +1,58 @@
+"""The preference model: strict partial orders over attribute domains.
+
+A preference ``P = (A, <_P)`` is an irreflexive, transitive and asymmetric
+binary relation on the domain of values associated with an attribute set
+``A`` (paper section 2.1).  This package provides:
+
+* the built-in base preference types of Preference SQL 1.3
+  (:mod:`~repro.model.numeric`, :mod:`~repro.model.categorical`,
+  :mod:`~repro.model.text`),
+* the constructors Pareto accumulation and prioritisation/cascade
+  (:mod:`~repro.model.composite`),
+* translation from parsed PREFERRING clauses to preference objects
+  (:mod:`~repro.model.builder`),
+* the answer-explanation quality functions TOP/LEVEL/DISTANCE
+  (:mod:`~repro.model.quality`),
+* strict-partial-order law checking (:mod:`~repro.model.properties`).
+
+Preferences compare *operand value vectors*, not rows: callers evaluate the
+preference's operand expressions against a tuple (the engine does this in
+Python, the rewriter in SQL) and pass the resulting vector to
+:meth:`Preference.is_better`.  This keeps the model pure and lets the two
+evaluation paths share one semantics.
+"""
+
+from repro.model.preference import BasePreference, Preference, WeakOrderBase
+from repro.model.numeric import AroundPreference, BetweenPreference, HighestPreference, LowestPreference, ScorePreference
+from repro.model.categorical import OTHERS, ExplicitPreference, LayeredPreference, neg, pos
+from repro.model.text import ContainsPreference
+from repro.model.composite import ParetoPreference, PrioritizationPreference
+from repro.model.builder import build_preference, literal_value
+from repro.model.quality import QualityResolver
+from repro.model.properties import check_strict_partial_order
+from repro.model.algebra import describe, normalize
+
+__all__ = [
+    "Preference",
+    "BasePreference",
+    "WeakOrderBase",
+    "AroundPreference",
+    "BetweenPreference",
+    "LowestPreference",
+    "HighestPreference",
+    "ScorePreference",
+    "LayeredPreference",
+    "ExplicitPreference",
+    "ContainsPreference",
+    "ParetoPreference",
+    "PrioritizationPreference",
+    "pos",
+    "neg",
+    "OTHERS",
+    "build_preference",
+    "literal_value",
+    "QualityResolver",
+    "check_strict_partial_order",
+    "normalize",
+    "describe",
+]

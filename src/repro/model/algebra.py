@@ -1,0 +1,122 @@
+"""Preference algebra: normalisation laws for preference terms.
+
+The paper's outlook announces "an even richer preference type system …
+together with a preference algebra" ([Kie01], section 5).  This module
+implements the uncontroversial core of that algebra as AST-level rewrite
+laws, used by the optimizer before SQL generation:
+
+* **associativity** — ``(P1 AND P2) AND P3 = P1 AND P2 AND P3`` and the
+  same for CASCADE: nested chains of the same constructor flatten,
+* **idempotence of accumulation** — duplicate constituents inside one
+  Pareto accumulation collapse (``P AND P = P``); likewise an immediately
+  repeated cascade constituent (``P CASCADE P = P``, since the second
+  layer can never break a tie the first one left),
+* **ELSE chain fusion** — ``(a ELSE b) ELSE c = a ELSE b ELSE c``,
+* **singleton collapse** — constructors of one constituent disappear.
+
+Every law preserves the induced strict partial order, which the test
+suite verifies by comparing dominance before and after normalisation on
+random operand vectors.  Laws that change BMO semantics (e.g. dropping a
+cascade layer that is a *non-adjacent* duplicate) are deliberately not
+applied.
+"""
+
+from __future__ import annotations
+
+from repro.sql import ast
+
+
+def normalize(term: ast.PrefTerm) -> ast.PrefTerm:
+    """Apply the algebra's simplification laws bottom-up until fixpoint."""
+    previous = None
+    current = term
+    while previous != current:
+        previous = current
+        current = _normalize_once(current)
+    return current
+
+
+def _normalize_once(term: ast.PrefTerm) -> ast.PrefTerm:
+    if isinstance(term, ast.ParetoPref):
+        parts = _flatten(term.parts, ast.ParetoPref)
+        parts = _dedupe(parts)
+        if len(parts) == 1:
+            return parts[0]
+        return ast.ParetoPref(parts=tuple(parts))
+    if isinstance(term, ast.CascadePref):
+        parts = _flatten(term.parts, ast.CascadePref)
+        parts = _drop_adjacent_duplicates(parts)
+        if len(parts) == 1:
+            return parts[0]
+        return ast.CascadePref(parts=tuple(parts))
+    if isinstance(term, ast.ElsePref):
+        parts: list[ast.PrefTerm] = []
+        for part in term.parts:
+            normalized = _normalize_once(part)
+            if isinstance(normalized, ast.ElsePref):
+                parts.extend(normalized.parts)
+            else:
+                parts.append(normalized)
+        if len(parts) == 1:
+            return parts[0]
+        return ast.ElsePref(parts=tuple(parts))
+    return term
+
+
+def _flatten(parts, constructor) -> list[ast.PrefTerm]:
+    flat: list[ast.PrefTerm] = []
+    for part in parts:
+        normalized = _normalize_once(part)
+        if isinstance(normalized, constructor):
+            flat.extend(normalized.parts)
+        else:
+            flat.append(normalized)
+    return flat
+
+
+def _dedupe(parts: list[ast.PrefTerm]) -> list[ast.PrefTerm]:
+    """P AND P = P: drop structurally identical Pareto constituents."""
+    seen: list[ast.PrefTerm] = []
+    for part in parts:
+        if part not in seen:
+            seen.append(part)
+    return seen
+
+
+def _drop_adjacent_duplicates(parts: list[ast.PrefTerm]) -> list[ast.PrefTerm]:
+    """P CASCADE P = P: an immediately repeated layer never decides.
+
+    Only *adjacent* duplicates are safe: a repeated layer further down a
+    cascade is also redundant (ties it could break were already broken or
+    carried through unchanged), but proving that requires the congruence
+    argument, so we keep the conservative adjacent rule plus the
+    transitively-adjacent case produced by flattening.
+    """
+    result: list[ast.PrefTerm] = []
+    for part in parts:
+        if not result or result[-1] != part:
+            result.append(part)
+    return result
+
+
+def describe(term: ast.PrefTerm, indent: int = 0) -> str:
+    """A human-readable tree rendering of a preference term.
+
+    Used by the EXPLAIN facility; one line per node, children indented.
+    """
+    from repro.sql.printer import to_sql
+
+    pad = "  " * indent
+    if isinstance(term, ast.ParetoPref):
+        lines = [f"{pad}PARETO (equal importance)"]
+        lines += [describe(part, indent + 1) for part in term.parts]
+        return "\n".join(lines)
+    if isinstance(term, ast.CascadePref):
+        lines = [f"{pad}CASCADE (ordered importance)"]
+        lines += [describe(part, indent + 1) for part in term.parts]
+        return "\n".join(lines)
+    if isinstance(term, ast.ElsePref):
+        lines = [f"{pad}LAYERED (ELSE chain)"]
+        lines += [describe(part, indent + 1) for part in term.parts]
+        return "\n".join(lines)
+    return f"{pad}{to_sql(term)}"

@@ -1,0 +1,162 @@
+"""Build preference objects from parsed PREFERRING clauses.
+
+The builder is the semantic bridge between the SQL frontend and the model:
+it folds ``ELSE`` chains into layered preferences, resolves named
+preferences against a catalog, and validates construction (numeric targets,
+acyclic EXPLICIT graphs, ELSE restricted to POS/NEG-style constituents).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import PreferenceConstructionError
+from repro.model.categorical import OTHERS, ExplicitPreference, LayeredPreference
+from repro.model.composite import ParetoPreference, PrioritizationPreference
+from repro.model.numeric import (
+    AroundPreference,
+    BetweenPreference,
+    HighestPreference,
+    LowestPreference,
+    ScorePreference,
+)
+from repro.model.preference import Preference
+from repro.model.text import ContainsPreference
+from repro.sql import ast
+
+#: Resolves a named preference (PDL) to its defining AST term.
+NameResolver = Callable[[str], ast.PrefTerm]
+
+
+def literal_value(expr: ast.Expr) -> object:
+    """Extract a constant from an expression, honouring unary minus.
+
+    Preference parameters (AROUND targets, BETWEEN limits, POS/NEG value
+    lists, EXPLICIT pairs) must be constants: they parameterise the order
+    itself and cannot vary per row.
+    """
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Unary) and expr.op in ("-", "+"):
+        inner = literal_value(expr.operand)
+        if not isinstance(inner, (int, float)):
+            raise PreferenceConstructionError(
+                f"cannot negate non-numeric constant {inner!r}"
+            )
+        return -inner if expr.op == "-" else inner
+    from repro.sql.printer import to_sql
+
+    raise PreferenceConstructionError(
+        f"expected a constant in preference term, got expression {to_sql(expr)!r}"
+    )
+
+
+def build_preference(
+    term: ast.PrefTerm,
+    resolver: NameResolver | None = None,
+) -> Preference:
+    """Translate a preference term AST into a :class:`Preference`.
+
+    ``resolver`` supplies the definition of ``PREFERENCE name`` references
+    (see :mod:`repro.pdl`); without one, named references raise.
+    """
+    if isinstance(term, ast.CascadePref):
+        return PrioritizationPreference(
+            [build_preference(part, resolver) for part in term.parts]
+        )
+    if isinstance(term, ast.ParetoPref):
+        return ParetoPreference(
+            [build_preference(part, resolver) for part in term.parts]
+        )
+    if isinstance(term, ast.ElsePref):
+        layered = [_as_layered(part, resolver) for part in term.parts]
+        result = layered[0]
+        for right in layered[1:]:
+            result = _compose_layers(result, right)
+        return result
+    if isinstance(term, ast.AroundPref):
+        return AroundPreference(term.operand, literal_value(term.target))
+    if isinstance(term, ast.BetweenPref):
+        return BetweenPreference(
+            term.operand, literal_value(term.low), literal_value(term.high)
+        )
+    if isinstance(term, ast.LowestPref):
+        return LowestPreference(term.operand)
+    if isinstance(term, ast.HighestPref):
+        return HighestPreference(term.operand)
+    if isinstance(term, ast.ScorePref):
+        return ScorePreference(term.operand)
+    if isinstance(term, ast.PosPref):
+        values = frozenset(literal_value(value) for value in term.values)
+        return LayeredPreference([term.operand], [(0, values), OTHERS])
+    if isinstance(term, ast.NegPref):
+        values = frozenset(literal_value(value) for value in term.values)
+        return LayeredPreference([term.operand], [OTHERS, (0, values)])
+    if isinstance(term, ast.ContainsPref):
+        terms = literal_value(term.terms)
+        if not isinstance(terms, str):
+            raise PreferenceConstructionError(
+                f"CONTAINS terms must be a string literal, got {terms!r}"
+            )
+        return ContainsPreference(term.operand, terms)
+    if isinstance(term, ast.ExplicitPref):
+        pairs = [
+            (literal_value(better), literal_value(worse))
+            for better, worse in term.pairs
+        ]
+        return ExplicitPreference(term.operand, pairs)
+    if isinstance(term, ast.NamedPref):
+        if resolver is None:
+            raise PreferenceConstructionError(
+                f"no catalog available to resolve PREFERENCE {term.name}"
+            )
+        return build_preference(resolver(term.name), resolver)
+    raise PreferenceConstructionError(
+        f"unknown preference term {type(term).__name__}"
+    )
+
+
+def _as_layered(term: ast.PrefTerm, resolver: NameResolver | None) -> LayeredPreference:
+    """Build an ELSE constituent, which must be POS/NEG-style."""
+    if isinstance(term, ast.NamedPref) and resolver is not None:
+        term = resolver(term.name)
+    preference = build_preference(term, resolver)
+    if not isinstance(preference, LayeredPreference):
+        raise PreferenceConstructionError(
+            "ELSE combines favourite/dislike preferences (=, <>, IN, NOT IN); "
+            f"got a {preference.kind} preference"
+        )
+    return preference
+
+
+def _compose_layers(
+    left: LayeredPreference, right: LayeredPreference
+) -> LayeredPreference:
+    """``left ELSE right``: substitute left's OTHERS with right's buckets.
+
+    This yields the paper's built-in combinations —
+    POS/POS: ``[S1, OTHERS] ⊕ [S2, OTHERS] = [S1, S2, OTHERS]`` and
+    POS/NEG: ``[S1, OTHERS] ⊕ [OTHERS, S2] = [S1, OTHERS, S2]`` — and keeps
+    exactly one OTHERS bucket by construction.
+    """
+    operands = list(left.operands)
+    remap: list[int] = []
+    for expr in right.operands:
+        try:
+            remap.append(operands.index(expr))
+        except ValueError:
+            operands.append(expr)
+            remap.append(len(operands) - 1)
+
+    buckets: list[object] = []
+    for bucket in left.buckets:
+        if bucket is OTHERS:
+            for right_bucket in right.buckets:
+                if right_bucket is OTHERS:
+                    buckets.append(OTHERS)
+                else:
+                    index, values = right_bucket
+                    buckets.append((remap[index], values))
+        else:
+            buckets.append(bucket)
+    return LayeredPreference(operands, buckets)

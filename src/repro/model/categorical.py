@@ -1,0 +1,196 @@
+"""Categorical base preferences: POS, NEG, layered POS/POS & POS/NEG, EXPLICIT.
+
+The paper's favourite/dislike types and their ``ELSE`` combinations all
+share one structure: an ordered list of *buckets* of values, where earlier
+buckets are better and exactly one bucket is the catch-all ``OTHERS``:
+
+* ``POS(S)``            →  ``[S, OTHERS]``
+* ``NEG(S)``            →  ``[OTHERS, S]``
+* ``POS(S1) ELSE POS(S2)`` → ``[S1, S2, OTHERS]``
+* ``POS(S1) ELSE NEG(S2)`` → ``[S1, OTHERS, S2]``
+
+``ELSE`` composition substitutes the left preference's OTHERS bucket with
+the right preference's bucket list (see :mod:`repro.model.builder`), which
+reproduces all POS/POS- and POS/NEG-style built-ins of release 1.3 and
+generalises to longer chains and to chains over different attributes.
+
+Bucket matching follows the SQL CASE the paper's rewrite emits
+(``CASE WHEN Make = 'Audi' THEN 1 ELSE 2 END``): explicit buckets are
+tested in order, and OTHERS catches everything that matched none —
+including SQL NULL, which equals nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+
+from repro.errors import NotAStrictPartialOrder, PreferenceConstructionError
+from repro.model.preference import BasePreference, Preference
+from repro.sql import ast
+
+
+class _Others:
+    """Sentinel for the catch-all bucket."""
+
+    def __repr__(self) -> str:
+        return "OTHERS"
+
+
+#: The unique catch-all bucket marker.
+OTHERS = _Others()
+
+#: A bucket is either OTHERS or (operand index, frozenset of values).
+Bucket = object
+
+
+class LayeredPreference(Preference):
+    """A weak order given by ordered value buckets (level = bucket index)."""
+
+    kind = "LAYERED"
+
+    def __init__(
+        self,
+        operand_exprs: Sequence[ast.Expr],
+        buckets: Sequence[Bucket],
+    ):
+        others_count = sum(1 for bucket in buckets if bucket is OTHERS)
+        if others_count != 1:
+            raise PreferenceConstructionError(
+                f"a layered preference needs exactly one OTHERS bucket, got {others_count}"
+            )
+        if not operand_exprs:
+            raise PreferenceConstructionError("a layered preference needs an operand")
+        self._operands = tuple(operand_exprs)
+        self._buckets: tuple[Bucket, ...] = tuple(
+            bucket if bucket is OTHERS else (bucket[0], frozenset(bucket[1]))
+            for bucket in buckets
+        )
+        for bucket in self._buckets:
+            if bucket is OTHERS:
+                continue
+            index, values = bucket
+            if not 0 <= index < len(self._operands):
+                raise PreferenceConstructionError(
+                    f"bucket operand index {index} out of range"
+                )
+            if not values:
+                raise PreferenceConstructionError("empty value bucket")
+        self._others_index = next(
+            i for i, bucket in enumerate(self._buckets) if bucket is OTHERS
+        )
+
+    @property
+    def operands(self) -> tuple[ast.Expr, ...]:
+        return self._operands
+
+    @property
+    def buckets(self) -> tuple[Bucket, ...]:
+        """The ordered bucket list (earlier is better)."""
+        return self._buckets
+
+    @property
+    def others_index(self) -> int:
+        """Position of the OTHERS bucket."""
+        return self._others_index
+
+    def level(self, values: Sequence[object]) -> int:
+        """0-based level: index of the first matching explicit bucket,
+        or the OTHERS position if none matches."""
+        for index, bucket in enumerate(self._buckets):
+            if bucket is OTHERS:
+                continue
+            operand_index, members = bucket
+            value = values[operand_index]
+            if value is not None and value in members:
+                return index
+        return self._others_index
+
+    def is_better(self, v: Sequence[object], w: Sequence[object]) -> bool:
+        return self.level(v) < self.level(w)
+
+    def is_equal(self, v: Sequence[object], w: Sequence[object]) -> bool:
+        return self.level(v) == self.level(w)
+
+
+def pos(operand: ast.Expr, values: Sequence[object]) -> LayeredPreference:
+    """Build a POS preference: the given values are favoured."""
+    return LayeredPreference([operand], [(0, frozenset(values)), OTHERS])
+
+
+def neg(operand: ast.Expr, values: Sequence[object]) -> LayeredPreference:
+    """Build a NEG preference: the given values are disliked."""
+    return LayeredPreference([operand], [OTHERS, (0, frozenset(values))])
+
+
+class ExplicitPreference(BasePreference):
+    """A finite better-than relation given by explicit value pairs.
+
+    "Any preference that can be expressed by a finite set of 'A is better
+    than B' relationships can be created as a base preference of type
+    EXPLICIT" (paper section 2.2.1).  The order is the transitive closure
+    of the stated pairs; a cyclic input is rejected because it would break
+    irreflexivity.  Unlike the other base types this is a genuine partial
+    order: unmentioned values are incomparable to everything else.
+    """
+
+    kind = "EXPLICIT"
+
+    def __init__(self, operand: ast.Expr, pairs: Sequence[tuple[object, object]]):
+        super().__init__(operand)
+        if not pairs:
+            raise PreferenceConstructionError("EXPLICIT needs at least one pair")
+        graph = nx.DiGraph()
+        for better, worse in pairs:
+            if better == worse:
+                raise NotAStrictPartialOrder(
+                    f"EXPLICIT pair {better!r} > {better!r} violates irreflexivity"
+                )
+            graph.add_edge(better, worse)
+        if not nx.is_directed_acyclic_graph(graph):
+            cycle = nx.find_cycle(graph)
+            raise NotAStrictPartialOrder(
+                f"EXPLICIT better-than graph contains a cycle: {cycle}"
+            )
+        self.pairs = tuple(pairs)
+        self._graph = graph
+        closure = nx.transitive_closure(graph)
+        self._dominates: frozenset[tuple[object, object]] = frozenset(closure.edges())
+        # Depth in the DAG gives the explanation level: maximal values sit
+        # at level 0, each better-than edge adds one.
+        self._depth: dict[object, int] = {}
+        for node in nx.topological_sort(graph):
+            preds = list(graph.predecessors(node))
+            self._depth[node] = 1 + max((self._depth[p] for p in preds), default=-1)
+        self._max_depth = max(self._depth.values())
+
+    @property
+    def closure_pairs(self) -> frozenset[tuple[object, object]]:
+        """All (better, worse) pairs in the transitive closure."""
+        return self._dominates
+
+    @property
+    def depth_map(self) -> dict[object, int]:
+        """Explanation depth of every mentioned value (maximal values: 0)."""
+        return dict(self._depth)
+
+    @property
+    def max_depth(self) -> int:
+        """The largest depth among mentioned values."""
+        return self._max_depth
+
+    def is_better(self, v: Sequence[object], w: Sequence[object]) -> bool:
+        return (v[0], w[0]) in self._dominates
+
+    def is_equal(self, v: Sequence[object], w: Sequence[object]) -> bool:
+        # SQL equality: NULL equals nothing, not even NULL.  Keeping that
+        # here makes the in-memory engine agree with the rewritten SQL.
+        return v[0] is not None and v[0] == w[0]
+
+    def level(self, value: object) -> int:
+        """0-based explanation level: DAG depth; unmentioned values get the
+        worst known depth plus one."""
+        if value in self._depth:
+            return self._depth[value]
+        return self._max_depth + 1

@@ -1,0 +1,98 @@
+"""Preference constructors: Pareto accumulation and prioritisation.
+
+Pareto accumulation (``AND``, paper section 2.2.2):
+
+    v is better than w  iff  ∃i such that v_i is better than w_i and v is
+    equal or better than w in any other component value.
+
+Prioritisation / cascade (``CASCADE`` or ``,``): preferences are applied
+one after the other — the less important preference only decides between
+vectors the more important one considers substitutable:
+
+    v is better than w  iff  v <_P1 w, or v =_P1 w and v <_P2 w.
+
+Both constructors yield strict partial orders again (the model's closure
+property), which :mod:`repro.model.properties` verifies exhaustively in
+the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import PreferenceConstructionError
+from repro.model.preference import Preference
+from repro.sql import ast
+
+
+class _Composite(Preference):
+    """Shared plumbing: operand concatenation and per-child vector slices."""
+
+    def __init__(self, parts: Sequence[Preference]):
+        if len(parts) < 2:
+            raise PreferenceConstructionError(
+                f"{type(self).__name__} needs at least two constituents"
+            )
+        self._parts = tuple(parts)
+        self._slices: list[slice] = []
+        offset = 0
+        for part in self._parts:
+            self._slices.append(slice(offset, offset + part.arity))
+            offset += part.arity
+        self._operands = tuple(
+            expr for part in self._parts for expr in part.operands
+        )
+
+    @property
+    def operands(self) -> tuple[ast.Expr, ...]:
+        return self._operands
+
+    def children(self) -> tuple[Preference, ...]:
+        return self._parts
+
+    def component_vectors(self, v: Sequence[object]) -> list[Sequence[object]]:
+        """Split a flat operand vector into per-child vectors."""
+        return [v[s] for s in self._slices]
+
+
+class ParetoPreference(_Composite):
+    """Equal importance: the Pareto accumulation of its constituents."""
+
+    kind = "PARETO"
+
+    def is_better(self, v: Sequence[object], w: Sequence[object]) -> bool:
+        strictly_better_somewhere = False
+        for part, part_slice in zip(self._parts, self._slices):
+            sub_v, sub_w = v[part_slice], w[part_slice]
+            if part.is_better(sub_v, sub_w):
+                strictly_better_somewhere = True
+            elif not part.is_equal(sub_v, sub_w):
+                return False
+        return strictly_better_somewhere
+
+    def is_equal(self, v: Sequence[object], w: Sequence[object]) -> bool:
+        return all(
+            part.is_equal(v[part_slice], w[part_slice])
+            for part, part_slice in zip(self._parts, self._slices)
+        )
+
+
+class PrioritizationPreference(_Composite):
+    """Ordered importance: lexicographic cascade of its constituents."""
+
+    kind = "CASCADE"
+
+    def is_better(self, v: Sequence[object], w: Sequence[object]) -> bool:
+        for part, part_slice in zip(self._parts, self._slices):
+            sub_v, sub_w = v[part_slice], w[part_slice]
+            if part.is_better(sub_v, sub_w):
+                return True
+            if not part.is_equal(sub_v, sub_w):
+                return False
+        return False
+
+    def is_equal(self, v: Sequence[object], w: Sequence[object]) -> bool:
+        return all(
+            part.is_equal(v[part_slice], w[part_slice])
+            for part, part_slice in zip(self._parts, self._slices)
+        )

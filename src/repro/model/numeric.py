@@ -1,0 +1,115 @@
+"""Numeric base preference types: AROUND, BETWEEN, LOWEST, HIGHEST, SCORE.
+
+Semantics (paper section 2.2.1):
+
+* ``AROUND t`` — values close to the target ``t`` are better; the rank is
+  the absolute distance ``|v - t|`` (a perfect match has distance 0).
+* ``BETWEEN low, up`` — values inside the interval are perfect; outside,
+  being closer to the nearer interval limit is better.
+* ``LOWEST`` / ``HIGHEST`` — smaller/larger values are better; if the
+  extreme is not attainable, the closest value to it is best.
+* ``SCORE`` — numerical ranking by an arbitrary scoring expression (higher
+  is better); part of the "richer preference type system" the paper's
+  outlook announces (section 5), included here as the natural extension.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import PreferenceConstructionError
+from repro.model.preference import NULL_RANK, WeakOrderBase, coerce_number
+from repro.sql import ast
+
+
+def _checked_number(value: object, what: str) -> float:
+    number = coerce_number(value)
+    if math.isnan(number):
+        raise PreferenceConstructionError(f"{what} must be numeric, got {value!r}")
+    return number
+
+
+class AroundPreference(WeakOrderBase):
+    """``expr AROUND target`` — favour values close to a numeric target."""
+
+    kind = "AROUND"
+
+    def __init__(self, operand: ast.Expr, target: object):
+        super().__init__(operand)
+        self.target = _checked_number(target, "AROUND target")
+
+    def rank(self, value: object) -> float:
+        number = coerce_number(value)
+        if math.isnan(number):
+            return NULL_RANK
+        return abs(number - self.target)
+
+
+class BetweenPreference(WeakOrderBase):
+    """``expr BETWEEN low, up`` — interval membership as a soft goal."""
+
+    kind = "BETWEEN"
+
+    def __init__(self, operand: ast.Expr, low: object, high: object):
+        super().__init__(operand)
+        self.low = _checked_number(low, "BETWEEN lower limit")
+        self.high = _checked_number(high, "BETWEEN upper limit")
+        if self.low > self.high:
+            raise PreferenceConstructionError(
+                f"BETWEEN limits out of order: [{self.low}, {self.high}]"
+            )
+
+    def rank(self, value: object) -> float:
+        number = coerce_number(value)
+        if math.isnan(number):
+            return NULL_RANK
+        if number < self.low:
+            return self.low - number
+        if number > self.high:
+            return number - self.high
+        return 0.0
+
+
+class LowestPreference(WeakOrderBase):
+    """``LOWEST(expr)`` — minimisation as a soft goal."""
+
+    kind = "LOWEST"
+
+    def rank(self, value: object) -> float:
+        number = coerce_number(value)
+        if math.isnan(number):
+            return NULL_RANK
+        return number
+
+    def best_rank(self) -> float | None:
+        return None  # the optimum is the candidate-set minimum
+
+
+class HighestPreference(WeakOrderBase):
+    """``HIGHEST(expr)`` — maximisation as a soft goal."""
+
+    kind = "HIGHEST"
+
+    def rank(self, value: object) -> float:
+        number = coerce_number(value)
+        if math.isnan(number):
+            return NULL_RANK
+        return -number
+
+    def best_rank(self) -> float | None:
+        return None  # the optimum is (negated) candidate-set maximum
+
+
+class ScorePreference(WeakOrderBase):
+    """``SCORE(expr)`` — rank by a numerical score, higher is better."""
+
+    kind = "SCORE"
+
+    def rank(self, value: object) -> float:
+        number = coerce_number(value)
+        if math.isnan(number):
+            return NULL_RANK
+        return -number
+
+    def best_rank(self) -> float | None:
+        return None

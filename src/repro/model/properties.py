@@ -1,0 +1,104 @@
+"""Strict-partial-order law checking.
+
+The paper's whole model rests on preferences being strict partial orders
+(irreflexive, transitive, asymmetric — section 2.1).  These helpers verify
+the laws over concrete sample vectors.  They serve two audiences:
+
+* the test suite, which runs them (with hypothesis-generated samples)
+  against every base type and random compositions, demonstrating the
+  closure property of Pareto and cascade,
+* users defining EXPLICIT or custom preferences who want a safety net.
+
+Substitutability (:meth:`Preference.is_equal`) is additionally required to
+be an equivalence relation that is a *congruence* for the order: replacing
+a vector by a substitutable one must not change any comparison.  All
+built-in types satisfy this; the checker verifies it on the samples.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import NotAStrictPartialOrder
+from repro.model.preference import Preference
+
+Vector = tuple
+
+
+def spo_violations(
+    preference: Preference, vectors: Sequence[Vector], limit: int = 10
+) -> list[str]:
+    """Return human-readable law violations found over the sample vectors.
+
+    Checks irreflexivity, asymmetry, transitivity, equivalence laws for
+    ``is_equal`` and the congruence between the two relations.  Stops after
+    ``limit`` findings to keep failure output readable.
+    """
+    findings: list[str] = []
+
+    def report(message: str) -> bool:
+        findings.append(message)
+        return len(findings) >= limit
+
+    for v in vectors:
+        if preference.is_better(v, v):
+            if report(f"irreflexivity violated: {v!r} better than itself"):
+                return findings
+        if not preference.is_equal(v, v):
+            # NULL-bearing vectors are exempt: SQL equality never holds for
+            # NULL, and the built-ins mirror that deliberately.
+            if None not in v:
+                if report(f"is_equal not reflexive on {v!r}"):
+                    return findings
+
+    for v in vectors:
+        for w in vectors:
+            if preference.is_better(v, w) and preference.is_better(w, v):
+                if report(f"asymmetry violated between {v!r} and {w!r}"):
+                    return findings
+            if preference.is_better(v, w) and preference.is_equal(v, w):
+                if report(f"{v!r} both better than and equal to {w!r}"):
+                    return findings
+            if preference.is_equal(v, w) != preference.is_equal(w, v):
+                if report(f"is_equal not symmetric between {v!r} and {w!r}"):
+                    return findings
+
+    for v in vectors:
+        for w in vectors:
+            for u in vectors:
+                if (
+                    preference.is_better(v, w)
+                    and preference.is_better(w, u)
+                    and not preference.is_better(v, u)
+                ):
+                    if report(f"transitivity violated: {v!r} < {w!r} < {u!r}"):
+                        return findings
+                if (
+                    preference.is_equal(v, w)
+                    and preference.is_equal(w, u)
+                    and not preference.is_equal(v, u)
+                ):
+                    if report(f"is_equal not transitive: {v!r} = {w!r} = {u!r}"):
+                        return findings
+                # Congruence: substitutable vectors compare identically.
+                if preference.is_equal(v, w):
+                    if preference.is_better(v, u) != preference.is_better(w, u):
+                        if report(
+                            f"congruence violated: {v!r} = {w!r} but they "
+                            f"compare differently against {u!r}"
+                        ):
+                            return findings
+    return findings
+
+
+def check_strict_partial_order(
+    preference: Preference, vectors: Sequence[Vector]
+) -> None:
+    """Raise :class:`NotAStrictPartialOrder` if any law fails on the samples."""
+    findings = spo_violations(preference, vectors)
+    if findings:
+        summary = "; ".join(findings[:3])
+        raise NotAStrictPartialOrder(
+            f"{preference.kind} preference violates strict-partial-order "
+            f"laws: {summary}"
+        )

@@ -1,0 +1,18 @@
+"""The Preference Definition Language (PDL): persistent preferences.
+
+"Preferences can be constructed on the fly when issuing a query, or they
+can be defined as persistent objects using a Preference Definition
+Language" (paper section 2.2).  The catalog stores named preference terms
+in an ordinary table of the host database, so definitions survive across
+connections and travel with the data:
+
+.. code-block:: sql
+
+    CREATE PREFERENCE family_car ON cars AS
+        price BETWEEN 20000, 30000 AND HIGHEST(seats);
+    SELECT * FROM cars PREFERRING PREFERENCE family_car CASCADE LOWEST(mileage);
+"""
+
+from repro.pdl.catalog import CATALOG_TABLE, PreferenceCatalog
+
+__all__ = ["PreferenceCatalog", "CATALOG_TABLE"]

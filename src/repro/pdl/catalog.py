@@ -1,0 +1,93 @@
+"""Persistent preference catalog stored in the host database."""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+
+from repro.errors import CatalogError
+from repro.sql import ast
+from repro.sql.parser import parse_preferring
+from repro.sql.printer import to_sql
+
+#: Name of the catalog table created in the host database.
+CATALOG_TABLE = "prefsql_preferences"
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One stored preference definition."""
+
+    name: str
+    table: str
+    definition: str
+
+
+class PreferenceCatalog:
+    """CRUD for named preferences, backed by a table in the host database.
+
+    Definitions are stored as Preference SQL text and re-parsed on load,
+    which keeps the catalog portable across library versions and lets DBAs
+    inspect it with plain SQL.
+    """
+
+    def __init__(self, connection: sqlite3.Connection):
+        self._connection = connection
+        self._ensure_table()
+
+    def _ensure_table(self) -> None:
+        self._connection.execute(
+            f"CREATE TABLE IF NOT EXISTS {CATALOG_TABLE} ("
+            "name TEXT PRIMARY KEY, table_name TEXT NOT NULL, "
+            "definition TEXT NOT NULL)"
+        )
+
+    def create(self, statement: ast.CreatePreference, replace: bool = False) -> None:
+        """Store a preference definition; re-parse to validate round-trip."""
+        definition = to_sql(statement.term)
+        parse_preferring(definition)  # must round-trip or the catalog rots
+        name = statement.name.lower()
+        if replace:
+            self._connection.execute(
+                f"INSERT OR REPLACE INTO {CATALOG_TABLE} VALUES (?, ?, ?)",
+                (name, statement.table.lower(), definition),
+            )
+            return
+        try:
+            self._connection.execute(
+                f"INSERT INTO {CATALOG_TABLE} VALUES (?, ?, ?)",
+                (name, statement.table.lower(), definition),
+            )
+        except sqlite3.IntegrityError:
+            raise CatalogError(f"preference {statement.name!r} already exists")
+
+    def drop(self, name: str) -> None:
+        """Remove a stored preference."""
+        cursor = self._connection.execute(
+            f"DELETE FROM {CATALOG_TABLE} WHERE name = ?", (name.lower(),)
+        )
+        if cursor.rowcount == 0:
+            raise CatalogError(f"unknown preference {name!r}")
+
+    def get(self, name: str) -> CatalogEntry:
+        """Load one stored preference."""
+        row = self._connection.execute(
+            f"SELECT name, table_name, definition FROM {CATALOG_TABLE} "
+            "WHERE name = ?",
+            (name.lower(),),
+        ).fetchone()
+        if row is None:
+            raise CatalogError(f"unknown preference {name!r}")
+        return CatalogEntry(name=row[0], table=row[1], definition=row[2])
+
+    def entries(self) -> list[CatalogEntry]:
+        """All stored preferences, alphabetically."""
+        rows = self._connection.execute(
+            f"SELECT name, table_name, definition FROM {CATALOG_TABLE} "
+            "ORDER BY name"
+        ).fetchall()
+        return [CatalogEntry(*row) for row in rows]
+
+    def resolve(self, name: str) -> ast.PrefTerm:
+        """NameResolver interface for the builder/rewriter."""
+        return parse_preferring(self.get(name).definition)

@@ -1,0 +1,31 @@
+"""The Preference SQL Optimizer: rewriting preference queries to SQL92.
+
+This package is the reproduction of the paper's pre-processor (section 3):
+a preference query is translated into a standard SQL query implementing the
+BMO model through a correlated ``NOT EXISTS`` anti-join — the paper's
+"high-level implementation of the skyline operator".  The emitted SQL uses
+only SQL92 entry-level constructs plus derived correlation, so it runs on
+any host database (sqlite in this repo).
+
+Modules:
+
+* :mod:`repro.rewrite.levels` — base preference → rank expression (the
+  paper's ``Makelevel``/``Diesellevel`` CASE scheme, generalised),
+* :mod:`repro.rewrite.conditions` — preference → dominance conditions
+  between two aliased tuple copies (the skyline anti-join body),
+* :mod:`repro.rewrite.planner` — whole-query rewriting (WHERE duplication,
+  GROUPING partitions, BUT ONLY thresholds, quality functions, INSERT,
+  algebraic normalisation of the preference term),
+* :mod:`repro.rewrite.paper_style` — the exhibition form of section 3.2
+  (CREATE VIEW Aux / anti-join script).
+"""
+
+from repro.rewrite.planner import RewriteResult, rewrite_select, rewrite_statement
+from repro.rewrite.paper_style import paper_style_script
+
+__all__ = [
+    "RewriteResult",
+    "rewrite_select",
+    "rewrite_statement",
+    "paper_style_script",
+]

@@ -1,0 +1,148 @@
+"""Dominance conditions between two aliased tuple copies.
+
+Given a preference P and two row aliases (the candidate ``outer`` and the
+potential dominator ``inner``), this module builds the SQL conditions
+
+* ``better(inner, outer)``          — inner is strictly better,
+* ``better_or_equal(inner, outer)`` — inner is better or substitutable,
+* ``equal(inner, outer)``           — substitutable.
+
+For Pareto accumulation the generated shape is exactly the paper's
+(section 3.2):
+
+    A2.Makelevel <= A1.Makelevel AND A2.Diesellevel <= A1.Diesellevel
+    AND (A2.Makelevel < A1.Makelevel OR A2.Diesellevel < A1.Diesellevel)
+
+except that rank expressions are inlined rather than materialised in an
+auxiliary view (see :mod:`repro.rewrite.paper_style` for the view form).
+Cascade becomes the lexicographic expansion, and EXPLICIT preferences —
+which are genuine partial orders without rank columns — expand into a
+disjunction over the transitive closure of their better-than graph.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RewriteError
+from repro.model.categorical import ExplicitPreference
+from repro.model.composite import ParetoPreference, PrioritizationPreference
+from repro.model.preference import Preference
+from repro.rewrite.levels import Qualifier, rank_expression
+from repro.sql import ast
+
+
+def _and(parts: list[ast.Expr]) -> ast.Expr:
+    result = parts[0]
+    for part in parts[1:]:
+        result = ast.Binary(op="AND", left=result, right=part)
+    return result
+
+
+def _or(parts: list[ast.Expr]) -> ast.Expr:
+    result = parts[0]
+    for part in parts[1:]:
+        result = ast.Binary(op="OR", left=result, right=part)
+    return result
+
+
+def better_condition(
+    preference: Preference, inner: Qualifier, outer: Qualifier
+) -> ast.Expr:
+    """SQL condition: the inner tuple is strictly better than the outer."""
+    if isinstance(preference, ParetoPreference):
+        parts = preference.children()
+        all_boe = [better_or_equal_condition(p, inner, outer) for p in parts]
+        any_better = [better_condition(p, inner, outer) for p in parts]
+        return _and(all_boe + [_or(any_better)])
+    if isinstance(preference, PrioritizationPreference):
+        parts = preference.children()
+        alternatives: list[ast.Expr] = []
+        prefix_equal: list[ast.Expr] = []
+        for part in parts:
+            step = better_condition(part, inner, outer)
+            alternatives.append(_and(prefix_equal + [step]))
+            prefix_equal = prefix_equal + [equal_condition(part, inner, outer)]
+        return _or(alternatives)
+    if isinstance(preference, ExplicitPreference):
+        pairs = sorted(preference.closure_pairs, key=repr)
+        inner_value = inner(preference.operand)
+        outer_value = outer(preference.operand)
+        return _or(
+            [
+                ast.Binary(
+                    op="AND",
+                    left=ast.Binary(
+                        op="=", left=inner_value, right=ast.Literal(value=better)
+                    ),
+                    right=ast.Binary(
+                        op="=", left=outer_value, right=ast.Literal(value=worse)
+                    ),
+                )
+                for better, worse in pairs
+            ]
+        )
+    # Weak-order base preference: strict rank comparison.
+    return ast.Binary(
+        op="<",
+        left=rank_expression(preference, inner),
+        right=rank_expression(preference, outer),
+    )
+
+
+def equal_condition(
+    preference: Preference, inner: Qualifier, outer: Qualifier
+) -> ast.Expr:
+    """SQL condition: the two tuples are substitutable under P."""
+    if isinstance(preference, (ParetoPreference, PrioritizationPreference)):
+        return _and(
+            [equal_condition(p, inner, outer) for p in preference.children()]
+        )
+    if isinstance(preference, ExplicitPreference):
+        return ast.Binary(
+            op="=",
+            left=inner(preference.operand),
+            right=outer(preference.operand),
+        )
+    return ast.Binary(
+        op="=",
+        left=rank_expression(preference, inner),
+        right=rank_expression(preference, outer),
+    )
+
+
+def better_or_equal_condition(
+    preference: Preference, inner: Qualifier, outer: Qualifier
+) -> ast.Expr:
+    """SQL condition: inner is better than or substitutable with outer."""
+    if isinstance(preference, (ParetoPreference, PrioritizationPreference)):
+        return _or(
+            [
+                better_condition(preference, inner, outer),
+                equal_condition(preference, inner, outer),
+            ]
+        )
+    if isinstance(preference, ExplicitPreference):
+        return _or(
+            [
+                better_condition(preference, inner, outer),
+                equal_condition(preference, inner, outer),
+            ]
+        )
+    # Weak orders collapse to one comparison — the paper's `<=` form.
+    return ast.Binary(
+        op="<=",
+        left=rank_expression(preference, inner),
+        right=rank_expression(preference, outer),
+    )
+
+
+def dominance_condition(
+    preference: Preference, inner: Qualifier, outer: Qualifier
+) -> ast.Expr:
+    """The full NOT EXISTS body for the skyline anti-join.
+
+    Kept as a named entry point so the planner and the paper-style script
+    generator share one definition of dominance.
+    """
+    if isinstance(preference, Preference):
+        return better_condition(preference, inner, outer)
+    raise RewriteError(f"not a preference: {preference!r}")

@@ -1,0 +1,186 @@
+"""Translate base preferences into SQL rank expressions.
+
+This generalises the paper's level columns (section 3.2):
+
+    CASE WHEN Make = 'Audi' THEN 1 ELSE 2 END AS Makelevel
+
+Every weak-order base preference becomes a *rank expression* where smaller
+is better, built from SQL92 entry-level constructs (searched CASE,
+comparisons, arithmetic):
+
+* layered (POS/NEG/ELSE chains) — the bucket-index CASE above,
+* AROUND t       — ``CASE WHEN x >= t THEN x - t ELSE t - x END``,
+* BETWEEN l, u   — distance to the violated interval limit,
+* LOWEST/HIGHEST — the value itself / its negation,
+* SCORE          — the negated score,
+* CONTAINS       — the number of missing terms via ``LIKE`` tests.
+
+SQL NULL handling matches the in-memory model: layered CASE expressions
+drop NULLs into the OTHERS level exactly like the paper's CASE; numeric
+preferences guard with ``IS NULL`` and rank NULL as :data:`NULL_RANK`
+(worst).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import RewriteError
+from repro.model.categorical import OTHERS, ExplicitPreference, LayeredPreference
+from repro.model.numeric import (
+    AroundPreference,
+    BetweenPreference,
+    HighestPreference,
+    LowestPreference,
+    ScorePreference,
+)
+from repro.model.preference import NULL_RANK, Preference
+from repro.model.text import ContainsPreference
+from repro.sql import ast
+
+#: Rewrites an operand expression into a given alias family (qualifying
+#: its column references); supplied by the planner.
+Qualifier = Callable[[ast.Expr], ast.Expr]
+
+
+def _null_rank_literal() -> ast.Literal:
+    return ast.Literal(value=NULL_RANK)
+
+
+def _membership(operand: ast.Expr, values: frozenset) -> ast.Expr:
+    """``operand IN (...)`` / ``operand = v`` test for one bucket."""
+    literals = tuple(
+        ast.Literal(value=value) for value in sorted(values, key=repr)
+    )
+    if len(literals) == 1:
+        return ast.Binary(op="=", left=operand, right=literals[0])
+    return ast.InList(operand=operand, items=literals)
+
+
+def layered_rank(preference: LayeredPreference, qualify: Qualifier) -> ast.Expr:
+    """The bucket-index CASE expression for a layered preference."""
+    operands = [qualify(expr) for expr in preference.operands]
+    branches: list[tuple[ast.Expr, ast.Expr]] = []
+    for index, bucket in enumerate(preference.buckets):
+        if bucket is OTHERS:
+            continue
+        operand_index, values = bucket
+        branches.append(
+            (_membership(operands[operand_index], values), ast.Literal(value=index))
+        )
+    return ast.CaseWhen(
+        branches=tuple(branches),
+        otherwise=ast.Literal(value=preference.others_index),
+    )
+
+
+def around_rank(preference: AroundPreference, qualify: Qualifier) -> ast.Expr:
+    operand = qualify(preference.operand)
+    target = ast.Literal(value=preference.target)
+    return ast.CaseWhen(
+        branches=(
+            (ast.IsNull(operand=operand), _null_rank_literal()),
+            (
+                ast.Binary(op=">=", left=operand, right=target),
+                ast.Binary(op="-", left=operand, right=target),
+            ),
+        ),
+        otherwise=ast.Binary(op="-", left=target, right=operand),
+    )
+
+
+def between_rank(preference: BetweenPreference, qualify: Qualifier) -> ast.Expr:
+    operand = qualify(preference.operand)
+    low = ast.Literal(value=preference.low)
+    high = ast.Literal(value=preference.high)
+    return ast.CaseWhen(
+        branches=(
+            (ast.IsNull(operand=operand), _null_rank_literal()),
+            (
+                ast.Binary(op="<", left=operand, right=low),
+                ast.Binary(op="-", left=low, right=operand),
+            ),
+            (
+                ast.Binary(op=">", left=operand, right=high),
+                ast.Binary(op="-", left=operand, right=high),
+            ),
+        ),
+        otherwise=ast.Literal(value=0),
+    )
+
+
+def lowest_rank(preference: LowestPreference, qualify: Qualifier) -> ast.Expr:
+    operand = qualify(preference.operand)
+    return ast.CaseWhen(
+        branches=((ast.IsNull(operand=operand), _null_rank_literal()),),
+        otherwise=operand,
+    )
+
+
+def highest_rank(
+    preference: HighestPreference | ScorePreference, qualify: Qualifier
+) -> ast.Expr:
+    operand = qualify(preference.operand)
+    return ast.CaseWhen(
+        branches=((ast.IsNull(operand=operand), _null_rank_literal()),),
+        otherwise=ast.Unary(op="-", operand=operand),
+    )
+
+
+def contains_rank(preference: ContainsPreference, qualify: Qualifier) -> ast.Expr:
+    operand = qualify(preference.operand)
+    misses: ast.Expr | None = None
+    for term in preference.terms:
+        pattern = ast.Literal(value=f"%{term}%")
+        test = ast.CaseWhen(
+            branches=(
+                (ast.Binary(op="LIKE", left=operand, right=pattern), ast.Literal(value=0)),
+            ),
+            otherwise=ast.Literal(value=1),
+        )
+        misses = test if misses is None else ast.Binary(op="+", left=misses, right=test)
+    return ast.CaseWhen(
+        branches=(
+            (ast.IsNull(operand=operand), ast.Literal(value=len(preference.terms))),
+        ),
+        otherwise=misses,
+    )
+
+
+def rank_expression(preference: Preference, qualify: Qualifier) -> ast.Expr:
+    """Dispatch: the rank expression of any weak-order base preference."""
+    if isinstance(preference, LayeredPreference):
+        return layered_rank(preference, qualify)
+    if isinstance(preference, AroundPreference):
+        return around_rank(preference, qualify)
+    if isinstance(preference, BetweenPreference):
+        return between_rank(preference, qualify)
+    if isinstance(preference, LowestPreference):
+        return lowest_rank(preference, qualify)
+    if isinstance(preference, (HighestPreference, ScorePreference)):
+        return highest_rank(preference, qualify)
+    if isinstance(preference, ContainsPreference):
+        return contains_rank(preference, qualify)
+    raise RewriteError(
+        f"no rank expression for {preference.kind} preferences"
+    )
+
+
+def explicit_level_expression(
+    preference: ExplicitPreference, qualify: Qualifier
+) -> ast.Expr:
+    """CASE mapping explicit values to their DAG depth (for LEVEL())."""
+    operand = qualify(preference.operand)
+    depth_map = preference.depth_map
+    branches = []
+    for value in sorted(depth_map, key=repr):
+        branches.append(
+            (
+                ast.Binary(op="=", left=operand, right=ast.Literal(value=value)),
+                ast.Literal(value=depth_map[value]),
+            )
+        )
+    return ast.CaseWhen(
+        branches=tuple(branches),
+        otherwise=ast.Literal(value=preference.max_depth + 1),
+    )

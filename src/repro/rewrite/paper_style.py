@@ -1,0 +1,120 @@
+"""The exhibition rewrite of paper section 3.2: view + anti-join script.
+
+The paper demonstrates the selection method on the Cars relation as a
+three-step SQL92 script: materialise level columns in an auxiliary view,
+then keep every tuple for which no tuple with component-wise smaller-or-
+equal and somewhere strictly smaller levels exists:
+
+.. code-block:: sql
+
+    CREATE VIEW Aux AS
+      SELECT *, CASE WHEN Make = 'Audi' THEN 1 ELSE 2 END AS Makelevel,
+                CASE WHEN Diesel = 'yes' THEN 1 ELSE 2 END AS Diesellevel
+      FROM Cars;
+    SELECT ... FROM Aux A1 WHERE NOT EXISTS (SELECT 1 FROM Aux A2 WHERE ...);
+    DROP VIEW Aux;
+
+:func:`paper_style_script` reproduces this script for any single-table
+Pareto accumulation of weak-order base preferences.  The production path
+(:mod:`repro.rewrite.planner`) inlines the same conditions into one
+statement instead; benchmark E3 runs both and checks they agree.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RewriteError
+from repro.model.builder import NameResolver, build_preference
+from repro.model.categorical import LayeredPreference
+from repro.model.composite import ParetoPreference
+from repro.model.preference import Preference, WeakOrderBase
+from repro.rewrite.levels import rank_expression
+from repro.sql import ast
+from repro.sql.printer import to_sql
+
+
+def _level_column_name(base: Preference, index: int) -> str:
+    operands = base.operands
+    if len(operands) == 1 and isinstance(operands[0], ast.Column):
+        return f"{operands[0].name}level"
+    return f"level{index}"
+
+
+def paper_style_script(
+    select: ast.Select,
+    view_name: str = "prefsql_aux",
+    resolver: NameResolver | None = None,
+) -> list[str]:
+    """Emit the section 3.2 script for a preference query.
+
+    Returns ``[CREATE VIEW ..., SELECT ..., DROP VIEW ...]``.  Supported
+    exactly for the paper's demonstration class: one base table, a Pareto
+    accumulation (or single) weak-order preference, no GROUPING/BUT ONLY
+    and no quality functions in the select list.
+    """
+    if select.preferring is None:
+        raise RewriteError("not a preference query")
+    if select.grouping or select.but_only is not None:
+        raise RewriteError(
+            "the paper-style script covers plain Pareto queries; use the "
+            "planner rewrite for GROUPING/BUT ONLY"
+        )
+    if len(select.sources) != 1 or not isinstance(select.sources[0], ast.TableRef):
+        raise RewriteError("the paper-style script needs a single base table")
+
+    preference = build_preference(select.preferring, resolver=resolver)
+    if isinstance(preference, ParetoPreference):
+        parts = preference.children()
+    else:
+        parts = (preference,)
+    bases: list[Preference] = []
+    for part in parts:
+        if not isinstance(part, (WeakOrderBase, LayeredPreference)):
+            raise RewriteError(
+                "the paper-style script supports Pareto accumulation of "
+                f"weak-order base preferences; got {part.kind}"
+            )
+        bases.append(part)
+
+    source = select.sources[0]
+    identity = lambda expr: expr  # noqa: E731 - view columns are unqualified
+
+    level_names = []
+    level_items = []
+    for index, base in enumerate(bases):
+        name = _level_column_name(base, index)
+        if name.lower() in {n.lower() for n in level_names}:
+            name = f"{name}{index}"
+        level_names.append(name)
+        level_items.append(
+            f"{to_sql(rank_expression(base, identity))} AS {name}"
+        )
+
+    where_clause = f" WHERE {to_sql(select.where)}" if select.where is not None else ""
+    create_view = (
+        f"CREATE VIEW {view_name} AS SELECT *, "
+        + ", ".join(level_items)
+        + f" FROM {source.name}{where_clause}"
+    )
+
+    def level_ref(alias: str, name: str) -> str:
+        return f"{alias}.{name}"
+
+    all_leq = " AND ".join(
+        f"{level_ref('A2', name)} <= {level_ref('A1', name)}" for name in level_names
+    )
+    any_less = " OR ".join(
+        f"{level_ref('A2', name)} < {level_ref('A1', name)}" for name in level_names
+    )
+    dominance = f"{all_leq} AND ({any_less})"
+
+    projection = ", ".join(
+        "A1.*" if isinstance(item, ast.Star) else f"A1.{to_sql(item.expr)}"
+        for item in select.items
+    )
+    main_select = (
+        f"SELECT {projection} FROM {view_name} A1 "
+        f"WHERE NOT EXISTS (SELECT 1 FROM {view_name} A2 WHERE {dominance})"
+    )
+
+    drop_view = f"DROP VIEW {view_name}"
+    return [create_view, main_select, drop_view]

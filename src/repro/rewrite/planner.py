@@ -1,0 +1,641 @@
+"""Whole-query rewriting: Preference SQL block → standard SQL.
+
+The emitted query has the shape
+
+.. code-block:: sql
+
+    SELECT <items, quality functions inlined>
+    FROM <original sources>                          -- the candidate copy
+    WHERE <original WHERE>
+      AND <BUT ONLY threshold on the candidate>
+      AND NOT EXISTS (
+            SELECT 1 FROM <sources re-aliased>       -- the dominator copy
+            WHERE <original WHERE on the dominator>
+              AND <GROUPING equality, NULL-safe>
+              AND <BUT ONLY threshold on the dominator>
+              AND <dominance condition inner-better-than-outer>)
+
+which is the paper's selection method (section 3.2) inlined into a single
+self-contained statement: a tuple survives iff no threshold-satisfying
+tuple of the same GROUPING partition is strictly better.  Quality functions
+become rank expressions; LOWEST/HIGHEST/SCORE optima, which are candidate-
+set-dependent, become correlated ``SELECT MIN(...)`` sub-queries over a
+third aliased copy.
+
+Schema knowledge: the commercial optimizer read the host catalog; here an
+optional ``schema`` mapping (table name → column names) lets unqualified
+columns be attributed to their tables in multi-table queries.  Single-table
+queries — the paper's benchmark and application setting — need no schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.errors import PreferenceConstructionError, RewriteError
+from repro.model.algebra import normalize
+from repro.model.builder import NameResolver, build_preference
+from repro.model.categorical import ExplicitPreference, LayeredPreference
+from repro.model.preference import Preference, WeakOrderBase
+from repro.model.quality import QUALITY_FUNCTIONS, QualityResolver
+from repro.model.text import ContainsPreference
+from repro.rewrite.conditions import better_condition
+from repro.rewrite.levels import explicit_level_expression, rank_expression
+from repro.sql import ast
+
+Schema = Mapping[str, Sequence[str]]
+
+
+@dataclass
+class RewriteResult:
+    """Outcome of rewriting one statement."""
+
+    statement: ast.Statement
+    rewritten: bool
+    preference: Preference | None = None
+    notes: list[str] = field(default_factory=list)
+
+
+def rewrite_statement(
+    statement: ast.Statement,
+    schema: Schema | None = None,
+    resolver: NameResolver | None = None,
+) -> RewriteResult:
+    """Rewrite any statement; non-preference statements pass through."""
+    if isinstance(statement, ast.Select):
+        return rewrite_select(statement, schema=schema, resolver=resolver)
+    if isinstance(statement, ast.Insert) and statement.query is not None:
+        inner = rewrite_select(statement.query, schema=schema, resolver=resolver)
+        if not inner.rewritten:
+            return RewriteResult(statement=statement, rewritten=False)
+        rewritten = ast.Insert(
+            table=statement.table,
+            columns=statement.columns,
+            query=inner.statement,
+        )
+        return RewriteResult(
+            statement=rewritten,
+            rewritten=True,
+            preference=inner.preference,
+            notes=inner.notes,
+        )
+    return RewriteResult(statement=statement, rewritten=False)
+
+
+def rewrite_select(
+    select: ast.Select,
+    schema: Schema | None = None,
+    resolver: NameResolver | None = None,
+) -> RewriteResult:
+    """Rewrite one SELECT block.  Plain SQL queries pass through."""
+    if not select.is_preference_query:
+        return RewriteResult(statement=select, rewritten=False)
+    rewriter = _SelectRewriter(select, schema=schema, resolver=resolver)
+    return rewriter.run()
+
+
+class _SelectRewriter:
+    """One-shot rewriting context for a single preference SELECT."""
+
+    def __init__(
+        self,
+        select: ast.Select,
+        schema: Schema | None,
+        resolver: NameResolver | None,
+    ):
+        self._select = select
+        self._schema = {k.lower(): [c.lower() for c in v] for k, v in (schema or {}).items()}
+        self._resolver = resolver
+        self._notes: list[str] = []
+
+    def run(self) -> RewriteResult:
+        select = self._select
+        self._check_supported(select)
+
+        self._bindings = self._collect_bindings(select.sources)
+        self._inner_alias = self._fresh_aliases("d")
+        self._optimum_alias = self._fresh_aliases("m")
+
+        normalized_term = normalize(select.preferring)
+        if normalized_term != select.preferring:
+            self._notes.append("preference term simplified by algebra laws")
+            select = self._select = _replace_preferring(select, normalized_term)
+
+        preference = build_preference(select.preferring, resolver=self._resolver)
+        self._preference = preference
+        self._quality = QualityResolver(preference)
+
+        outer = self._make_qualifier({b: b for b, _t in self._bindings})
+        inner = self._make_qualifier(self._inner_alias)
+
+        conditions: list[ast.Expr] = []
+        if select.where is not None:
+            conditions.append(self._requalify(select.where, self._inner_alias))
+        for column in select.grouping:
+            conditions.append(self._grouping_equality(column, inner, outer))
+        if select.but_only is not None:
+            conditions.append(self._threshold("inner"))
+        conditions.append(better_condition(preference, inner, outer))
+
+        anti_join = ast.Exists(
+            query=ast.Select(
+                items=(ast.SelectItem(expr=ast.Literal(value=1)),),
+                sources=self._realias_sources(select.sources, self._inner_alias),
+                where=_conjoin(conditions),
+            ),
+            negated=True,
+        )
+
+        outer_conditions: list[ast.Expr] = []
+        if select.where is not None:
+            outer_conditions.append(select.where)
+        if select.but_only is not None:
+            outer_conditions.append(self._threshold("outer"))
+        outer_conditions.append(anti_join)
+
+        items = tuple(
+            item
+            if isinstance(item, ast.Star)
+            else ast.SelectItem(
+                expr=self._inline_quality(item.expr, "outer"),
+                alias=item.alias or self._quality_alias(item.expr),
+            )
+            for item in select.items
+        )
+        order_by = tuple(
+            ast.OrderItem(
+                expr=self._inline_quality(order_item.expr, "outer"),
+                descending=order_item.descending,
+            )
+            for order_item in select.order_by
+        )
+
+        rewritten = ast.Select(
+            items=items,
+            sources=select.sources,
+            where=_conjoin(outer_conditions),
+            order_by=order_by,
+            limit=select.limit,
+            offset=select.offset,
+            distinct=select.distinct,
+        )
+        return RewriteResult(
+            statement=rewritten,
+            rewritten=True,
+            preference=preference,
+            notes=self._notes,
+        )
+
+    # ------------------------------------------------------------------
+    # Validation and binding discovery
+
+    def _check_supported(self, select: ast.Select) -> None:
+        if select.group_by or select.having:
+            raise RewriteError(
+                "GROUP BY/HAVING cannot be combined with PREFERRING; use "
+                "GROUPING for soft partitions (paper section 2.2.5)"
+            )
+        for node in self._walk_everything(select):
+            if isinstance(node, ast.Param):
+                raise RewriteError(
+                    "preference queries must have parameters bound before "
+                    "rewriting (the driver literalises them)"
+                )
+
+    def _walk_everything(self, select: ast.Select):
+        for item in select.items:
+            if isinstance(item, ast.SelectItem):
+                yield from ast.walk_expr(item.expr)
+        for clause in (select.where, select.but_only, select.limit, select.offset):
+            if clause is not None:
+                yield from ast.walk_expr(clause)
+        for order_item in select.order_by:
+            yield from ast.walk_expr(order_item.expr)
+        if select.preferring is not None:
+            for term in ast.walk_pref(select.preferring):
+                for expr in _pref_expressions(term):
+                    yield from ast.walk_expr(expr)
+
+    def _collect_bindings(
+        self, sources: Sequence[ast.FromSource]
+    ) -> list[tuple[str, str]]:
+        bindings: list[tuple[str, str]] = []
+
+        def visit(source: ast.FromSource) -> None:
+            if isinstance(source, ast.TableRef):
+                bindings.append((source.binding, source.name))
+            elif isinstance(source, ast.Join):
+                visit(source.left)
+                visit(source.right)
+            else:
+                raise RewriteError(
+                    "derived tables in the FROM clause of a preference "
+                    "query are not supported by the rewriter"
+                )
+
+        for source in sources:
+            visit(source)
+        seen = set()
+        for binding, _table in bindings:
+            if binding.lower() in seen:
+                raise RewriteError(f"duplicate table binding {binding!r}")
+            seen.add(binding.lower())
+        return bindings
+
+    def _fresh_aliases(self, suffix: str) -> dict[str, str]:
+        taken = {binding.lower() for binding, _t in self._bindings}
+        aliases: dict[str, str] = {}
+        for binding, _table in self._bindings:
+            candidate = f"{binding}_{suffix}"
+            counter = 0
+            while candidate.lower() in taken:
+                counter += 1
+                candidate = f"{binding}_{suffix}{counter}"
+            taken.add(candidate.lower())
+            aliases[binding] = candidate
+        return aliases
+
+    # ------------------------------------------------------------------
+    # Column qualification
+
+    def _owner_of(self, column: ast.Column) -> str:
+        if column.table is not None:
+            for binding, _table in self._bindings:
+                if binding.lower() == column.table.lower():
+                    return binding
+            raise RewriteError(f"unknown table qualifier {column.table!r}")
+        if len(self._bindings) == 1:
+            return self._bindings[0][0]
+        owners = [
+            binding
+            for binding, table in self._bindings
+            if column.name.lower() in self._schema.get(table.lower(), ())
+        ]
+        if len(owners) == 1:
+            return owners[0]
+        if not owners:
+            raise RewriteError(
+                f"cannot attribute column {column.name!r} to a table; "
+                "qualify it or provide a schema"
+            )
+        raise RewriteError(
+            f"column {column.name!r} is ambiguous across: {', '.join(owners)}"
+        )
+
+    def _make_qualifier(self, alias_map: dict[str, str]):
+        def qualify(expr: ast.Expr) -> ast.Expr:
+            return self._requalify(expr, alias_map)
+
+        return qualify
+
+    def _requalify(self, expr: ast.Expr, alias_map: dict[str, str]) -> ast.Expr:
+        """Deep-rewrite column references into the given alias family."""
+        if isinstance(expr, ast.Column):
+            owner = self._owner_of(expr)
+            return ast.Column(name=expr.name, table=alias_map[owner])
+        if isinstance(expr, ast.Unary):
+            return ast.Unary(op=expr.op, operand=self._requalify(expr.operand, alias_map))
+        if isinstance(expr, ast.Binary):
+            return ast.Binary(
+                op=expr.op,
+                left=self._requalify(expr.left, alias_map),
+                right=self._requalify(expr.right, alias_map),
+            )
+        if isinstance(expr, ast.InList):
+            return ast.InList(
+                operand=self._requalify(expr.operand, alias_map),
+                items=tuple(self._requalify(item, alias_map) for item in expr.items),
+                negated=expr.negated,
+            )
+        if isinstance(expr, ast.BetweenExpr):
+            return ast.BetweenExpr(
+                operand=self._requalify(expr.operand, alias_map),
+                low=self._requalify(expr.low, alias_map),
+                high=self._requalify(expr.high, alias_map),
+                negated=expr.negated,
+            )
+        if isinstance(expr, ast.IsNull):
+            return ast.IsNull(
+                operand=self._requalify(expr.operand, alias_map), negated=expr.negated
+            )
+        if isinstance(expr, ast.FuncCall):
+            return ast.FuncCall(
+                name=expr.name,
+                args=tuple(self._requalify(arg, alias_map) for arg in expr.args),
+                star=expr.star,
+            )
+        if isinstance(expr, ast.CaseWhen):
+            return ast.CaseWhen(
+                branches=tuple(
+                    (
+                        self._requalify(condition, alias_map),
+                        self._requalify(value, alias_map),
+                    )
+                    for condition, value in expr.branches
+                ),
+                otherwise=(
+                    self._requalify(expr.otherwise, alias_map)
+                    if expr.otherwise is not None
+                    else None
+                ),
+            )
+        if isinstance(expr, (ast.Literal, ast.Param)):
+            return expr
+        raise RewriteError(
+            f"unsupported expression in a preference query: {type(expr).__name__}"
+        )
+
+    def _realias_sources(
+        self, sources: Sequence[ast.FromSource], alias_map: dict[str, str]
+    ) -> tuple[ast.FromSource, ...]:
+        def rebuild(source: ast.FromSource) -> ast.FromSource:
+            if isinstance(source, ast.TableRef):
+                return ast.TableRef(name=source.name, alias=alias_map[source.binding])
+            if isinstance(source, ast.Join):
+                return ast.Join(
+                    kind=source.kind,
+                    left=rebuild(source.left),
+                    right=rebuild(source.right),
+                    condition=(
+                        self._requalify(source.condition, alias_map)
+                        if source.condition is not None
+                        else None
+                    ),
+                )
+            raise RewriteError("derived tables are not supported")  # pragma: no cover
+
+        return tuple(rebuild(source) for source in sources)
+
+    # ------------------------------------------------------------------
+    # GROUPING and BUT ONLY
+
+    def _grouping_equality(self, column: ast.Column, inner, outer) -> ast.Expr:
+        inner_col = inner(column)
+        outer_col = outer(column)
+        equal = ast.Binary(op="=", left=inner_col, right=outer_col)
+        both_null = ast.Binary(
+            op="AND",
+            left=ast.IsNull(operand=inner_col),
+            right=ast.IsNull(operand=outer_col),
+        )
+        return ast.Binary(op="OR", left=equal, right=both_null)
+
+    def _threshold(self, family: str) -> ast.Expr:
+        return self._inline_quality(self._select.but_only, family)
+
+    # ------------------------------------------------------------------
+    # Quality functions
+
+    def _family_alias_map(self, family: str) -> dict[str, str]:
+        if family == "outer":
+            return {binding: binding for binding, _t in self._bindings}
+        if family == "inner":
+            return self._inner_alias
+        raise RewriteError(f"unknown alias family {family!r}")  # pragma: no cover
+
+    def _inline_quality(self, expr: ast.Expr, family: str) -> ast.Expr:
+        """Replace TOP/LEVEL/DISTANCE calls with rank expressions.
+
+        Only quality calls are replaced; other column references are left
+        as written (they are correct in the outer scope).  For the inner
+        family the *whole* expression is requalified afterwards, because
+        it moves into the NOT EXISTS sub-query.
+        """
+        mapping: dict[ast.Expr, ast.Expr] = {}
+        for node in ast.walk_expr(expr):
+            if (
+                isinstance(node, ast.FuncCall)
+                and node.name in QUALITY_FUNCTIONS
+                and node not in mapping
+            ):
+                if len(node.args) != 1:
+                    raise PreferenceConstructionError(
+                        f"{node.name} takes exactly one argument"
+                    )
+                mapping[node] = self._quality_sql(node.name, node.args[0], family)
+        if family == "inner":
+            # The expression moves into the NOT EXISTS sub-query: requalify
+            # its plain column references to the dominator aliases first,
+            # leaving quality calls intact, then substitute those.
+            return ast.substitute(self._requalify_skipping(expr, mapping), mapping)
+        return ast.substitute(expr, mapping) if mapping else expr
+
+    def _requalify_skipping(
+        self, expr: ast.Expr, mapping: dict[ast.Expr, ast.Expr]
+    ) -> ast.Expr:
+        """Requalify to the inner family but leave mapped nodes intact."""
+        if expr in mapping:
+            return expr
+        if isinstance(expr, ast.Column):
+            return self._requalify(expr, self._inner_alias)
+        if isinstance(expr, ast.Unary):
+            return ast.Unary(
+                op=expr.op, operand=self._requalify_skipping(expr.operand, mapping)
+            )
+        if isinstance(expr, ast.Binary):
+            return ast.Binary(
+                op=expr.op,
+                left=self._requalify_skipping(expr.left, mapping),
+                right=self._requalify_skipping(expr.right, mapping),
+            )
+        if isinstance(expr, ast.InList):
+            return ast.InList(
+                operand=self._requalify_skipping(expr.operand, mapping),
+                items=tuple(
+                    self._requalify_skipping(item, mapping) for item in expr.items
+                ),
+                negated=expr.negated,
+            )
+        if isinstance(expr, ast.BetweenExpr):
+            return ast.BetweenExpr(
+                operand=self._requalify_skipping(expr.operand, mapping),
+                low=self._requalify_skipping(expr.low, mapping),
+                high=self._requalify_skipping(expr.high, mapping),
+                negated=expr.negated,
+            )
+        if isinstance(expr, ast.IsNull):
+            return ast.IsNull(
+                operand=self._requalify_skipping(expr.operand, mapping),
+                negated=expr.negated,
+            )
+        if isinstance(expr, ast.FuncCall):
+            return ast.FuncCall(
+                name=expr.name,
+                args=tuple(
+                    self._requalify_skipping(arg, mapping) for arg in expr.args
+                ),
+                star=expr.star,
+            )
+        if isinstance(expr, ast.CaseWhen):
+            return ast.CaseWhen(
+                branches=tuple(
+                    (
+                        self._requalify_skipping(condition, mapping),
+                        self._requalify_skipping(value, mapping),
+                    )
+                    for condition, value in expr.branches
+                ),
+                otherwise=(
+                    self._requalify_skipping(expr.otherwise, mapping)
+                    if expr.otherwise is not None
+                    else None
+                ),
+            )
+        return expr
+
+    def _quality_sql(self, function: str, target: ast.Expr, family: str) -> ast.Expr:
+        resolved = self._quality.resolve(target)
+        base = resolved.base
+        qualify = self._make_qualifier(self._family_alias_map(family))
+
+        if function == "LEVEL":
+            if isinstance(base, LayeredPreference):
+                level = rank_expression(base, qualify)
+            elif isinstance(base, ExplicitPreference):
+                level = explicit_level_expression(base, qualify)
+            elif isinstance(base, ContainsPreference):
+                level = rank_expression(base, qualify)
+            else:
+                raise RewriteError(
+                    f"LEVEL is not defined for {base.kind} preferences"
+                )
+            return ast.Binary(op="+", left=level, right=ast.Literal(value=1))
+
+        if isinstance(base, LayeredPreference) or isinstance(
+            base, ExplicitPreference
+        ):
+            if function == "DISTANCE":
+                raise RewriteError(
+                    f"DISTANCE is not defined for {base.kind} preferences"
+                )
+            # TOP on layered/explicit: level 0 is the perfect match.
+            if isinstance(base, LayeredPreference):
+                level = rank_expression(base, qualify)
+            else:
+                level = explicit_level_expression(base, qualify)
+            return _boolean_case(
+                ast.Binary(op="=", left=level, right=ast.Literal(value=0))
+            )
+
+        if not isinstance(base, WeakOrderBase):
+            raise RewriteError(
+                f"{function} is not defined for {base.kind} preferences"
+            )  # pragma: no cover - all bases are weak orders or explicit
+
+        rank = rank_expression(base, qualify)
+        best: ast.Expr
+        if base.best_rank() is not None:
+            best = ast.Literal(value=base.best_rank())
+        else:
+            best = self._optimum_subquery(base, family)
+            self._notes.append(
+                f"{function}({_render(target)}) uses a candidate-set optimum "
+                "sub-query (data-dependent best value)"
+            )
+        if function == "DISTANCE":
+            if base.best_rank() == 0.0:
+                return rank
+            return ast.Binary(op="-", left=rank, right=best)
+        return _boolean_case(ast.Binary(op="=", left=rank, right=best))
+
+    def _optimum_subquery(self, base: Preference, family: str) -> ast.Expr:
+        """``(SELECT MIN(rank) FROM <sources as m> WHERE <W on m> AND
+        <same GROUPING partition as this row>)``."""
+        optimum_qualify = self._make_qualifier(self._optimum_alias)
+        family_qualify = self._make_qualifier(self._family_alias_map(family))
+        conditions: list[ast.Expr] = []
+        if self._select.where is not None:
+            conditions.append(
+                self._requalify(self._select.where, self._optimum_alias)
+            )
+        for column in self._select.grouping:
+            conditions.append(
+                self._grouping_equality(column, optimum_qualify, family_qualify)
+            )
+        rank = rank_expression(base, optimum_qualify)
+        return ast.ScalarSubquery(
+            query=ast.Select(
+                items=(
+                    ast.SelectItem(expr=ast.FuncCall(name="MIN", args=(rank,))),
+                ),
+                sources=self._realias_sources(
+                    self._select.sources, self._optimum_alias
+                ),
+                where=_conjoin(conditions) if conditions else None,
+            )
+        )
+
+    @staticmethod
+    def _quality_alias(expr: ast.Expr) -> str | None:
+        """Give bare quality-function items a stable, readable column name."""
+        if isinstance(expr, ast.FuncCall) and expr.name in QUALITY_FUNCTIONS:
+            return _render(expr)
+        return None
+
+
+# ----------------------------------------------------------------------
+# Small helpers
+
+
+def _replace_preferring(select: ast.Select, term: ast.PrefTerm) -> ast.Select:
+    return ast.Select(
+        items=select.items,
+        sources=select.sources,
+        where=select.where,
+        preferring=term,
+        grouping=select.grouping,
+        but_only=select.but_only,
+        group_by=select.group_by,
+        having=select.having,
+        order_by=select.order_by,
+        limit=select.limit,
+        offset=select.offset,
+        distinct=select.distinct,
+    )
+
+
+def _conjoin(parts: list[ast.Expr]) -> ast.Expr | None:
+    if not parts:
+        return None
+    result = parts[0]
+    for part in parts[1:]:
+        result = ast.Binary(op="AND", left=result, right=part)
+    return result
+
+
+def _boolean_case(condition: ast.Expr) -> ast.Expr:
+    return ast.CaseWhen(
+        branches=((condition, ast.Literal(value=1)),),
+        otherwise=ast.Literal(value=0),
+    )
+
+
+def _render(expr: ast.Expr) -> str:
+    from repro.sql.printer import to_sql
+
+    return to_sql(expr)
+
+
+def _pref_expressions(term: ast.PrefTerm):
+    """All scalar expressions inside one preference term node."""
+    if isinstance(term, ast.AroundPref):
+        yield term.operand
+        yield term.target
+    elif isinstance(term, ast.BetweenPref):
+        yield term.operand
+        yield term.low
+        yield term.high
+    elif isinstance(term, (ast.LowestPref, ast.HighestPref, ast.ScorePref)):
+        yield term.operand
+    elif isinstance(term, (ast.PosPref, ast.NegPref)):
+        yield term.operand
+        yield from term.values
+    elif isinstance(term, ast.ContainsPref):
+        yield term.operand
+        yield term.terms
+    elif isinstance(term, ast.ExplicitPref):
+        yield term.operand
+        for better, worse in term.pairs:
+            yield better
+            yield worse

@@ -1,0 +1,27 @@
+"""The Preference SQL dialect frontend.
+
+This package implements the textual surface of Preference SQL 1.3 as
+described in the paper and reconstructed from its examples:
+
+* :mod:`repro.sql.tokens` / :mod:`repro.sql.lexer` — tokenizer,
+* :mod:`repro.sql.ast` — expression, preference-term and statement nodes,
+* :mod:`repro.sql.parser` — recursive-descent parser for the query block
+  ``SELECT .. FROM .. WHERE .. PREFERRING .. GROUPING .. BUT ONLY ..
+  ORDER BY ..`` plus ``INSERT`` and the Preference Definition Language,
+* :mod:`repro.sql.printer` — AST back to SQL text (used by the rewriter and
+  by round-trip tests).
+"""
+
+from repro.sql.lexer import Lexer, tokenize
+from repro.sql.parser import Parser, parse_statement, parse_expression, parse_preferring
+from repro.sql.printer import to_sql
+
+__all__ = [
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse_statement",
+    "parse_expression",
+    "parse_preferring",
+    "to_sql",
+]

@@ -1,0 +1,193 @@
+"""COSIMA: the comparison-shopping meta-search of paper section 4.3.
+
+COSIMA gathered intermediate results from well-known e-shops (Amazon, BOL,
+...) via agents over the Internet, stored them in a temporary database
+running Preference SQL, and presented the Pareto-optimal choices through a
+speaking avatar.  The paper reports two quantitative observations that
+benchmark E4 reproduces:
+
+* the Pareto-optimal set size was "predominantly between 1 and 20",
+  yielding an easy-to-survey choice,
+* the whole meta-search took 1-2 s on average, *dominated by accessing the
+  participating e-shops* — Preference SQL added only a small overhead.
+
+Live shops are simulated: a master catalog with per-shop price/delivery
+jitter and a seeded virtual network latency per shop request (no real
+sleeping — latencies are accounted, not waited for).  The preference
+evaluation time is really measured.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.bmo import PreferenceEngine
+from repro.engine.relation import Relation
+
+_MEDIA = ("book", "audio cd", "dvd", "ebook")
+
+_CANDIDATE_COLUMNS = (
+    "item_id",
+    "title",
+    "medium",
+    "shop",
+    "price",
+    "delivery_days",
+    "rating",
+)
+
+
+@dataclass(frozen=True)
+class CatalogItem:
+    """One item of the master catalog shared by all shops."""
+
+    item_id: int
+    title: str
+    medium: str
+    list_price: float
+
+
+@dataclass
+class SimulatedShop:
+    """One participating e-shop with its own stock, prices and latency."""
+
+    name: str
+    seed: int
+    stock_fraction: float = 0.55
+    price_spread: float = 0.18
+    latency_mean: float = 0.9  # seconds, virtual
+    latency_spread: float = 0.35
+
+    def fetch(
+        self, catalog: list[CatalogItem], session_seed: int
+    ) -> tuple[list[tuple], float]:
+        """Return (result rows, simulated latency in seconds) for a query."""
+        rng = np.random.default_rng((self.seed, session_seed))
+        rows: list[tuple] = []
+        for item in catalog:
+            if rng.random() > self.stock_fraction:
+                continue
+            price = round(
+                float(item.list_price * np.clip(rng.normal(1.0, self.price_spread), 0.6, 1.6)),
+                2,
+            )
+            delivery = int(rng.integers(1, 15))
+            rating = int(rng.integers(1, 6))
+            rows.append(
+                (item.item_id, item.title, item.medium, self.name, price, delivery, rating)
+            )
+        latency = float(
+            np.clip(rng.normal(self.latency_mean, self.latency_spread), 0.2, 3.0)
+        )
+        return rows, latency
+
+
+def make_catalog(size: int = 120, seed: int = 7) -> list[CatalogItem]:
+    """A seeded master catalog of media products."""
+    rng = np.random.default_rng(seed)
+    catalog = []
+    for item_id in range(1, size + 1):
+        medium = _MEDIA[int(rng.integers(0, len(_MEDIA)))]
+        price = round(float(rng.uniform(5, 80)), 2)
+        catalog.append(
+            CatalogItem(
+                item_id=item_id,
+                title=f"title-{item_id:04d}",
+                medium=medium,
+                list_price=price,
+            )
+        )
+    return catalog
+
+
+def make_shops(count: int = 3, seed: int = 11) -> list[SimulatedShop]:
+    """A set of simulated e-shops with distinct stock and latency."""
+    rng = np.random.default_rng(seed)
+    names = ("amazonia", "bol-mart", "buchwelt", "mediahaus", "liber")
+    shops = []
+    for index in range(count):
+        shops.append(
+            SimulatedShop(
+                name=names[index % len(names)],
+                seed=int(rng.integers(0, 2**31)),
+                stock_fraction=float(rng.uniform(0.35, 0.75)),
+                latency_mean=float(rng.uniform(0.5, 1.4)),
+            )
+        )
+    return shops
+
+
+#: The preference families a COSIMA session draws from (2- and 3-way
+#: Pareto accumulations over price, delivery and rating).
+SESSION_PREFERENCES = (
+    "LOWEST(price) AND LOWEST(delivery_days)",
+    "LOWEST(price) AND HIGHEST(rating)",
+    "LOWEST(price) AND LOWEST(delivery_days) AND HIGHEST(rating)",
+    "price BETWEEN 10, 30 AND LOWEST(delivery_days)",
+    "LOWEST(price) AND LOWEST(delivery_days) AND medium = 'book'",
+)
+
+
+@dataclass
+class SessionResult:
+    """Observables of one meta-search session (paper section 4.3)."""
+
+    session: int
+    candidate_count: int
+    pareto_size: int
+    shop_seconds: float  # simulated: slowest shop (agents run in parallel)
+    preference_seconds: float  # measured: Preference SQL over the temp DB
+    preference_sql: str
+
+    @property
+    def total_seconds(self) -> float:
+        return self.shop_seconds + self.preference_seconds
+
+
+class MetaSearch:
+    """The COSIMA pipeline: gather → temporary database → Preference SQL."""
+
+    def __init__(
+        self,
+        shops: list[SimulatedShop] | None = None,
+        catalog: list[CatalogItem] | None = None,
+    ):
+        self.shops = shops if shops is not None else make_shops()
+        self.catalog = catalog if catalog is not None else make_catalog()
+
+    def run_session(self, session: int) -> SessionResult:
+        """Execute one comparison-shopping session."""
+        rng = np.random.default_rng(session)
+        rows: list[tuple] = []
+        latencies: list[float] = []
+        for shop in self.shops:
+            shop_rows, latency = shop.fetch(self.catalog, session)
+            rows.extend(shop_rows)
+            latencies.append(latency)
+
+        temporary = Relation(columns=_CANDIDATE_COLUMNS, rows=rows)
+        engine = PreferenceEngine({"offers": temporary})
+        preference = SESSION_PREFERENCES[
+            int(rng.integers(0, len(SESSION_PREFERENCES)))
+        ]
+        query = f"SELECT * FROM offers PREFERRING {preference}"
+
+        started = time.perf_counter()
+        result = engine.execute(query)
+        preference_seconds = time.perf_counter() - started
+
+        return SessionResult(
+            session=session,
+            candidate_count=len(temporary),
+            pareto_size=len(result),
+            shop_seconds=max(latencies) if latencies else 0.0,
+            preference_seconds=preference_seconds,
+            preference_sql=query,
+        )
+
+    def run_sessions(self, count: int = 100, start_seed: int = 1) -> list[SessionResult]:
+        """Run many sessions (deterministic per session index)."""
+        return [self.run_session(start_seed + index) for index in range(count)]

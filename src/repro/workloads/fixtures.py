@@ -1,0 +1,208 @@
+"""The paper's printed relations and small example catalogs.
+
+``oldtimer_relation`` and ``cars_relation`` are copied row-for-row from the
+paper (sections 2.2.3 and 3.2) — tests pin the exact published results
+against them.  The remaining catalogs (trips, apartments, programmers,
+hotels, computers, used cars) populate the queries the paper shows without
+printing data; their contents are chosen so each paper query has a
+non-trivial, hand-checkable answer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.relation import Relation
+
+
+def oldtimer_relation() -> Relation:
+    """The oldtimer car database of paper section 2.2.3 (verbatim)."""
+    return Relation(
+        columns=("ident", "color", "age"),
+        rows=[
+            ("Maggie", "white", 19),
+            ("Bart", "green", 19),
+            ("Homer", "yellow", 35),
+            ("Selma", "red", 40),
+            ("Smithers", "red", 43),
+            ("Skinner", "yellow", 51),
+        ],
+    )
+
+
+def cars_relation() -> Relation:
+    """The Cars relation of paper section 3.2 (verbatim)."""
+    return Relation(
+        columns=("Identifier", "Make", "Model", "Price", "Mileage", "Airbag", "Diesel"),
+        rows=[
+            (1, "Audi", "A6", 40000, 15000, "yes", "no"),
+            (2, "BMW", "5 series", 35000, 30000, "yes", "yes"),
+            (3, "Volkswagen", "Beetle", 20000, 10000, "yes", "no"),
+        ],
+    )
+
+
+def trips_relation() -> Relation:
+    """Trips for the AROUND/BUT ONLY examples (sections 2.2.1, 2.2.4).
+
+    ``start_day`` is the day of year; the paper's '1999/7/3' is day 184.
+    """
+    return Relation(
+        columns=("trip_id", "destination", "start_day", "duration", "price"),
+        rows=[
+            (1, "Crete", 170, 7, 890),
+            (2, "Crete", 183, 13, 1290),
+            (3, "Tuscany", 184, 10, 980),
+            (4, "Tuscany", 186, 15, 1480),
+            (5, "Norway", 190, 14, 1890),
+            (6, "Norway", 205, 21, 2390),
+            (7, "Iceland", 184, 14, 2690),
+            (8, "Provence", 150, 28, 1750),
+        ],
+    )
+
+
+def apartments_relation() -> Relation:
+    """Apartments for the HIGHEST(area) example (section 2.2.1)."""
+    return Relation(
+        columns=("apartment_id", "city", "area", "rooms", "rent"),
+        rows=[
+            (1, "Augsburg", 54, 2, 610),
+            (2, "Augsburg", 87, 3, 950),
+            (3, "Augsburg", 87, 4, 990),
+            (4, "Munich", 66, 2, 1190),
+            (5, "Munich", 103, 4, 1750),
+            (6, "Munich", 45, 1, 780),
+        ],
+    )
+
+
+def programmers_relation() -> Relation:
+    """Job applicants for the POS example (section 2.2.1)."""
+    return Relation(
+        columns=("applicant_id", "name", "exp", "years"),
+        rows=[
+            (1, "Arnold", "cobol", 22),
+            (2, "Berta", "java", 4),
+            (3, "Chris", "C++", 7),
+            (4, "Doris", "perl", 5),
+            (5, "Emil", "java", 2),
+            (6, "Frida", "fortran", 30),
+        ],
+    )
+
+
+def hotels_relation() -> Relation:
+    """Hotels for the NEG example (section 2.2.1)."""
+    return Relation(
+        columns=("hotel_id", "name", "location", "stars", "rate"),
+        rows=[
+            (1, "Central Plaza", "downtown", 4, 180),
+            (2, "Gartenhof", "suburb", 3, 95),
+            (3, "Airport Inn", "airport", 3, 110),
+            (4, "Altstadt Pension", "downtown", 2, 75),
+            (5, "Parkhotel", "park", 4, 150),
+        ],
+    )
+
+
+def computers_relation() -> Relation:
+    """Computers for the Pareto and CASCADE examples (section 2.2.2)."""
+    return Relation(
+        columns=("computer_id", "model", "main_memory", "cpu_speed", "color", "price"),
+        rows=[
+            (1, "Vectra", 256, 1000, "black", 1999),
+            (2, "Presario", 512, 800, "grey", 2199),
+            (3, "ThinkCentre", 512, 1000, "black", 2499),
+            (4, "PowerBox", 1024, 666, "brown", 2299),
+            (5, "OfficeLine", 128, 1200, "beige", 1799),
+            (6, "GamerRig", 1024, 1000, "green", 2999),
+        ],
+    )
+
+
+def used_cars_relation(rows: int = 400, seed: int = 1997) -> Relation:
+    """A used-car stock for the section 2.2.2 "Opel" complex query.
+
+    The distribution plants enough Opels across categories, colors, prices,
+    powers and mileages that every layer of the paper's nested preference
+    (POS/NEG on category, AROUND price Pareto HIGHEST power, CASCADE color,
+    CASCADE LOWEST mileage) actually discriminates.
+    """
+    rng = np.random.default_rng(seed)
+    makes = ("Opel", "BMW", "Audi", "Volkswagen", "Ford")
+    categories = ("roadster", "passenger", "van", "coupe", "estate")
+    colors = ("red", "black", "silver", "blue", "white")
+    data = []
+    for identifier in range(1, rows + 1):
+        make = makes[int(rng.integers(0, len(makes)))]
+        category = categories[int(rng.integers(0, len(categories)))]
+        color = colors[int(rng.integers(0, len(colors)))]
+        price = int(np.clip(rng.normal(40000, 12000), 5000, 90000) // 100 * 100)
+        power = int(np.clip(rng.normal(110, 40), 40, 300))
+        mileage = int(np.clip(rng.normal(60000, 30000), 0, 250000) // 500 * 500)
+        data.append((identifier, make, category, color, price, power, mileage))
+    return Relation(
+        columns=("car_id", "make", "category", "color", "price", "power", "mileage"),
+        rows=data,
+    )
+
+
+#: Fixture name → constructor, used by :func:`load_fixtures`.
+FIXTURES = {
+    "oldtimer": oldtimer_relation,
+    "cars": cars_relation,
+    "trips": trips_relation,
+    "apartments": apartments_relation,
+    "programmers": programmers_relation,
+    "hotels": hotels_relation,
+    "computers": computers_relation,
+    "car": used_cars_relation,  # the paper's section 2.2.2 query says FROM car
+}
+
+
+def load_fixtures(target, names: tuple[str, ...] | None = None) -> None:
+    """Load fixtures into a driver connection or a PreferenceEngine.
+
+    ``target`` is either a :class:`repro.driver.Connection` (tables are
+    created in sqlite) or a :class:`repro.engine.PreferenceEngine`
+    (relations are registered).
+    """
+    from repro.driver.dbapi import Connection
+    from repro.engine.bmo import PreferenceEngine
+
+    selected = names or tuple(FIXTURES)
+    for name in selected:
+        relation = FIXTURES[name]()
+        if isinstance(target, PreferenceEngine):
+            target.register(name, relation)
+        elif isinstance(target, Connection):
+            relation_to_sqlite(target, name, relation)
+        else:
+            raise TypeError(
+                "load_fixtures expects a repro Connection or PreferenceEngine"
+            )
+
+
+def relation_to_sqlite(connection, name: str, relation: Relation) -> None:
+    """Create and fill a sqlite table from an in-memory relation."""
+    column_defs = []
+    for position, column in enumerate(relation.columns):
+        sample = next(
+            (row[position] for row in relation.rows if row[position] is not None),
+            None,
+        )
+        if isinstance(sample, bool) or isinstance(sample, int):
+            sql_type = "INTEGER"
+        elif isinstance(sample, float):
+            sql_type = "REAL"
+        else:
+            sql_type = "TEXT"
+        column_defs.append(f"{column} {sql_type}")
+    connection.execute(f"DROP TABLE IF EXISTS {name}")
+    connection.execute(f"CREATE TABLE {name} ({', '.join(column_defs)})")
+    placeholders = ", ".join("?" for _ in relation.columns)
+    connection.cursor().executemany(
+        f"INSERT INTO {name} VALUES ({placeholders})", relation.rows
+    )
+    connection.commit()

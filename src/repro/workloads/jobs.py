@@ -1,0 +1,223 @@
+"""The job-search benchmark workload (paper section 3.3).
+
+The paper benchmarks against "one of the busiest Internet sites in
+Germany": a job search engine with nearly 1.4 million applicant profiles of
+74 attributes each, hosted on Informix.  That table is proprietary, so this
+module generates a deterministic synthetic stand-in with the same *shape*:
+
+* 74 attributes per profile (11 meaningful + 63 filler skill columns),
+* three planted pre-selection pools of exactly **300, 600 and 1000** rows
+  (the paper's controlled pre-selection result sizes), reachable through
+  realistic region+profession search-mask predicates,
+* two second-selection condition sets ("A" technical, "B" personal), each
+  with four conditions, translated three ways exactly as the paper
+  describes: (1) four conjunctive WHERE conditions, (2) four disjunctive
+  WHERE conditions, (3) four Pareto-accumulated PREFERRING conditions.
+
+Attribute distributions are tuned so the paper's motivating pathology
+appears: the conjunctive query returns (near-)empty results, the
+disjunctive query floods the user, and Preference SQL returns a small
+best-matches-only set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.engine.relation import Relation
+
+#: The three pre-selection pools: label → (region, profession, exact size).
+POOLS: dict[str, tuple[str, str, int]] = {
+    "300": ("muenchen", "informatiker", 300),
+    "600": ("stuttgart", "ingenieur", 600),
+    "1000": ("berlin", "kaufmann", 1000),
+}
+
+_REGIONS = (
+    "muenchen",
+    "stuttgart",
+    "berlin",
+    "hamburg",
+    "koeln",
+    "frankfurt",
+    "dresden",
+    "hannover",
+)
+_PROFESSIONS = (
+    "informatiker",
+    "ingenieur",
+    "kaufmann",
+    "techniker",
+    "berater",
+    "verwaltung",
+    "logistiker",
+    "redakteur",
+)
+_EDUCATIONS = ("hauptschule", "realschule", "abitur", "fachhochschule", "university")
+
+_FILLER_COUNT = 63
+
+#: All 74 column names, in table order.
+JOB_COLUMNS: tuple[str, ...] = (
+    "profile_id",
+    "region",
+    "profession",
+    "years_experience",
+    "education",
+    "english_skill",
+    "german_skill",
+    "salary_expectation",
+    "age",
+    "mobility",
+    "availability_weeks",
+) + tuple(f"skill_{i:02d}" for i in range(_FILLER_COUNT))
+
+
+def _generate_columns(n: int, seed: int) -> dict[str, np.ndarray]:
+    """Vectorised attribute generation for ``n`` profiles."""
+    rng = np.random.default_rng(seed)
+
+    region = rng.choice(_REGIONS, size=n)
+    profession = rng.choice(_PROFESSIONS, size=n)
+
+    # Break accidental pool membership, then plant the pools exactly.
+    for pool_region, pool_profession, _size in POOLS.values():
+        accidental = (region == pool_region) & (profession == pool_profession)
+        replacements = [p for p in _PROFESSIONS if p != pool_profession]
+        profession[accidental] = rng.choice(replacements, size=int(accidental.sum()))
+
+    offset = 0
+    order = rng.permutation(n)
+    for pool_region, pool_profession, size in POOLS.values():
+        planted = order[offset : offset + size]
+        if len(planted) < size:
+            raise ValueError(f"need at least {offset + size} rows for the pools")
+        region[planted] = pool_region
+        profession[planted] = pool_profession
+        offset += size
+
+    return {
+        "profile_id": np.arange(1, n + 1),
+        "region": region,
+        "profession": profession,
+        "years_experience": rng.integers(0, 31, size=n),
+        "education": rng.choice(_EDUCATIONS, size=n, p=(0.1, 0.25, 0.25, 0.2, 0.2)),
+        "english_skill": rng.integers(0, 6, size=n),
+        "german_skill": rng.integers(1, 6, size=n),
+        "salary_expectation": (rng.normal(52000, 14000, size=n).clip(18000, 120000) // 500 * 500).astype(int),
+        "age": rng.integers(18, 61, size=n),
+        "mobility": rng.choice(("yes", "no"), size=n, p=(0.4, 0.6)),
+        "availability_weeks": rng.integers(0, 27, size=n),
+        **{
+            f"skill_{i:02d}": rng.integers(0, 6, size=n)
+            for i in range(_FILLER_COUNT)
+        },
+    }
+
+
+def job_rows(n: int = 20_000, seed: int = 2001) -> Iterator[tuple]:
+    """Yield profile rows (74-wide tuples) without materialising them all."""
+    columns = _generate_columns(n, seed)
+    lists = [columns[name].tolist() for name in JOB_COLUMNS]
+    return zip(*lists)
+
+
+def jobs_relation(n: int = 20_000, seed: int = 2001) -> Relation:
+    """The synthetic profile table as an in-memory relation."""
+    return Relation(columns=JOB_COLUMNS, rows=job_rows(n, seed))
+
+
+def load_jobs(connection, n: int = 20_000, seed: int = 2001, table: str = "jobs") -> None:
+    """Create and bulk-load the profile table into a driver connection.
+
+    Builds the recommended indexes on the pre-selection attributes — the
+    paper's timings assume "having the right indices available".
+    """
+    text_columns = {"region", "profession", "education", "mobility"}
+    column_defs = ", ".join(
+        f"{name} {'TEXT' if name in text_columns else 'INTEGER'}"
+        for name in JOB_COLUMNS
+    )
+    connection.execute(f"DROP TABLE IF EXISTS {table}")
+    connection.execute(f"CREATE TABLE {table} ({column_defs})")
+    placeholders = ", ".join("?" for _ in JOB_COLUMNS)
+    connection.cursor().executemany(
+        f"INSERT INTO {table} VALUES ({placeholders})", job_rows(n, seed)
+    )
+    connection.execute(
+        f"CREATE INDEX IF NOT EXISTS {table}_preselect "
+        f"ON {table} (region, profession)"
+    )
+    connection.commit()
+
+
+# ----------------------------------------------------------------------
+# The three-way query family of section 3.3
+
+
+@dataclass(frozen=True)
+class JobsBenchmarkQueries:
+    """The three translations of one benchmark search (paper section 3.3)."""
+
+    pool: str
+    condition_set: str
+    conjunctive: str  # SQL solution 1: 4 conjunctive WHERE conditions
+    disjunctive: str  # SQL solution 2: 4 disjunctive WHERE conditions
+    preferring: str  # Preference SQL: 4 Pareto-accumulated conditions
+
+
+#: Second-selection condition sets: four (hard, soft) condition pairs each.
+CONDITION_SETS: dict[str, tuple[tuple[str, str], ...]] = {
+    "A": (
+        ("years_experience >= 10", "HIGHEST(years_experience)"),
+        ("education = 'university'", "education = 'university'"),
+        ("english_skill >= 4", "HIGHEST(english_skill)"),
+        ("salary_expectation <= 40000", "salary_expectation BETWEEN 0, 40000"),
+    ),
+    "B": (
+        ("age <= 30", "age BETWEEN 25, 30"),
+        ("german_skill = 5", "german_skill = 5"),
+        ("mobility = 'yes'", "mobility = 'yes'"),
+        ("availability_weeks <= 2", "LOWEST(availability_weeks)"),
+    ),
+}
+
+
+def benchmark_queries(
+    pool: str, condition_set: str, table: str = "jobs"
+) -> JobsBenchmarkQueries:
+    """Build the three queries for one (pool, condition set) cell.
+
+    The pre-selection is "turned into hard conditions in the WHERE clause
+    in any case"; the second selection differs per solution, exactly as the
+    paper specifies.
+    """
+    region, profession, _size = POOLS[pool]
+    preselection = f"region = '{region}' AND profession = '{profession}'"
+    pairs = CONDITION_SETS[condition_set]
+    hard = [hard_condition for hard_condition, _soft in pairs]
+    soft = [soft_condition for _hard, soft_condition in pairs]
+
+    conjunctive = (
+        f"SELECT * FROM {table} WHERE {preselection} AND "
+        + " AND ".join(hard)
+    )
+    disjunctive = (
+        f"SELECT * FROM {table} WHERE {preselection} AND ("
+        + " OR ".join(hard)
+        + ")"
+    )
+    preferring = (
+        f"SELECT * FROM {table} WHERE {preselection} PREFERRING "
+        + " AND ".join(soft)
+    )
+    return JobsBenchmarkQueries(
+        pool=pool,
+        condition_set=condition_set,
+        conjunctive=conjunctive,
+        disjunctive=disjunctive,
+        preferring=preferring,
+    )

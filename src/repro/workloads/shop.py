@@ -1,0 +1,108 @@
+"""The e-shop search-engine scenario of paper section 4.1.
+
+The paper shows a washing-machine search mask whose preference modelling is
+"invisibly hard-wired into the design of the search mask": the user fills
+in desired width, spin speed, consumption limits and a price range, and the
+shop generates a Preference SQL query — optionally extended with hidden
+*vendor preferences*.  This module provides the product catalog, the search
+mask dataclass and the mask → query generator ("dynamic Preference SQL").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.relation import Relation
+from repro.sql.printer import quote_string
+
+
+def washing_machines_relation(rows: int = 200, seed: int = 41) -> Relation:
+    """A seeded washing-machine catalog matching the section 4.1 mask."""
+    rng = np.random.default_rng(seed)
+    manufacturers = ("Aturi", "Miola", "Boschner", "Wasch AG", "Eletta")
+    widths = (45, 50, 55, 60, 65, 70)
+    spin_speeds = (800, 1000, 1200, 1400, 1600)
+    data = []
+    for machine_id in range(1, rows + 1):
+        manufacturer = manufacturers[int(rng.integers(0, len(manufacturers)))]
+        width = int(rng.choice(widths))
+        spinspeed = int(rng.choice(spin_speeds))
+        power = round(float(rng.uniform(0.6, 1.8)), 2)
+        water = int(rng.integers(35, 75))
+        price = int(np.clip(rng.normal(1750, 450), 600, 3200) // 10 * 10)
+        data.append(
+            (machine_id, manufacturer, width, spinspeed, power, water, price)
+        )
+    return Relation(
+        columns=(
+            "product_id",
+            "manufacturer",
+            "width",
+            "spinspeed",
+            "powerconsumption",
+            "waterconsumption",
+            "price",
+        ),
+        rows=data,
+    )
+
+
+@dataclass
+class SearchMask:
+    """One filled-in search mask (the paper's washing-machine form).
+
+    ``manufacturer`` is the only hard (knock-out) criterion; everything
+    else is a wish.  ``vendor_preferences`` lets the e-merchant append
+    hidden preferences "at his discretion" (paper section 4.1) — each entry
+    is a Preference SQL term cascaded after the customer's wishes.
+    """
+
+    manufacturer: str | None = None
+    width: int | None = None
+    spinspeed: int | None = None
+    max_powerconsumption: float | None = None
+    minimize_waterconsumption: bool = False
+    price_low: int | None = None
+    price_high: int | None = None
+    vendor_preferences: list[str] = field(default_factory=list)
+
+
+def mask_to_preference_sql(mask: SearchMask, table: str = "products") -> str:
+    """Generate the dynamic Preference SQL query for a filled-in mask.
+
+    Mirrors the paper's generated query: geometry wishes (width, spin
+    speed) are most important; consumption and price wishes are cascaded
+    behind them; vendor preferences come last.
+    """
+    geometry: list[str] = []
+    if mask.width is not None:
+        geometry.append(f"width AROUND {mask.width}")
+    if mask.spinspeed is not None:
+        geometry.append(f"spinspeed AROUND {mask.spinspeed}")
+
+    economy: list[str] = []
+    if mask.max_powerconsumption is not None:
+        economy.append(f"powerconsumption BETWEEN 0, {mask.max_powerconsumption}")
+    if mask.minimize_waterconsumption:
+        economy.append("LOWEST(waterconsumption)")
+    if mask.price_low is not None or mask.price_high is not None:
+        low = mask.price_low if mask.price_low is not None else 0
+        high = mask.price_high if mask.price_high is not None else 10**9
+        economy.append(f"price BETWEEN {low}, {high}")
+
+    cascade_layers = []
+    if geometry:
+        cascade_layers.append("(" + " AND ".join(geometry) + ")")
+    if economy:
+        cascade_layers.append("(" + " AND ".join(economy) + ")")
+    cascade_layers.extend(f"({term})" for term in mask.vendor_preferences)
+    if not cascade_layers:
+        raise ValueError("an empty search mask generates no preference query")
+
+    query = f"SELECT * FROM {table}"
+    if mask.manufacturer is not None:
+        query += f" WHERE manufacturer = {quote_string(mask.manufacturer)}"
+    query += " PREFERRING " + " CASCADE ".join(cascade_layers)
+    return query

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:  # editable-install fallback
+    sys.path.insert(0, str(SRC))
+
+import repro  # noqa: E402
+from repro.engine import PreferenceEngine  # noqa: E402
+from repro.workloads.fixtures import FIXTURES, load_fixtures  # noqa: E402
+
+
+@pytest.fixture
+def connection():
+    """A fresh in-memory driver connection."""
+    con = repro.connect(":memory:")
+    yield con
+    con.close()
+
+
+@pytest.fixture
+def fixture_connection():
+    """A driver connection with all paper fixtures loaded."""
+    con = repro.connect(":memory:")
+    load_fixtures(con)
+    yield con
+    con.close()
+
+
+@pytest.fixture
+def fixture_engine() -> PreferenceEngine:
+    """An in-memory engine with all paper fixtures registered."""
+    engine = PreferenceEngine()
+    for name, make in FIXTURES.items():
+        engine.register(name, make())
+    return engine

@@ -1,0 +1,175 @@
+"""The preference algebra: laws preserve the induced order."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.model.algebra import describe, normalize
+from repro.model.builder import build_preference
+from repro.sql import ast
+from repro.sql.parser import parse_preferring
+from repro.sql.printer import to_sql
+
+
+def norm(text: str) -> str:
+    return to_sql(normalize(parse_preferring(text)))
+
+
+class TestFlattening:
+    def test_nested_pareto_flattens(self):
+        assert norm("(LOWEST(a) AND LOWEST(b)) AND LOWEST(c)") == (
+            "LOWEST(a) AND LOWEST(b) AND LOWEST(c)"
+        )
+
+    def test_nested_cascade_flattens(self):
+        assert norm("(LOWEST(a) CASCADE LOWEST(b)) CASCADE LOWEST(c)") == (
+            "LOWEST(a) CASCADE LOWEST(b) CASCADE LOWEST(c)"
+        )
+
+    def test_mixed_nesting_preserved(self):
+        # Pareto inside cascade must NOT flatten across constructors.
+        normalized = norm("(LOWEST(a) AND LOWEST(b)) CASCADE LOWEST(c)")
+        assert normalized == "LOWEST(a) AND LOWEST(b) CASCADE LOWEST(c)"
+        term = normalize(
+            parse_preferring("(LOWEST(a) AND LOWEST(b)) CASCADE LOWEST(c)")
+        )
+        assert isinstance(term, ast.CascadePref)
+        assert isinstance(term.parts[0], ast.ParetoPref)
+
+    def test_deeply_nested_reaches_fixpoint(self):
+        text = "((LOWEST(a) AND (LOWEST(b) AND LOWEST(c))) AND LOWEST(d))"
+        assert norm(text) == "LOWEST(a) AND LOWEST(b) AND LOWEST(c) AND LOWEST(d)"
+
+
+class TestIdempotence:
+    def test_pareto_duplicates_collapse(self):
+        assert norm("LOWEST(a) AND LOWEST(a)") == "LOWEST(a)"
+
+    def test_pareto_distant_duplicates_collapse(self):
+        assert norm("LOWEST(a) AND LOWEST(b) AND LOWEST(a)") == (
+            "LOWEST(a) AND LOWEST(b)"
+        )
+
+    def test_cascade_adjacent_duplicates_collapse(self):
+        assert norm("LOWEST(a) CASCADE LOWEST(a) CASCADE LOWEST(b)") == (
+            "LOWEST(a) CASCADE LOWEST(b)"
+        )
+
+    def test_cascade_nonadjacent_duplicates_kept(self):
+        # Conservative: only adjacent cascade layers are provably dead.
+        assert norm("LOWEST(a) CASCADE LOWEST(b) CASCADE LOWEST(a)") == (
+            "LOWEST(a) CASCADE LOWEST(b) CASCADE LOWEST(a)"
+        )
+
+    def test_collapse_to_single_constituent(self):
+        assert norm("LOWEST(a) AND LOWEST(a) AND LOWEST(a)") == "LOWEST(a)"
+
+
+class TestElseFusion:
+    def test_chains_fuse(self):
+        term = ast.ElsePref(
+            parts=(
+                ast.ElsePref(
+                    parts=(
+                        ast.PosPref(operand=ast.Column(name="c"), values=(ast.Literal(value="a"),)),
+                        ast.PosPref(operand=ast.Column(name="c"), values=(ast.Literal(value="b"),)),
+                    )
+                ),
+                ast.PosPref(operand=ast.Column(name="c"), values=(ast.Literal(value="d"),)),
+            )
+        )
+        normalized = normalize(term)
+        assert isinstance(normalized, ast.ElsePref)
+        assert len(normalized.parts) == 3
+
+
+class TestOrderPreservation:
+    """Normalisation must not change the strict partial order."""
+
+    TERMS = [
+        "(LOWEST(a) AND LOWEST(b)) AND a AROUND 3",
+        "LOWEST(a) AND LOWEST(a)",
+        "(LOWEST(a) CASCADE LOWEST(b)) CASCADE LOWEST(a)",
+        "LOWEST(a) CASCADE LOWEST(a)",
+        "(b = 'red' ELSE b = 'blue') AND LOWEST(a)",
+    ]
+
+    @pytest.mark.parametrize("text", TERMS)
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_dominance_unchanged(self, text, data):
+        original = build_preference(parse_preferring(text))
+        simplified = build_preference(normalize(parse_preferring(text)))
+        values = st.one_of(
+            st.integers(-5, 5), st.sampled_from(["red", "blue", "x"]), st.none()
+        )
+        v_full = data.draw(st.tuples(*[values] * original.arity))
+        w_full = data.draw(st.tuples(*[values] * original.arity))
+        # Build a name -> value assignment so both preference shapes see
+        # the same tuple even when deduplication changed the arity.
+        def project(pref, source_pref, source):
+            assignment = {}
+            for expr, value in zip(source_pref.operands, source):
+                assignment.setdefault(expr, value)
+            return tuple(assignment[expr] for expr in pref.operands)
+
+        v_simplified = project(simplified, original, v_full)
+        w_simplified = project(simplified, original, w_full)
+        # Duplicated operands in the original must carry the same value
+        # for a fair comparison: rebuild the original vector through the
+        # same assignment.
+        v_original = project(original, original, v_full)
+        w_original = project(original, original, w_full)
+        assert original.is_better(v_original, w_original) == simplified.is_better(
+            v_simplified, w_simplified
+        )
+
+
+class TestDescribe:
+    def test_tree_rendering(self):
+        term = parse_preferring(
+            "(category = 'roadster' ELSE category <> 'passenger' AND "
+            "price AROUND 40000) CASCADE LOWEST(mileage)"
+        )
+        text = describe(term)
+        assert "CASCADE (ordered importance)" in text
+        assert "PARETO (equal importance)" in text
+        assert "LAYERED (ELSE chain)" in text
+        assert "LOWEST(mileage)" in text
+
+    def test_base_term_renders_as_sql(self):
+        assert describe(parse_preferring("price AROUND 7")) == "price AROUND 7"
+
+
+class TestDriverExplain:
+    def test_explain_preference_query(self, fixture_connection):
+        report = fixture_connection.explain(
+            "SELECT * FROM oldtimer PREFERRING color = 'white' AND age AROUND 40"
+        )
+        assert "preference tree" in report
+        assert "rewritten SQL" in report
+        assert "NOT EXISTS" in report
+        assert "host plan" in report
+
+    def test_explain_pass_through(self, fixture_connection):
+        report = fixture_connection.explain("SELECT * FROM oldtimer")
+        assert "pass-through" in report
+
+    def test_explain_catalog_statement(self, fixture_connection):
+        report = fixture_connection.explain(
+            "CREATE PREFERENCE p ON oldtimer AS LOWEST(age)"
+        )
+        assert "catalog" in report
+
+    def test_explain_notes_simplification(self, fixture_connection):
+        report = fixture_connection.explain(
+            "SELECT * FROM oldtimer PREFERRING LOWEST(age) AND LOWEST(age)"
+        )
+        assert "simplified by algebra laws" in report
+
+    def test_explain_does_not_execute(self, fixture_connection):
+        before = len(fixture_connection.trace)
+        fixture_connection.explain(
+            "SELECT * FROM oldtimer PREFERRING LOWEST(age)"
+        )
+        assert len(fixture_connection.trace) == before

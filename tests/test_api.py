@@ -1,0 +1,77 @@
+"""Public API surface: everything advertised in __all__ works."""
+
+import pytest
+
+import repro
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_version():
+    assert repro.__version__ == "1.3.0"
+
+
+def test_error_hierarchy():
+    from repro.errors import (
+        CatalogError,
+        DriverError,
+        EvaluationError,
+        LexerError,
+        NotAStrictPartialOrder,
+        ParseError,
+        PreferenceConstructionError,
+        PreferenceSQLError,
+        RewriteError,
+        UnsupportedPreferenceSQL,
+    )
+
+    for error_type in (
+        LexerError,
+        ParseError,
+        UnsupportedPreferenceSQL,
+        PreferenceConstructionError,
+        NotAStrictPartialOrder,
+        RewriteError,
+        EvaluationError,
+        CatalogError,
+        DriverError,
+    ):
+        assert issubclass(error_type, PreferenceSQLError)
+    assert issubclass(NotAStrictPartialOrder, PreferenceConstructionError)
+
+
+def test_one_import_end_to_end():
+    con = repro.connect(":memory:")
+    con.execute("CREATE TABLE t (x INTEGER)")
+    con.execute("INSERT INTO t VALUES (1), (5), (9)")
+    rows = con.execute("SELECT x FROM t PREFERRING x AROUND 4").fetchall()
+    assert rows == [(5,)]
+    con.close()
+
+
+def test_parse_and_print_from_top_level():
+    statement = repro.parse_statement("SELECT * FROM t PREFERRING LOWEST(x)")
+    assert "PREFERRING" in repro.to_sql(statement)
+
+
+def test_rewrite_from_top_level():
+    statement = repro.parse_statement("SELECT * FROM t PREFERRING LOWEST(x)")
+    result = repro.rewrite_statement(statement)
+    assert result.rewritten
+
+
+def test_build_preference_from_top_level():
+    preference = repro.build_preference(
+        repro.parse_preferring("LOWEST(a) AND HIGHEST(b)")
+    )
+    assert preference.kind == "PARETO"
+
+
+def test_engine_from_top_level():
+    engine = repro.PreferenceEngine(
+        {"t": repro.Relation(columns=("x",), rows=[(1,), (2,)])}
+    )
+    assert engine.execute("SELECT x FROM t PREFERRING LOWEST(x)").rows == [(1,)]

@@ -1,0 +1,153 @@
+"""Building preference objects from parsed PREFERRING clauses."""
+
+import pytest
+
+from repro.errors import PreferenceConstructionError
+from repro.model.builder import build_preference, literal_value
+from repro.model.categorical import ExplicitPreference, LayeredPreference
+from repro.model.composite import ParetoPreference, PrioritizationPreference
+from repro.model.numeric import (
+    AroundPreference,
+    BetweenPreference,
+    HighestPreference,
+    LowestPreference,
+    ScorePreference,
+)
+from repro.model.text import ContainsPreference
+from repro.sql import ast
+from repro.sql.parser import parse_preferring
+
+
+def build(text, resolver=None):
+    return build_preference(parse_preferring(text), resolver=resolver)
+
+
+class TestBaseTypes:
+    def test_around(self):
+        pref = build("duration AROUND 14")
+        assert isinstance(pref, AroundPreference)
+        assert pref.target == 14
+
+    def test_around_negative_target(self):
+        pref = build("t AROUND -5")
+        assert pref.target == -5
+
+    def test_between(self):
+        pref = build("price BETWEEN 1500, 2000")
+        assert isinstance(pref, BetweenPreference)
+        assert (pref.low, pref.high) == (1500, 2000)
+
+    def test_lowest_highest_score(self):
+        assert isinstance(build("LOWEST(m)"), LowestPreference)
+        assert isinstance(build("HIGHEST(m)"), HighestPreference)
+        assert isinstance(build("SCORE(m)"), ScorePreference)
+
+    def test_pos(self):
+        pref = build("exp IN ('java', 'C++')")
+        assert isinstance(pref, LayeredPreference)
+        assert pref.level(("java",)) == 0
+        assert pref.level(("perl",)) == 1
+
+    def test_neg(self):
+        pref = build("location <> 'downtown'")
+        assert pref.level(("downtown",)) == 1
+
+    def test_contains(self):
+        pref = build("description CONTAINS 'sea view'")
+        assert isinstance(pref, ContainsPreference)
+        assert pref.terms == ("sea", "view")
+
+    def test_contains_requires_string(self):
+        with pytest.raises(PreferenceConstructionError):
+            build("description CONTAINS 42")
+
+    def test_explicit(self):
+        pref = build("EXPLICIT(color, 'red' > 'blue')")
+        assert isinstance(pref, ExplicitPreference)
+        assert pref.is_better(("red",), ("blue",))
+
+    def test_numeric_values_in_pos(self):
+        pref = build("doors IN (3, 5)")
+        assert pref.level((5,)) == 0
+        assert pref.level((4,)) == 1
+
+
+class TestComposition:
+    def test_pareto(self):
+        pref = build("LOWEST(a) AND HIGHEST(b)")
+        assert isinstance(pref, ParetoPreference)
+        assert len(pref.children()) == 2
+
+    def test_cascade(self):
+        pref = build("LOWEST(a) CASCADE HIGHEST(b)")
+        assert isinstance(pref, PrioritizationPreference)
+
+    def test_flat_chains(self):
+        pref = build("LOWEST(a) AND LOWEST(b) AND LOWEST(c)")
+        assert len(pref.children()) == 3
+
+    def test_nested(self):
+        pref = build("(LOWEST(a) AND LOWEST(b)) CASCADE c = 'x'")
+        assert isinstance(pref, PrioritizationPreference)
+        assert isinstance(pref.children()[0], ParetoPreference)
+
+    def test_else_builds_single_layered(self):
+        pref = build("c = 'a' ELSE c = 'b'")
+        assert isinstance(pref, LayeredPreference)
+        assert len(pref.buckets) == 3
+
+
+class TestLiteralValue:
+    def test_plain(self):
+        assert literal_value(ast.Literal(value=7)) == 7
+
+    def test_negated(self):
+        expr = ast.Unary(op="-", operand=ast.Literal(value=7))
+        assert literal_value(expr) == -7
+
+    def test_unary_plus(self):
+        expr = ast.Unary(op="+", operand=ast.Literal(value=7))
+        assert literal_value(expr) == 7
+
+    def test_negating_string_rejected(self):
+        expr = ast.Unary(op="-", operand=ast.Literal(value="x"))
+        with pytest.raises(PreferenceConstructionError):
+            literal_value(expr)
+
+    def test_non_constant_rejected(self):
+        with pytest.raises(PreferenceConstructionError):
+            literal_value(ast.Column(name="x"))
+
+    def test_around_with_column_target_rejected(self):
+        with pytest.raises(PreferenceConstructionError):
+            build("a AROUND b")
+
+
+class TestNamedPreferences:
+    def test_resolution(self):
+        def resolver(name):
+            assert name == "cheap"
+            return parse_preferring("LOWEST(price)")
+
+        pref = build("PREFERENCE cheap", resolver=resolver)
+        assert isinstance(pref, LowestPreference)
+
+    def test_without_resolver_raises(self):
+        with pytest.raises(PreferenceConstructionError):
+            build("PREFERENCE cheap")
+
+    def test_named_inside_composition(self):
+        def resolver(name):
+            return parse_preferring("LOWEST(price)")
+
+        pref = build("PREFERENCE cheap AND HIGHEST(power)", resolver=resolver)
+        assert isinstance(pref, ParetoPreference)
+
+    def test_named_layered_inside_else(self):
+        def resolver(name):
+            return parse_preferring("color = 'red'")
+
+        pref = build("PREFERENCE reds ELSE color = 'blue'", resolver=resolver)
+        assert isinstance(pref, LayeredPreference)
+        assert pref.level(("red",)) == 0
+        assert pref.level(("blue",)) == 1

@@ -1,0 +1,24 @@
+"""The bench CLI (python -m repro.bench)."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+def test_single_experiment(capsys):
+    assert main(["e2", "--quick"]) == 0
+    output = capsys.readouterr().out
+    assert "E2" in output
+    assert "exact match: True" in output
+
+
+def test_e3_prints_script(capsys):
+    assert main(["e3", "--quick"]) == 0
+    output = capsys.readouterr().out
+    assert "CREATE VIEW Aux" in output
+    assert "NOT EXISTS" in output
+
+
+def test_unknown_experiment_raises():
+    with pytest.raises(KeyError):
+        main(["e99"])

@@ -1,0 +1,94 @@
+"""Compiled dominance comparators must match the generic semantics."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.engine.compiled import best_better, compile_better, generic_better
+from repro.model.builder import build_preference
+from repro.sql.parser import parse_preferring
+
+_values = st.one_of(
+    st.none(),
+    st.integers(-20, 20),
+    st.sampled_from(["red", "blue", "green", "black"]),
+)
+
+PREFERENCES = [
+    "LOWEST(a)",
+    "a AROUND 5",
+    "a BETWEEN 2, 8",
+    "a = 'red'",
+    "a <> 'red'",
+    "a = 'red' ELSE a = 'blue'",
+    "LOWEST(a) AND LOWEST(b)",
+    "LOWEST(a) AND HIGHEST(b) AND a AROUND 3",
+    "LOWEST(a) CASCADE HIGHEST(b)",
+    "a = 'red' CASCADE LOWEST(b)",
+    "(LOWEST(a) AND LOWEST(b)) CASCADE c = 'red'",
+    "LOWEST(a) CASCADE (LOWEST(b) AND LOWEST(c))",
+    "d CONTAINS 'red blue'",
+]
+
+
+@pytest.mark.parametrize("text", PREFERENCES)
+@given(data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_compiled_agrees_with_generic(text, data):
+    preference = build_preference(parse_preferring(text))
+    vectors = data.draw(
+        st.lists(
+            st.tuples(*[_values] * preference.arity), min_size=1, max_size=8
+        )
+    )
+    compiled = compile_better(preference, vectors)
+    assert compiled is not None, text
+    generic = generic_better(preference, vectors)
+    for i in range(len(vectors)):
+        for j in range(len(vectors)):
+            assert compiled(i, j) == generic(i, j), (text, vectors[i], vectors[j])
+
+
+def test_explicit_is_not_compilable():
+    preference = build_preference(
+        parse_preferring("EXPLICIT(a, 'red' > 'blue')")
+    )
+    assert compile_better(preference, [("red",), ("blue",)]) is None
+
+
+def test_explicit_falls_back_to_generic():
+    preference = build_preference(
+        parse_preferring("EXPLICIT(a, 'red' > 'blue') AND LOWEST(b)")
+    )
+    vectors = [("red", 1), ("blue", 1), ("blue", 0)]
+    better = best_better(preference, vectors)
+    assert better(0, 1)  # red dominates blue at equal b
+    assert not better(0, 2)  # incomparable: b is worse
+
+
+def test_compiled_is_actually_faster():
+    import time
+
+    preference = build_preference(
+        parse_preferring("LOWEST(a) AND LOWEST(b) AND LOWEST(c)")
+    )
+    import numpy as np
+
+    rng = np.random.default_rng(1)
+    vectors = [tuple(map(float, row)) for row in rng.random((400, 3))]
+
+    compiled = compile_better(preference, vectors)
+    generic = generic_better(preference, vectors)
+    pairs = [(i, j) for i in range(0, 400, 4) for j in range(0, 400, 4)]
+
+    started = time.perf_counter()
+    for i, j in pairs:
+        compiled(i, j)
+    compiled_time = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for i, j in pairs:
+        generic(i, j)
+    generic_time = time.perf_counter() - started
+
+    assert compiled_time < generic_time

@@ -1,0 +1,30 @@
+"""Every example script must run cleanly from a fresh interpreter state."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys, monkeypatch):
+    # job_search accepts argv; keep it small for the test run.
+    monkeypatch.setattr(sys, "argv", [str(script), "5000"])
+    runpy.run_path(str(script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script.name} printed nothing"
+
+
+def test_examples_exist():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "car_dealer",
+        "job_search",
+        "eshop_search",
+        "mobile_search",
+        "cosima_shopping",
+    } <= names

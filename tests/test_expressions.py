@@ -1,0 +1,208 @@
+"""Expression evaluator: SQL three-valued logic and value semantics."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.engine.expressions import Evaluator, RowEnvironment
+from repro.sql.parser import parse_expression
+
+
+def evaluate(text, params=(), **columns):
+    env = RowEnvironment.single("t", list(columns), list(columns.values()))
+    return Evaluator(params=params).evaluate(parse_expression(text), env)
+
+
+class TestArithmetic:
+    def test_basic(self):
+        assert evaluate("1 + 2 * 3") == 7
+        assert evaluate("(1 + 2) * 3") == 9
+        assert evaluate("10 - 4 - 3") == 3
+        assert evaluate("7 % 4") == 3.0
+
+    def test_integer_division_truncates_toward_zero(self):
+        assert evaluate("7 / 2") == 3
+        assert evaluate("-7 / 2") == -3
+
+    def test_float_division(self):
+        assert evaluate("7.0 / 2") == 3.5
+
+    def test_division_by_zero_is_null(self):
+        assert evaluate("1 / 0") is None
+        assert evaluate("1 % 0") is None
+
+    def test_unary_minus(self):
+        assert evaluate("-x", x=5) == -5
+
+    def test_null_propagates(self):
+        assert evaluate("x + 1", x=None) is None
+        assert evaluate("-x", x=None) is None
+
+    def test_concat(self):
+        assert evaluate("'a' || 'b'") == "ab"
+        assert evaluate("'a' || x", x=None) is None
+
+    def test_non_numeric_arithmetic_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate("'a' + 1")
+
+
+class TestComparisons:
+    def test_numbers(self):
+        assert evaluate("1 < 2") is True
+        assert evaluate("2 <= 2") is True
+        assert evaluate("3 = 3.0") is True
+        assert evaluate("3 <> 4") is True
+
+    def test_strings(self):
+        assert evaluate("'abc' < 'abd'") is True
+        assert evaluate("'a' = 'a'") is True
+
+    def test_null_comparison_is_unknown(self):
+        assert evaluate("x = 1", x=None) is None
+        assert evaluate("x <> 1", x=None) is None
+        assert evaluate("1 < x", x=None) is None
+
+    def test_numeric_string_coercion(self):
+        assert evaluate("x = 42", x="42") is True
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(EvaluationError):
+            evaluate("x < 1", x="abc")
+
+
+class TestThreeValuedLogic:
+    def test_and_truth_table(self):
+        assert evaluate("TRUE AND TRUE") is True
+        assert evaluate("TRUE AND FALSE") is False
+        assert evaluate("FALSE AND x = 1", x=None) is False  # short circuit
+        assert evaluate("TRUE AND x = 1", x=None) is None
+        assert evaluate("x = 1 AND FALSE", x=None) is False
+
+    def test_or_truth_table(self):
+        assert evaluate("FALSE OR TRUE") is True
+        assert evaluate("FALSE OR FALSE") is False
+        assert evaluate("TRUE OR x = 1", x=None) is True
+        assert evaluate("FALSE OR x = 1", x=None) is None
+
+    def test_not(self):
+        assert evaluate("NOT TRUE") is False
+        assert evaluate("NOT x = 1", x=None) is None
+
+    def test_is_true_rejects_unknown(self):
+        env = RowEnvironment.single("t", ["x"], [None])
+        evaluator = Evaluator()
+        assert evaluator.is_true(parse_expression("x = 1"), env) is False
+        assert evaluator.is_true(parse_expression("1 = 1"), env) is True
+
+
+class TestPredicates:
+    def test_in_list(self):
+        assert evaluate("2 IN (1, 2, 3)") is True
+        assert evaluate("5 IN (1, 2, 3)") is False
+        assert evaluate("5 NOT IN (1, 2, 3)") is True
+
+    def test_in_list_null_semantics(self):
+        assert evaluate("x IN (1, 2)", x=None) is None
+        assert evaluate("1 IN (1, x)", x=None) is True
+        assert evaluate("5 IN (1, x)", x=None) is None  # could be 5
+
+    def test_between(self):
+        assert evaluate("5 BETWEEN 1 AND 10") is True
+        assert evaluate("0 BETWEEN 1 AND 10") is False
+        assert evaluate("0 NOT BETWEEN 1 AND 10") is True
+        assert evaluate("x BETWEEN 1 AND 10", x=None) is None
+
+    def test_is_null(self):
+        assert evaluate("x IS NULL", x=None) is True
+        assert evaluate("x IS NULL", x=1) is False
+        assert evaluate("x IS NOT NULL", x=1) is True
+
+    def test_like(self):
+        assert evaluate("'Johnson' LIKE '%son'") is True
+        assert evaluate("'Johnson' LIKE 'J_hnson'") is True
+        assert evaluate("'Johnson' LIKE 'son'") is False
+        assert evaluate("'JOHNSON' LIKE '%son%'") is True  # case-insensitive
+        assert evaluate("x LIKE '%a%'", x=None) is None
+
+    def test_like_escapes_regex_chars(self):
+        assert evaluate("'a.c' LIKE 'a.c'") is True
+        assert evaluate("'abc' LIKE 'a.c'") is False
+
+    def test_case_when(self):
+        assert evaluate("CASE WHEN 1 = 1 THEN 'yes' ELSE 'no' END") == "yes"
+        assert evaluate("CASE WHEN 1 = 2 THEN 'yes' ELSE 'no' END") == "no"
+        assert evaluate("CASE WHEN 1 = 2 THEN 'yes' END") is None
+        assert evaluate("CASE WHEN x = 1 THEN 'a' WHEN x = 2 THEN 'b' END", x=2) == "b"
+
+    def test_case_unknown_condition_skips_branch(self):
+        assert evaluate("CASE WHEN x = 1 THEN 'a' ELSE 'b' END", x=None) == "b"
+
+
+class TestFunctions:
+    def test_abs(self):
+        assert evaluate("ABS(-5)") == 5
+        assert evaluate("ABS(x)", x=None) is None
+
+    def test_length_upper_lower(self):
+        assert evaluate("LENGTH('abc')") == 3
+        assert evaluate("UPPER('ab')") == "AB"
+        assert evaluate("LOWER('AB')") == "ab"
+
+    def test_round(self):
+        assert evaluate("ROUND(2.567, 1)") == 2.6
+        assert evaluate("ROUND(2.5)") == 2
+
+    def test_coalesce(self):
+        assert evaluate("COALESCE(x, 7)", x=None) == 7
+        assert evaluate("COALESCE(x, 7)", x=3) == 3
+
+    def test_scalar_min_max(self):
+        assert evaluate("MIN(3, 1, 2)") == 1
+        assert evaluate("MAX(3, 1, 2)") == 3
+        assert evaluate("MIN(3, x)", x=None) is None
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate("FROBNICATE(1)")
+
+    def test_quality_function_outside_preference_query_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate("LEVEL(x)", x=1)
+
+
+class TestEnvironment:
+    def test_qualified_lookup(self):
+        env = RowEnvironment.single("cars", ["price"], [100])
+        evaluator = Evaluator()
+        assert evaluator.evaluate(parse_expression("cars.price"), env) == 100
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate("nope")
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate("other.x", x=1)
+
+    def test_ambiguous_column_raises(self):
+        env = RowEnvironment.single("a", ["x"], [1]).merged(
+            RowEnvironment.single("b", ["x"], [2])
+        )
+        with pytest.raises(EvaluationError):
+            Evaluator().evaluate(parse_expression("x"), env)
+
+    def test_merged_duplicate_binding_raises(self):
+        env = RowEnvironment.single("a", ["x"], [1])
+        with pytest.raises(EvaluationError):
+            env.merged(RowEnvironment.single("a", ["y"], [2]))
+
+    def test_params(self):
+        assert evaluate("? + ?", params=(1, 2)) == 3
+
+    def test_missing_param_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate("?", params=())
+
+    def test_subquery_without_executor_raises(self):
+        with pytest.raises(EvaluationError):
+            evaluate("EXISTS (SELECT 1 FROM t)")

@@ -1,0 +1,157 @@
+"""Cross-cutting integration cases not covered by the per-module suites."""
+
+import pytest
+
+import repro
+from repro.engine import PreferenceEngine, Relation
+from repro.workloads.fixtures import relation_to_sqlite
+
+
+def both_paths(relation: Relation, table: str, query: str):
+    engine = PreferenceEngine({table: relation})
+    engine_rows = sorted(engine.execute(query).rows, key=repr)
+    con = repro.connect(":memory:")
+    try:
+        relation_to_sqlite(con, table, relation)
+        sqlite_rows = sorted(con.execute(query).fetchall(), key=repr)
+    finally:
+        con.close()
+    return engine_rows, sqlite_rows
+
+
+class TestCrossAttributeElse:
+    def test_both_paths_agree(self):
+        relation = Relation(
+            columns=("id", "color", "category"),
+            rows=[
+                (1, "red", "sedan"),
+                (2, "blue", "van"),
+                (3, "blue", "sedan"),
+                (4, None, None),
+            ],
+        )
+        query = (
+            "SELECT id FROM items PREFERRING color = 'red' ELSE category = 'van'"
+        )
+        engine_rows, sqlite_rows = both_paths(relation, "items", query)
+        assert engine_rows == sqlite_rows == [(1,)]
+
+
+class TestTopInButOnly:
+    def test_top_threshold(self):
+        relation = Relation(
+            columns=("id", "price"),
+            rows=[(1, 100), (2, 150), (3, 100)],
+        )
+        # Keep only perfect price matches; both 100s are perfect.
+        query = (
+            "SELECT id FROM items PREFERRING price AROUND 100 "
+            "BUT ONLY TOP(price) = 1"
+        )
+        engine_rows, sqlite_rows = both_paths(relation, "items", query)
+        assert engine_rows == sqlite_rows == [(1,), (3,)]
+
+    def test_top_threshold_can_empty_the_answer(self):
+        relation = Relation(columns=("id", "price"), rows=[(1, 120), (2, 150)])
+        query = (
+            "SELECT id FROM items PREFERRING price AROUND 100 "
+            "BUT ONLY TOP(price) = 1"
+        )
+        engine_rows, sqlite_rows = both_paths(relation, "items", query)
+        assert engine_rows == sqlite_rows == []
+
+
+class TestContainsDifferential:
+    def test_mixed_case_and_null(self):
+        relation = Relation(
+            columns=("id", "text"),
+            rows=[
+                (1, "Quiet ROOM with Balcony"),
+                (2, "room with balcony"),
+                (3, None),
+                (4, "plain room"),
+            ],
+        )
+        query = "SELECT id FROM items PREFERRING text CONTAINS 'quiet balcony'"
+        engine_rows, sqlite_rows = both_paths(relation, "items", query)
+        assert engine_rows == sqlite_rows == [(1,)]
+
+
+class TestQualityInOrderBy:
+    def test_order_by_distance(self, fixture_connection):
+        rows = fixture_connection.execute(
+            "SELECT ident, DISTANCE(age) FROM oldtimer "
+            "PREFERRING color = 'red' ELSE color = 'yellow' AND age AROUND 30 "
+            "ORDER BY DISTANCE(age) DESC"
+        ).fetchall()
+        distances = [row[1] for row in rows]
+        assert distances == sorted(distances, reverse=True)
+
+    def test_engine_order_by_quality(self, fixture_engine):
+        result = fixture_engine.execute(
+            "SELECT ident, DISTANCE(age) FROM oldtimer "
+            "PREFERRING color = 'red' ELSE color = 'yellow' AND age AROUND 30 "
+            "ORDER BY DISTANCE(age) DESC"
+        )
+        distances = [row[1] for row in result.rows]
+        assert distances == sorted(distances, reverse=True)
+
+
+class TestEngineInsertColumnSubset:
+    def test_insert_with_column_list_fills_nulls(self):
+        engine = PreferenceEngine(
+            {"t": Relation(columns=("a", "b", "c"))}
+        )
+        engine.execute("INSERT INTO t (c, a) VALUES (3, 1)")
+        assert engine.relation("t").rows == [(1, None, 3)]
+
+    def test_width_mismatch_raises(self):
+        from repro.errors import EvaluationError
+
+        engine = PreferenceEngine({"t": Relation(columns=("a", "b"))})
+        with pytest.raises(EvaluationError):
+            engine.execute("INSERT INTO t (a) VALUES (1, 2)")
+
+
+class TestBetweenPreferenceOnSqlite:
+    def test_interval_semantics(self):
+        relation = Relation(
+            columns=("id", "price"),
+            rows=[(1, 1400), (2, 1700), (3, 2100), (4, 2050), (5, None)],
+        )
+        query = "SELECT id FROM items PREFERRING price BETWEEN 1500, 2000"
+        engine_rows, sqlite_rows = both_paths(relation, "items", query)
+        assert engine_rows == sqlite_rows == [(2,)]
+
+    def test_outside_interval_closest_wins(self):
+        relation = Relation(
+            columns=("id", "price"),
+            rows=[(1, 1400), (2, 2100), (3, 1000)],
+        )
+        query = "SELECT id FROM items PREFERRING price BETWEEN 1500, 2000"
+        engine_rows, sqlite_rows = both_paths(relation, "items", query)
+        # distances: 100, 100, 500 -> the two 100s tie as best matches.
+        assert engine_rows == sqlite_rows == [(1,), (2,)]
+
+
+class TestCascadeDeepNesting:
+    def test_three_level_cascade_with_pareto_groups(self):
+        relation = Relation(
+            columns=("id", "a", "b", "c", "d"),
+            rows=[
+                (1, 1, 9, 5, 5),
+                (2, 1, 9, 5, 4),
+                (3, 1, 9, 4, 9),
+                (4, 0, 9, 9, 9),
+                (5, 1, 8, 0, 0),
+            ],
+        )
+        query = (
+            "SELECT id FROM items "
+            "PREFERRING (LOWEST(a) AND LOWEST(b)) CASCADE LOWEST(c) CASCADE LOWEST(d)"
+        )
+        engine_rows, sqlite_rows = both_paths(relation, "items", query)
+        assert engine_rows == sqlite_rows
+        # Row 5 (1, 8) Pareto-dominates rows 1-3 (1, 9); row 4 (0, 9) is
+        # incomparable to row 5, so the cascade never reaches c/d for them.
+        assert engine_rows == [(4,), (5,)]

@@ -1,0 +1,185 @@
+"""Layered (POS/NEG/ELSE) and EXPLICIT preference semantics."""
+
+import pytest
+
+from repro.errors import NotAStrictPartialOrder, PreferenceConstructionError
+from repro.model.categorical import OTHERS, ExplicitPreference, LayeredPreference, neg, pos
+from repro.model.builder import build_preference
+from repro.sql import ast
+from repro.sql.parser import parse_preferring
+
+COL = ast.Column(name="color")
+
+
+class TestPos:
+    def test_members_are_level_zero(self):
+        pref = pos(COL, {"java", "C++"})
+        assert pref.level(("java",)) == 0
+        assert pref.level(("C++",)) == 0
+        assert pref.level(("perl",)) == 1
+
+    def test_dominance(self):
+        pref = pos(COL, {"java"})
+        assert pref.is_better(("java",), ("perl",))
+        assert not pref.is_better(("perl",), ("java",))
+        assert pref.is_equal(("perl",), ("cobol",))
+
+    def test_null_falls_into_others(self):
+        pref = pos(COL, {"java"})
+        assert pref.level((None,)) == 1
+
+
+class TestNeg:
+    def test_disliked_values_are_worst(self):
+        pref = neg(COL, {"downtown"})
+        assert pref.level(("suburb",)) == 0
+        assert pref.level(("downtown",)) == 1
+        assert pref.is_better(("suburb",), ("downtown",))
+
+    def test_null_is_not_disliked(self):
+        # NULL equals nothing in SQL, so it cannot match the NEG set;
+        # it lands in OTHERS, which for NEG is the *good* layer.
+        pref = neg(COL, {"downtown"})
+        assert pref.level((None,)) == 0
+
+
+class TestElseComposition:
+    def test_pos_pos(self):
+        pref = build_preference(parse_preferring("color = 'white' ELSE color = 'yellow'"))
+        assert isinstance(pref, LayeredPreference)
+        assert pref.level(("white",)) == 0
+        assert pref.level(("yellow",)) == 1
+        assert pref.level(("red",)) == 2
+
+    def test_pos_neg(self):
+        pref = build_preference(
+            parse_preferring("category = 'roadster' ELSE category <> 'passenger'")
+        )
+        assert pref.level(("roadster",)) == 0
+        assert pref.level(("van",)) == 1
+        assert pref.level(("passenger",)) == 2
+
+    def test_neg_pos(self):
+        pref = build_preference(
+            parse_preferring("a <> 'bad' ELSE a = 'good'")
+        )
+        # avoid 'bad' above all; among the rest prefer 'good'
+        assert pref.level(("good",)) == 0
+        assert pref.level(("other",)) == 1
+        assert pref.level(("bad",)) == 2
+
+    def test_three_way_chain(self):
+        pref = build_preference(
+            parse_preferring("c = 'a' ELSE c = 'b' ELSE c = 'd'")
+        )
+        assert pref.level(("a",)) == 0
+        assert pref.level(("b",)) == 1
+        assert pref.level(("d",)) == 2
+        assert pref.level(("z",)) == 3
+
+    def test_cross_attribute_chain(self):
+        pref = build_preference(
+            parse_preferring("color = 'red' ELSE brand = 'BMW'")
+        )
+        assert pref.arity == 2
+        assert pref.level(("red", "Audi")) == 0
+        assert pref.level(("blue", "BMW")) == 1
+        assert pref.level(("blue", "Audi")) == 2
+
+    def test_value_in_both_layers_takes_first(self):
+        pref = build_preference(
+            parse_preferring("c IN ('a', 'b') ELSE c IN ('b', 'd')")
+        )
+        assert pref.level(("b",)) == 0
+
+    def test_else_rejects_numeric_preferences(self):
+        with pytest.raises(PreferenceConstructionError):
+            build_preference(parse_preferring("LOWEST(a) ELSE a = 1"))
+
+
+class TestLayeredValidation:
+    def test_needs_exactly_one_others(self):
+        with pytest.raises(PreferenceConstructionError):
+            LayeredPreference([COL], [(0, frozenset({"a"}))])
+        with pytest.raises(PreferenceConstructionError):
+            LayeredPreference([COL], [OTHERS, OTHERS])
+
+    def test_rejects_empty_bucket(self):
+        with pytest.raises(PreferenceConstructionError):
+            LayeredPreference([COL], [(0, frozenset()), OTHERS])
+
+    def test_rejects_bad_operand_index(self):
+        with pytest.raises(PreferenceConstructionError):
+            LayeredPreference([COL], [(1, frozenset({"a"})), OTHERS])
+
+    def test_rejects_missing_operand(self):
+        with pytest.raises(PreferenceConstructionError):
+            LayeredPreference([], [OTHERS])
+
+
+class TestExplicit:
+    def make(self):
+        return ExplicitPreference(
+            COL, [("red", "blue"), ("blue", "green"), ("red", "black")]
+        )
+
+    def test_direct_pairs(self):
+        pref = self.make()
+        assert pref.is_better(("red",), ("blue",))
+        assert pref.is_better(("red",), ("black",))
+
+    def test_transitive_closure(self):
+        pref = self.make()
+        assert pref.is_better(("red",), ("green",))
+
+    def test_asymmetry(self):
+        pref = self.make()
+        assert not pref.is_better(("green",), ("red",))
+
+    def test_unmentioned_values_incomparable(self):
+        pref = self.make()
+        assert not pref.is_better(("red",), ("purple",))
+        assert not pref.is_better(("purple",), ("green",))
+
+    def test_equality_is_value_identity(self):
+        pref = self.make()
+        assert pref.is_equal(("purple",), ("purple",))
+        assert not pref.is_equal(("red",), ("blue",))
+
+    def test_null_never_equal(self):
+        pref = self.make()
+        assert not pref.is_equal((None,), (None,))
+        assert not pref.is_better((None,), ("green",))
+
+    def test_levels_follow_dag_depth(self):
+        pref = self.make()
+        assert pref.level("red") == 0
+        assert pref.level("blue") == 1
+        assert pref.level("black") == 1
+        assert pref.level("green") == 2
+        assert pref.level("purple") == 3  # unmentioned: worst + 1
+
+    def test_cycle_rejected(self):
+        with pytest.raises(NotAStrictPartialOrder):
+            ExplicitPreference(COL, [("a", "b"), ("b", "a")])
+
+    def test_long_cycle_rejected(self):
+        with pytest.raises(NotAStrictPartialOrder):
+            ExplicitPreference(COL, [("a", "b"), ("b", "c"), ("c", "a")])
+
+    def test_reflexive_pair_rejected(self):
+        with pytest.raises(NotAStrictPartialOrder):
+            ExplicitPreference(COL, [("a", "a")])
+
+    def test_empty_pairs_rejected(self):
+        with pytest.raises(PreferenceConstructionError):
+            ExplicitPreference(COL, [])
+
+    def test_closure_pairs_exposed(self):
+        pref = self.make()
+        assert ("red", "green") in pref.closure_pairs
+
+    def test_depth_map_and_max_depth(self):
+        pref = self.make()
+        assert pref.depth_map["red"] == 0
+        assert pref.max_depth == 2

@@ -1,0 +1,148 @@
+"""Pareto accumulation and prioritisation (cascade) semantics."""
+
+import pytest
+
+from repro.errors import PreferenceConstructionError
+from repro.model.categorical import pos
+from repro.model.composite import ParetoPreference, PrioritizationPreference
+from repro.model.numeric import AroundPreference, HighestPreference, LowestPreference
+from repro.sql import ast
+
+A = ast.Column(name="a")
+B = ast.Column(name="b")
+C = ast.Column(name="c")
+
+
+def pareto_ab():
+    return ParetoPreference([LowestPreference(A), LowestPreference(B)])
+
+
+class TestPareto:
+    def test_paper_definition_strict_dominance(self):
+        # v better iff better somewhere, not worse anywhere.
+        pref = pareto_ab()
+        assert pref.is_better((1, 1), (2, 2))
+        assert pref.is_better((1, 2), (2, 2))
+        assert pref.is_better((1, 2), (1, 3))
+
+    def test_incomparable_vectors(self):
+        pref = pareto_ab()
+        assert not pref.is_better((1, 3), (2, 2))
+        assert not pref.is_better((2, 2), (1, 3))
+
+    def test_equal_vectors(self):
+        pref = pareto_ab()
+        assert pref.is_equal((1, 2), (1, 2))
+        assert not pref.is_better((1, 2), (1, 2))
+
+    def test_cars_example_from_paper(self):
+        # Section 3.2: Make='Audi' AND Diesel='yes' over three cars.
+        make = pos(ast.Column(name="Make"), {"Audi"})
+        diesel = pos(ast.Column(name="Diesel"), {"yes"})
+        pref = ParetoPreference([make, diesel])
+        audi = ("Audi", "no")
+        bmw = ("BMW", "yes")
+        vw = ("Volkswagen", "no")
+        assert not pref.is_better(audi, bmw)
+        assert not pref.is_better(bmw, audi)
+        assert pref.is_better(bmw, vw)
+        assert pref.is_better(audi, vw)
+
+    def test_three_way(self):
+        pref = ParetoPreference(
+            [LowestPreference(A), LowestPreference(B), LowestPreference(C)]
+        )
+        assert pref.is_better((1, 1, 1), (1, 1, 2))
+        assert not pref.is_better((1, 1, 2), (1, 2, 1))
+
+    def test_mixed_base_types(self):
+        pref = ParetoPreference([AroundPreference(A, 40), HighestPreference(B)])
+        # distances: |35-40|=5 vs |19-40|=21; powers 100 vs 50
+        assert pref.is_better((35, 100), (19, 50))
+        assert not pref.is_better((35, 50), (19, 100))
+
+    def test_operand_concatenation(self):
+        pref = pareto_ab()
+        assert pref.operands == (A, B)
+        assert pref.arity == 2
+
+    def test_nested_pareto(self):
+        inner = pareto_ab()
+        pref = ParetoPreference([inner, LowestPreference(C)])
+        assert pref.arity == 3
+        assert pref.is_better((1, 1, 1), (2, 2, 2))
+        assert not pref.is_better((1, 2, 1), (2, 1, 1))
+
+    def test_needs_two_parts(self):
+        with pytest.raises(PreferenceConstructionError):
+            ParetoPreference([LowestPreference(A)])
+
+
+class TestPrioritization:
+    def make(self):
+        return PrioritizationPreference([LowestPreference(A), LowestPreference(B)])
+
+    def test_first_preference_decides(self):
+        pref = self.make()
+        assert pref.is_better((1, 99), (2, 0))
+
+    def test_tie_broken_by_second(self):
+        pref = self.make()
+        assert pref.is_better((1, 1), (1, 2))
+        assert not pref.is_better((1, 2), (1, 1))
+
+    def test_full_tie_is_equal(self):
+        pref = self.make()
+        assert pref.is_equal((1, 2), (1, 2))
+        assert not pref.is_better((1, 2), (1, 2))
+
+    def test_three_levels(self):
+        pref = PrioritizationPreference(
+            [LowestPreference(A), LowestPreference(B), LowestPreference(C)]
+        )
+        assert pref.is_better((1, 1, 5), (1, 1, 6))
+        assert pref.is_better((1, 0, 9), (1, 1, 0))
+
+    def test_cascade_of_pareto(self):
+        # (LOWEST(a) AND LOWEST(b)) CASCADE LOWEST(c)
+        pref = PrioritizationPreference([pareto_ab(), LowestPreference(C)])
+        # Pareto-incomparable on (a, b): the cascade must NOT fall through
+        # to c — incomparable is not equal.
+        assert not pref.is_better((1, 3, 0), (2, 2, 9))
+        # Pareto-equal on (a, b): c decides.
+        assert pref.is_better((1, 2, 0), (1, 2, 9))
+
+    def test_computers_example_from_paper(self):
+        # HIGHEST(main_memory) CASCADE color IN ('black','brown')
+        pref = PrioritizationPreference(
+            [
+                HighestPreference(ast.Column(name="main_memory")),
+                pos(ast.Column(name="color"), {"black", "brown"}),
+            ]
+        )
+        assert pref.is_better((1024, "green"), (512, "black"))
+        assert pref.is_better((1024, "brown"), (1024, "green"))
+        assert pref.is_equal((1024, "brown"), (1024, "black"))
+
+    def test_needs_two_parts(self):
+        with pytest.raises(PreferenceConstructionError):
+            PrioritizationPreference([LowestPreference(A)])
+
+
+class TestTreeHelpers:
+    def test_iter_base_in_order(self):
+        pref = PrioritizationPreference(
+            [pareto_ab(), LowestPreference(C)]
+        )
+        kinds = [base.kind for base in pref.iter_base()]
+        assert kinds == ["LOWEST", "LOWEST", "LOWEST"]
+        operands = [base.operands[0] for base in pref.iter_base()]
+        assert operands == [A, B, C]
+
+    def test_component_vectors(self):
+        pref = PrioritizationPreference([pareto_ab(), LowestPreference(C)])
+        assert pref.component_vectors((1, 2, 3)) == [(1, 2), (3,)]
+
+    def test_children(self):
+        pref = pareto_ab()
+        assert len(pref.children()) == 2

@@ -1,0 +1,190 @@
+"""Property-based tests: every preference is a strict partial order.
+
+The paper's model requires irreflexivity, transitivity and asymmetry
+(section 2.1) and claims closure under Pareto accumulation and cascading
+(section 2.2.2).  Hypothesis builds random base preferences, composes them
+randomly, and checks the laws over random operand vectors — including NULLs
+and out-of-vocabulary values.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.model.categorical import ExplicitPreference, neg, pos
+from repro.model.composite import ParetoPreference, PrioritizationPreference
+from repro.model.numeric import (
+    AroundPreference,
+    BetweenPreference,
+    HighestPreference,
+    LowestPreference,
+)
+from repro.model.properties import check_strict_partial_order, spo_violations
+from repro.model.text import ContainsPreference
+from repro.sql import ast
+
+COLUMNS = [ast.Column(name=f"c{i}") for i in range(8)]
+
+_values = st.one_of(
+    st.none(),
+    st.integers(min_value=-50, max_value=50),
+    st.sampled_from(["red", "blue", "green", "black", "white"]),
+)
+
+
+@st.composite
+def base_preferences(draw):
+    column = draw(st.sampled_from(COLUMNS))
+    kind = draw(
+        st.sampled_from(
+            ["around", "between", "lowest", "highest", "pos", "neg", "explicit", "contains"]
+        )
+    )
+    if kind == "around":
+        return AroundPreference(column, draw(st.integers(-20, 20)))
+    if kind == "between":
+        low = draw(st.integers(-20, 20))
+        high = draw(st.integers(low, 25))
+        return BetweenPreference(column, low, high)
+    if kind == "lowest":
+        return LowestPreference(column)
+    if kind == "highest":
+        return HighestPreference(column)
+    if kind == "pos":
+        values = draw(
+            st.sets(st.sampled_from(["red", "blue", "green"]), min_size=1, max_size=3)
+        )
+        return pos(column, values)
+    if kind == "neg":
+        values = draw(
+            st.sets(st.sampled_from(["red", "blue", "green"]), min_size=1, max_size=3)
+        )
+        return neg(column, values)
+    if kind == "contains":
+        return ContainsPreference(column, "red green blue")
+    # Explicit: random edges over a fixed topological order — always a DAG.
+    vocabulary = ["red", "blue", "green", "black"]
+    edges = draw(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3)).filter(
+                lambda pair: pair[0] < pair[1]
+            ),
+            min_size=1,
+            max_size=5,
+            unique=True,
+        )
+    )
+    pairs = [(vocabulary[a], vocabulary[b]) for a, b in edges]
+    return ExplicitPreference(column, pairs)
+
+
+@st.composite
+def preferences(draw, max_depth=2):
+    if max_depth == 0 or draw(st.booleans()):
+        return draw(base_preferences())
+    constructor = draw(st.sampled_from([ParetoPreference, PrioritizationPreference]))
+    count = draw(st.integers(2, 3))
+    parts = [draw(preferences(max_depth=max_depth - 1)) for _ in range(count)]
+    return constructor(parts)
+
+
+def vectors_for(preference, draw_values):
+    return tuple(draw_values for _ in range(preference.arity))
+
+
+@given(preference=base_preferences(), data=st.data())
+@settings(max_examples=150, deadline=None)
+def test_base_preferences_are_strict_partial_orders(preference, data):
+    vectors = data.draw(
+        st.lists(
+            st.tuples(*[_values] * preference.arity), min_size=2, max_size=7
+        )
+    )
+    assert spo_violations(preference, vectors) == []
+
+
+@given(preference=preferences(), data=st.data())
+@settings(max_examples=150, deadline=None)
+def test_composed_preferences_are_strict_partial_orders(preference, data):
+    vectors = data.draw(
+        st.lists(
+            st.tuples(*[_values] * preference.arity), min_size=2, max_size=6
+        )
+    )
+    assert spo_violations(preference, vectors) == []
+
+
+@given(preference=preferences(), data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_better_or_equal_is_consistent(preference, data):
+    vector_strategy = st.tuples(*[_values] * preference.arity)
+    v = data.draw(vector_strategy)
+    w = data.draw(vector_strategy)
+    boe = preference.is_better_or_equal(v, w)
+    assert boe == (preference.is_better(v, w) or preference.is_equal(v, w))
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_pareto_dominance_implies_componentwise(data):
+    p1 = data.draw(base_preferences())
+    p2 = data.draw(base_preferences())
+    pareto = ParetoPreference([p1, p2])
+    vector_strategy = st.tuples(*[_values] * pareto.arity)
+    v = data.draw(vector_strategy)
+    w = data.draw(vector_strategy)
+    if pareto.is_better(v, w):
+        split_v = pareto.component_vectors(v)
+        split_w = pareto.component_vectors(w)
+        for part, sub_v, sub_w in zip(pareto.children(), split_v, split_w):
+            assert part.is_better_or_equal(sub_v, sub_w)
+        assert any(
+            part.is_better(sub_v, sub_w)
+            for part, sub_v, sub_w in zip(pareto.children(), split_v, split_w)
+        )
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_cascade_respects_first_preference(data):
+    p1 = data.draw(base_preferences())
+    p2 = data.draw(base_preferences())
+    cascade = PrioritizationPreference([p1, p2])
+    vector_strategy = st.tuples(*[_values] * cascade.arity)
+    v = data.draw(vector_strategy)
+    w = data.draw(vector_strategy)
+    split_v = cascade.component_vectors(v)
+    split_w = cascade.component_vectors(w)
+    if p1.is_better(split_v[0], split_w[0]):
+        assert cascade.is_better(v, w)
+    if cascade.is_better(v, w) and not p1.is_better(split_v[0], split_w[0]):
+        # fell through: first components must be substitutable
+        assert p1.is_equal(split_v[0], split_w[0])
+
+
+def test_check_raises_on_violation():
+    import pytest
+
+    from repro.errors import NotAStrictPartialOrder
+    from repro.model.preference import Preference
+
+    class Broken(Preference):
+        kind = "BROKEN"
+
+        @property
+        def operands(self):
+            return (COLUMNS[0],)
+
+        def is_better(self, v, w):
+            return True  # better than itself: irreflexivity violated
+
+        def is_equal(self, v, w):
+            return v == w
+
+    with pytest.raises(NotAStrictPartialOrder):
+        check_strict_partial_order(Broken(), [(1,), (2,)])
+
+
+def test_check_passes_on_lawful_preference():
+    check_strict_partial_order(
+        LowestPreference(COLUMNS[0]), [(1,), (2,), (None,), (2,)]
+    )

@@ -1,0 +1,101 @@
+"""The section 3.2 exhibition script (CREATE VIEW Aux / anti-join)."""
+
+import pytest
+
+from repro.errors import RewriteError
+from repro.rewrite.paper_style import paper_style_script
+from repro.sql.parser import parse_statement
+from repro.workloads.fixtures import load_fixtures
+
+
+def script_for(query, **kwargs):
+    return paper_style_script(parse_statement(query), **kwargs)
+
+
+class TestScriptShape:
+    def test_cars_script_matches_paper(self):
+        create, select, drop = script_for(
+            "SELECT Identifier, Make FROM Cars "
+            "PREFERRING Make = 'Audi' AND Diesel = 'yes'",
+            view_name="Aux",
+        )
+        assert create.startswith("CREATE VIEW Aux AS SELECT *, ")
+        assert "CASE WHEN Make = 'Audi' THEN 0 ELSE 1 END AS Makelevel" in create
+        assert "CASE WHEN Diesel = 'yes' THEN 0 ELSE 1 END AS Diesellevel" in create
+        assert "A2.Makelevel <= A1.Makelevel" in select
+        assert "A2.Diesellevel <= A1.Diesellevel" in select
+        assert "A2.Makelevel < A1.Makelevel OR A2.Diesellevel < A1.Diesellevel" in select
+        assert drop == "DROP VIEW Aux"
+
+    def test_where_clause_carried_into_view(self):
+        create, _select, _drop = script_for(
+            "SELECT * FROM cars WHERE make = 'Opel' PREFERRING LOWEST(price)"
+        )
+        assert create.endswith("FROM cars WHERE make = 'Opel'")
+
+    def test_single_base_preference(self):
+        create, select, _drop = script_for(
+            "SELECT * FROM cars PREFERRING LOWEST(price)"
+        )
+        assert "AS pricelevel" in create
+        assert "A2.pricelevel < A1.pricelevel" in select
+
+    def test_expression_operand_gets_generic_name(self):
+        create, _s, _d = script_for(
+            "SELECT * FROM cars PREFERRING LOWEST(price + tax)"
+        )
+        assert "AS level0" in create
+
+    def test_duplicate_level_names_disambiguated(self):
+        create, _s, _d = script_for(
+            "SELECT * FROM cars PREFERRING price AROUND 10 AND HIGHEST(price)"
+        )
+        assert "pricelevel" in create
+        assert "pricelevel1" in create
+
+
+class TestScriptExecution:
+    def test_script_result_matches_planner(self, fixture_connection):
+        con = fixture_connection
+        query = "SELECT Identifier FROM Cars PREFERRING Make = 'Audi' AND Diesel = 'yes'"
+        planner_rows = con.execute(query).fetchall()
+
+        create, select, drop = script_for(query, view_name="aux_test")
+        raw = con.raw
+        raw.execute(create)
+        script_rows = raw.execute(select).fetchall()
+        raw.execute(drop)
+        assert sorted(script_rows) == sorted(planner_rows) == [(1,), (2,)]
+
+
+class TestScriptRestrictions:
+    def test_requires_preference_query(self):
+        with pytest.raises(RewriteError):
+            script_for("SELECT * FROM cars")
+
+    def test_rejects_grouping(self):
+        with pytest.raises(RewriteError):
+            script_for("SELECT * FROM cars PREFERRING LOWEST(price) GROUPING make")
+
+    def test_rejects_but_only(self):
+        with pytest.raises(RewriteError):
+            script_for(
+                "SELECT * FROM cars PREFERRING price AROUND 5 "
+                "BUT ONLY DISTANCE(price) <= 1"
+            )
+
+    def test_rejects_cascade(self):
+        with pytest.raises(RewriteError):
+            script_for(
+                "SELECT * FROM cars PREFERRING LOWEST(price) CASCADE LOWEST(mileage)"
+            )
+
+    def test_rejects_multi_table(self):
+        with pytest.raises(RewriteError):
+            script_for("SELECT * FROM a, b PREFERRING LOWEST(a.x)")
+
+    def test_rejects_explicit(self):
+        with pytest.raises(RewriteError):
+            script_for(
+                "SELECT * FROM cars PREFERRING EXPLICIT(color, 'red' > 'blue')"
+            )

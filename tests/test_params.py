@@ -1,0 +1,79 @@
+"""Parameter binding into statement ASTs."""
+
+import pytest
+
+from repro.errors import DriverError
+from repro.sql import ast
+from repro.sql.params import bind_parameters
+from repro.sql.parser import parse_statement
+from repro.sql.printer import to_sql
+
+
+def bind(text, *params):
+    return bind_parameters(parse_statement(text), params)
+
+
+class TestBinding:
+    def test_where_params(self):
+        statement = bind("SELECT * FROM t WHERE a = ? AND b = ?", 1, "x")
+        assert to_sql(statement) == "SELECT * FROM t WHERE a = 1 AND b = 'x'"
+
+    def test_preference_params(self):
+        statement = bind(
+            "SELECT * FROM t PREFERRING a AROUND ? AND b BETWEEN ?, ?", 14, 1, 5
+        )
+        assert to_sql(statement) == (
+            "SELECT * FROM t PREFERRING a AROUND 14 AND b BETWEEN 1, 5"
+        )
+
+    def test_pos_value_params(self):
+        statement = bind("SELECT * FROM t PREFERRING c IN (?, ?)", "a", "b")
+        assert "IN ('a', 'b')" in to_sql(statement)
+
+    def test_insert_values_params(self):
+        statement = bind("INSERT INTO t VALUES (?, ?)", 1, 2)
+        assert to_sql(statement) == "INSERT INTO t VALUES (1, 2)"
+
+    def test_but_only_and_limit_params(self):
+        statement = bind(
+            "SELECT * FROM t PREFERRING a AROUND 5 "
+            "BUT ONLY DISTANCE(a) <= ? LIMIT ?",
+            2,
+            10,
+        )
+        rendered = to_sql(statement)
+        assert "<= 2" in rendered and "LIMIT 10" in rendered
+
+    def test_string_with_quote_escaped(self):
+        statement = bind("SELECT * FROM t WHERE a = ?", "O'Brien")
+        assert "O''Brien" in to_sql(statement)
+
+    def test_subquery_params(self):
+        statement = bind(
+            "SELECT * FROM t WHERE x IN (SELECT y FROM u WHERE z = ?)", 3
+        )
+        assert "z = 3" in to_sql(statement)
+
+    def test_explicit_pair_params(self):
+        statement = bind(
+            "SELECT * FROM t PREFERRING EXPLICIT(c, ? > ?)", "red", "blue"
+        )
+        assert "'red' > 'blue'" in to_sql(statement)
+
+    def test_null_param(self):
+        statement = bind("SELECT * FROM t WHERE a = ?", None)
+        assert "a = NULL" in to_sql(statement)
+
+
+class TestErrors:
+    def test_too_few_params(self):
+        with pytest.raises(DriverError):
+            bind("SELECT * FROM t WHERE a = ? AND b = ?", 1)
+
+    def test_too_many_params(self):
+        with pytest.raises(DriverError):
+            bind("SELECT * FROM t WHERE a = ?", 1, 2)
+
+    def test_no_markers_no_params_ok(self):
+        statement = bind("SELECT * FROM t")
+        assert to_sql(statement) == "SELECT * FROM t"

@@ -1,0 +1,410 @@
+"""Parser unit tests: grammar coverage and every query printed in the paper."""
+
+import pytest
+
+from repro.errors import ParseError, UnsupportedPreferenceSQL
+from repro.sql import ast
+from repro.sql.parser import parse_expression, parse_preferring, parse_statement
+
+#: Every Preference SQL query that appears verbatim in the paper.
+PAPER_QUERIES = [
+    "SELECT * FROM trips PREFERRING duration AROUND 14;",
+    "SELECT * FROM apartments PREFERRING HIGHEST(area);",
+    "SELECT * FROM programmers PREFERRING exp IN ('java', 'C++');",
+    "SELECT * FROM hotels PREFERRING location <> 'downtown';",
+    "SELECT * FROM computers PREFERRING HIGHEST(main_memory) AND HIGHEST(cpu_speed);",
+    "SELECT * FROM computers PREFERRING HIGHEST(main_memory) CASCADE color IN ('black','brown');",
+    """SELECT * FROM car WHERE make = 'Opel'
+       PREFERRING (category = 'roadster' ELSE category <> 'passenger' AND
+       price AROUND 40000 AND HIGHEST(power))
+       CASCADE color = 'red' CASCADE LOWEST(mileage);""",
+    """SELECT ident, color, age, LEVEL(color), DISTANCE(age)
+       FROM oldtimer
+       PREFERRING color = 'white' else color = 'yellow' AND age AROUND 40;""",
+    """SELECT * FROM trips
+       PREFERRING start_day AROUND '1999/7/3' AND duration AROUND 14
+       BUT ONLY DISTANCE(start_day)<=2 AND DISTANCE(duration)<=2;""",
+    "SELECT * FROM Cars PREFERRING Make = 'Audi' AND Diesel = 'yes';",
+    """SELECT * FROM products WHERE manufacturer = 'Aturi'
+       PREFERRING (width AROUND 60 AND spinspeed AROUND 1200) CASCADE
+       (powerconsumption BETWEEN 0, 0.9 AND LOWEST(waterconsumption)
+       AND price BETWEEN 1500, 2000);""",
+]
+
+
+class TestPaperQueries:
+    @pytest.mark.parametrize("query", PAPER_QUERIES)
+    def test_parses(self, query):
+        statement = parse_statement(query)
+        assert isinstance(statement, ast.Select)
+        assert statement.is_preference_query
+
+    def test_complex_car_query_structure(self):
+        statement = parse_statement(PAPER_QUERIES[6])
+        # Top level: CASCADE of three layers.
+        assert isinstance(statement.preferring, ast.CascadePref)
+        first, second, third = statement.preferring.parts
+        # First layer: Pareto of (POS/NEG else-chain, AROUND, HIGHEST).
+        assert isinstance(first, ast.ParetoPref)
+        else_part, around_part, highest_part = first.parts
+        assert isinstance(else_part, ast.ElsePref)
+        assert isinstance(else_part.parts[0], ast.PosPref)
+        assert isinstance(else_part.parts[1], ast.NegPref)
+        assert isinstance(around_part, ast.AroundPref)
+        assert isinstance(highest_part, ast.HighestPref)
+        assert isinstance(second, ast.PosPref)
+        assert isinstance(third, ast.LowestPref)
+
+    def test_else_binds_tighter_than_and(self):
+        term = parse_preferring("color = 'white' ELSE color = 'yellow' AND age AROUND 40")
+        assert isinstance(term, ast.ParetoPref)
+        assert isinstance(term.parts[0], ast.ElsePref)
+        assert isinstance(term.parts[1], ast.AroundPref)
+
+    def test_and_binds_tighter_than_cascade(self):
+        term = parse_preferring("LOWEST(a) AND LOWEST(b) CASCADE LOWEST(c)")
+        assert isinstance(term, ast.CascadePref)
+        assert isinstance(term.parts[0], ast.ParetoPref)
+        assert isinstance(term.parts[1], ast.LowestPref)
+
+    def test_comma_is_cascade_synonym(self):
+        with_comma = parse_preferring("LOWEST(a), HIGHEST(b)")
+        with_keyword = parse_preferring("LOWEST(a) CASCADE HIGHEST(b)")
+        assert with_comma == with_keyword
+
+
+class TestBasePreferences:
+    def test_around(self):
+        term = parse_preferring("duration AROUND 14")
+        assert term == ast.AroundPref(
+            operand=ast.Column(name="duration"), target=ast.Literal(value=14)
+        )
+
+    def test_between_comma_form(self):
+        term = parse_preferring("price BETWEEN 1500, 2000")
+        assert isinstance(term, ast.BetweenPref)
+        assert term.low == ast.Literal(value=1500)
+        assert term.high == ast.Literal(value=2000)
+
+    def test_between_bracket_form(self):
+        bracketed = parse_preferring("price BETWEEN [1500, 2000]")
+        plain = parse_preferring("price BETWEEN 1500, 2000")
+        assert bracketed == plain
+
+    def test_pos_singleton_and_list(self):
+        single = parse_preferring("color = 'red'")
+        assert isinstance(single, ast.PosPref)
+        assert len(single.values) == 1
+        multi = parse_preferring("exp IN ('java', 'C++')")
+        assert isinstance(multi, ast.PosPref)
+        assert len(multi.values) == 2
+
+    def test_neg_singleton_and_list(self):
+        single = parse_preferring("location <> 'downtown'")
+        assert isinstance(single, ast.NegPref)
+        multi = parse_preferring("location NOT IN ('downtown', 'airport')")
+        assert isinstance(multi, ast.NegPref)
+        assert len(multi.values) == 2
+
+    def test_neg_bang_equals(self):
+        assert parse_preferring("a != 1") == parse_preferring("a <> 1")
+
+    def test_lowest_highest_score(self):
+        assert isinstance(parse_preferring("LOWEST(mileage)"), ast.LowestPref)
+        assert isinstance(parse_preferring("HIGHEST(power)"), ast.HighestPref)
+        assert isinstance(parse_preferring("SCORE(power / price)"), ast.ScorePref)
+
+    def test_highest_accepts_arithmetic_expression(self):
+        term = parse_preferring("HIGHEST(main_memory + 2 * cache)")
+        assert isinstance(term.operand, ast.Binary)
+
+    def test_contains(self):
+        term = parse_preferring("description CONTAINS 'quiet balcony'")
+        assert isinstance(term, ast.ContainsPref)
+
+    def test_explicit(self):
+        term = parse_preferring("EXPLICIT(color, 'red' > 'blue', 'blue' > 'green')")
+        assert isinstance(term, ast.ExplicitPref)
+        assert len(term.pairs) == 2
+
+    def test_explicit_requires_pairs(self):
+        with pytest.raises(ParseError):
+            parse_preferring("EXPLICIT(color)")
+
+    def test_named_preference(self):
+        term = parse_preferring("PREFERENCE family_car")
+        assert term == ast.NamedPref(name="family_car")
+
+    def test_grouped_chain_in_parentheses(self):
+        term = parse_preferring("(LOWEST(a) CASCADE LOWEST(b)) AND HIGHEST(c)")
+        assert isinstance(term, ast.ParetoPref)
+        assert isinstance(term.parts[0], ast.CascadePref)
+
+    def test_parenthesised_operand_expression(self):
+        term = parse_preferring("(price + tax) AROUND 100")
+        assert isinstance(term, ast.AroundPref)
+        assert isinstance(term.operand, ast.Binary)
+
+    def test_missing_preference_operator_raises(self):
+        with pytest.raises(ParseError):
+            parse_preferring("price")
+
+    def test_boolean_operator_is_rejected_in_preference(self):
+        with pytest.raises(ParseError):
+            parse_preferring("price < 100")
+
+
+class TestQueryBlock:
+    def test_clause_order(self):
+        statement = parse_statement(
+            "SELECT a FROM t WHERE b = 1 PREFERRING LOWEST(c) GROUPING d "
+            "BUT ONLY DISTANCE(c) <= 5 ORDER BY a DESC LIMIT 10 OFFSET 2"
+        )
+        assert statement.where is not None
+        assert statement.preferring is not None
+        assert statement.grouping == (ast.Column(name="d"),)
+        assert statement.but_only is not None
+        assert statement.order_by[0].descending
+        assert statement.limit == ast.Literal(value=10)
+        assert statement.offset == ast.Literal(value=2)
+
+    def test_grouping_multiple_columns(self):
+        statement = parse_statement(
+            "SELECT * FROM t PREFERRING LOWEST(a) GROUPING b, c"
+        )
+        assert [c.name for c in statement.grouping] == ["b", "c"]
+
+    def test_plain_select_is_not_preference_query(self):
+        statement = parse_statement("SELECT * FROM t WHERE a = 1")
+        assert not statement.is_preference_query
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").distinct
+
+    def test_select_aliases(self):
+        statement = parse_statement("SELECT a AS x, b y FROM t")
+        assert statement.items[0].alias == "x"
+        assert statement.items[1].alias == "y"
+
+    def test_qualified_star(self):
+        statement = parse_statement("SELECT t.* FROM t")
+        assert statement.items[0] == ast.Star(table="t")
+
+    def test_group_by_having(self):
+        statement = parse_statement(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2"
+        )
+        assert len(statement.group_by) == 1
+        assert statement.having is not None
+
+    def test_joins(self):
+        statement = parse_statement(
+            "SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y"
+        )
+        join = statement.sources[0]
+        assert isinstance(join, ast.Join)
+        assert join.kind == "LEFT"
+        assert isinstance(join.left, ast.Join)
+        assert join.left.kind == "INNER"
+
+    def test_cross_join(self):
+        statement = parse_statement("SELECT * FROM a CROSS JOIN b")
+        assert statement.sources[0].kind == "CROSS"
+
+    def test_comma_join(self):
+        statement = parse_statement("SELECT * FROM a, b WHERE a.x = b.x")
+        assert len(statement.sources) == 2
+
+    def test_derived_table(self):
+        statement = parse_statement("SELECT * FROM (SELECT a FROM t) AS s")
+        assert isinstance(statement.sources[0], ast.SubquerySource)
+
+    def test_table_alias(self):
+        statement = parse_statement("SELECT * FROM trips AS t")
+        assert statement.sources[0].binding == "t"
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT * FROM t garbage here")
+
+    def test_missing_from_raises(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT *")
+
+    def test_empty_statement_raises(self):
+        with pytest.raises(ParseError):
+            parse_statement("")
+
+
+class TestInsertAndPdl:
+    def test_insert_values(self):
+        statement = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert isinstance(statement, ast.Insert)
+        assert statement.columns == ("a", "b")
+        assert len(statement.values) == 2
+
+    def test_insert_select_with_preferring(self):
+        statement = parse_statement(
+            "INSERT INTO best SELECT * FROM cars PREFERRING LOWEST(price)"
+        )
+        assert statement.query is not None
+        assert statement.query.is_preference_query
+
+    def test_insert_select_without_column_list(self):
+        statement = parse_statement("INSERT INTO best (SELECT * FROM cars)")
+        # Parenthesised select is not a column list.
+        with pytest.raises(ParseError):
+            parse_statement("INSERT INTO best (SELECT)")
+        assert statement.table == "best"
+
+    def test_create_preference(self):
+        statement = parse_statement(
+            "CREATE PREFERENCE cheap ON cars AS LOWEST(price) AND LOWEST(mileage)"
+        )
+        assert isinstance(statement, ast.CreatePreference)
+        assert statement.name == "cheap"
+        assert statement.table == "cars"
+        assert isinstance(statement.term, ast.ParetoPref)
+
+    def test_drop_preference(self):
+        statement = parse_statement("DROP PREFERENCE cheap")
+        assert isinstance(statement, ast.DropPreference)
+        assert statement.name == "cheap"
+
+
+class TestRestrictions:
+    def test_preferring_in_where_subquery_rejected(self):
+        with pytest.raises(UnsupportedPreferenceSQL):
+            parse_statement(
+                "SELECT * FROM t WHERE x IN "
+                "(SELECT y FROM u PREFERRING LOWEST(y))"
+            )
+
+    def test_preferring_in_exists_subquery_rejected(self):
+        with pytest.raises(UnsupportedPreferenceSQL):
+            parse_statement(
+                "SELECT * FROM t WHERE EXISTS "
+                "(SELECT 1 FROM u PREFERRING LOWEST(y))"
+            )
+
+    def test_preferring_in_nested_subquery_rejected(self):
+        with pytest.raises(UnsupportedPreferenceSQL):
+            parse_statement(
+                "SELECT * FROM t WHERE x IN (SELECT y FROM u WHERE z IN "
+                "(SELECT w FROM v PREFERRING LOWEST(w)))"
+            )
+
+    def test_preferring_in_from_subquery_is_allowed(self):
+        # The restriction is specifically about WHERE sub-queries.
+        statement = parse_statement(
+            "SELECT * FROM (SELECT * FROM u PREFERRING LOWEST(y)) AS s"
+        )
+        assert isinstance(statement.sources[0], ast.SubquerySource)
+
+
+class TestExpressions:
+    def test_precedence_arithmetic(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr == ast.Binary(
+            op="+",
+            left=ast.Literal(value=1),
+            right=ast.Binary(op="*", left=ast.Literal(value=2), right=ast.Literal(value=3)),
+        )
+
+    def test_precedence_logic(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_not(self):
+        expr = parse_expression("NOT a = 1")
+        assert isinstance(expr, ast.Unary)
+        assert expr.op == "NOT"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-5")
+        assert expr == ast.Unary(op="-", operand=ast.Literal(value=5))
+
+    def test_standard_between_uses_and(self):
+        expr = parse_expression("x BETWEEN 1 AND 10")
+        assert isinstance(expr, ast.BetweenExpr)
+
+    def test_not_between(self):
+        expr = parse_expression("x NOT BETWEEN 1 AND 10")
+        assert expr.negated
+
+    def test_in_list_and_subquery(self):
+        assert isinstance(parse_expression("x IN (1, 2)"), ast.InList)
+        assert isinstance(
+            parse_expression("x IN (SELECT y FROM t)"), ast.InSubquery
+        )
+
+    def test_not_in(self):
+        expr = parse_expression("x NOT IN (1, 2)")
+        assert expr.negated
+
+    def test_like_and_not_like(self):
+        like = parse_expression("name LIKE '%son'")
+        assert like.op == "LIKE"
+        negated = parse_expression("name NOT LIKE '%son'")
+        assert isinstance(negated, ast.Unary)
+
+    def test_is_null(self):
+        assert parse_expression("x IS NULL") == ast.IsNull(
+            operand=ast.Column(name="x")
+        )
+        assert parse_expression("x IS NOT NULL").negated
+
+    def test_case_when(self):
+        expr = parse_expression("CASE WHEN a = 1 THEN 'x' ELSE 'y' END")
+        assert isinstance(expr, ast.CaseWhen)
+        assert expr.otherwise == ast.Literal(value="y")
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            parse_expression("CASE ELSE 1 END")
+
+    def test_function_calls(self):
+        expr = parse_expression("ABS(x - 3)")
+        assert isinstance(expr, ast.FuncCall)
+        assert expr.name == "ABS"
+
+    def test_count_star(self):
+        expr = parse_expression("COUNT(*)")
+        assert expr.star
+
+    def test_quality_functions_parse_as_calls(self):
+        expr = parse_expression("LEVEL(color)")
+        assert expr == ast.FuncCall(name="LEVEL", args=(ast.Column(name="color"),))
+
+    def test_soft_keywords_usable_as_column_names(self):
+        expr = parse_expression("level + score")
+        assert isinstance(expr, ast.Binary)
+        assert expr.left == ast.Column(name="level")
+
+    def test_qualified_column(self):
+        expr = parse_expression("cars.price")
+        assert expr == ast.Column(name="price", table="cars")
+
+    def test_parameters_are_numbered(self):
+        statement = parse_statement("SELECT * FROM t WHERE a = ? AND b = ?")
+        params = [
+            node
+            for node in ast.walk_expr(statement.where)
+            if isinstance(node, ast.Param)
+        ]
+        assert [p.index for p in params] == [0, 1]
+
+    def test_literals(self):
+        assert parse_expression("NULL") == ast.Literal(value=None)
+        assert parse_expression("TRUE") == ast.Literal(value=True)
+        assert parse_expression("FALSE") == ast.Literal(value=False)
+        assert parse_expression("1.5") == ast.Literal(value=1.5)
+
+    def test_scalar_subquery(self):
+        expr = parse_expression("(SELECT MAX(x) FROM t)")
+        assert isinstance(expr, ast.ScalarSubquery)
+
+    def test_trailing_input_raises(self):
+        with pytest.raises(ParseError):
+            parse_expression("1 + 2 extra")

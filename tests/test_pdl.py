@@ -1,0 +1,104 @@
+"""The Preference Definition Language catalog."""
+
+import sqlite3
+
+import pytest
+
+import repro
+from repro.errors import CatalogError
+from repro.pdl.catalog import CATALOG_TABLE, PreferenceCatalog
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+
+
+def create_stmt(text) -> ast.CreatePreference:
+    statement = parse_statement(text)
+    assert isinstance(statement, ast.CreatePreference)
+    return statement
+
+
+@pytest.fixture
+def catalog():
+    return PreferenceCatalog(sqlite3.connect(":memory:"))
+
+
+class TestCrud:
+    def test_create_and_get(self, catalog):
+        catalog.create(create_stmt("CREATE PREFERENCE p ON t AS LOWEST(x)"))
+        entry = catalog.get("p")
+        assert entry.table == "t"
+        assert entry.definition == "LOWEST(x)"
+
+    def test_names_are_case_insensitive(self, catalog):
+        catalog.create(create_stmt("CREATE PREFERENCE MyPref ON t AS LOWEST(x)"))
+        assert catalog.get("MYPREF").name == "mypref"
+
+    def test_duplicate_create_raises(self, catalog):
+        catalog.create(create_stmt("CREATE PREFERENCE p ON t AS LOWEST(x)"))
+        with pytest.raises(CatalogError):
+            catalog.create(create_stmt("CREATE PREFERENCE p ON t AS HIGHEST(x)"))
+
+    def test_replace(self, catalog):
+        catalog.create(create_stmt("CREATE PREFERENCE p ON t AS LOWEST(x)"))
+        catalog.create(
+            create_stmt("CREATE PREFERENCE p ON t AS HIGHEST(x)"), replace=True
+        )
+        assert catalog.get("p").definition == "HIGHEST(x)"
+
+    def test_drop(self, catalog):
+        catalog.create(create_stmt("CREATE PREFERENCE p ON t AS LOWEST(x)"))
+        catalog.drop("p")
+        with pytest.raises(CatalogError):
+            catalog.get("p")
+
+    def test_drop_unknown_raises(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.drop("ghost")
+
+    def test_entries_sorted(self, catalog):
+        catalog.create(create_stmt("CREATE PREFERENCE zz ON t AS LOWEST(x)"))
+        catalog.create(create_stmt("CREATE PREFERENCE aa ON t AS LOWEST(x)"))
+        assert [entry.name for entry in catalog.entries()] == ["aa", "zz"]
+
+    def test_resolve_returns_term(self, catalog):
+        catalog.create(
+            create_stmt("CREATE PREFERENCE p ON t AS x AROUND 14 AND LOWEST(y)")
+        )
+        term = catalog.resolve("p")
+        assert isinstance(term, ast.ParetoPref)
+
+
+class TestPersistence:
+    def test_definitions_survive_reconnect(self, tmp_path):
+        path = str(tmp_path / "catalog.sqlite")
+        with repro.connect(path) as con:
+            con.execute("CREATE TABLE trips (trip_id INTEGER, duration INTEGER)")
+            con.execute("INSERT INTO trips VALUES (1, 7), (2, 14)")
+            con.execute("CREATE PREFERENCE fortnight ON trips AS duration AROUND 14")
+        with repro.connect(path) as con:
+            rows = con.execute(
+                "SELECT trip_id FROM trips PREFERRING PREFERENCE fortnight"
+            ).fetchall()
+            assert rows == [(2,)]
+
+    def test_catalog_table_is_plain_sql_visible(self, tmp_path):
+        path = str(tmp_path / "catalog.sqlite")
+        with repro.connect(path) as con:
+            con.execute("CREATE PREFERENCE p ON t AS LOWEST(x)")
+            rows = con.execute(
+                f"SELECT name, definition FROM {CATALOG_TABLE}"
+            ).fetchall()
+            assert rows == [("p", "LOWEST(x)")]
+
+    def test_complex_definition_round_trips(self, catalog):
+        catalog.create(
+            create_stmt(
+                "CREATE PREFERENCE complex ON car AS "
+                "(category = 'roadster' ELSE category <> 'passenger' "
+                "AND price AROUND 40000 AND HIGHEST(power)) "
+                "CASCADE color = 'red' CASCADE LOWEST(mileage)"
+            )
+        )
+        term = catalog.resolve("complex")
+        assert isinstance(term, ast.CascadePref)
+        assert len(term.parts) == 3

@@ -1,0 +1,152 @@
+"""Printer tests: deterministic rendering and parse/print fixpoints."""
+
+import pytest
+
+from repro.sql import ast
+from repro.sql.parser import parse_expression, parse_preferring, parse_statement
+from repro.sql.printer import format_literal, quote_string, to_sql
+
+ROUND_TRIP_QUERIES = [
+    "SELECT * FROM trips PREFERRING duration AROUND 14",
+    "SELECT DISTINCT a AS x, b FROM t WHERE a = 1 ORDER BY b DESC LIMIT 5 OFFSET 1",
+    "SELECT * FROM computers PREFERRING HIGHEST(main_memory) AND HIGHEST(cpu_speed)",
+    "SELECT * FROM computers PREFERRING HIGHEST(main_memory) CASCADE color IN ('black', 'brown')",
+    "SELECT * FROM car WHERE make = 'Opel' PREFERRING (category = 'roadster' "
+    "ELSE category <> 'passenger' AND price AROUND 40000 AND HIGHEST(power)) "
+    "CASCADE color = 'red' CASCADE LOWEST(mileage)",
+    "SELECT ident, LEVEL(color), DISTANCE(age) FROM oldtimer "
+    "PREFERRING color = 'white' ELSE color = 'yellow' AND age AROUND 40",
+    "SELECT * FROM trips PREFERRING start_day AROUND 184 AND duration AROUND 14 "
+    "BUT ONLY DISTANCE(start_day) <= 2 AND DISTANCE(duration) <= 2",
+    "SELECT * FROM t PREFERRING LOWEST(a) GROUPING b, c",
+    "SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON b.y = c.y",
+    "SELECT * FROM a CROSS JOIN b",
+    "SELECT * FROM (SELECT a FROM t) AS s",
+    "INSERT INTO best SELECT * FROM cars PREFERRING LOWEST(price)",
+    "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')",
+    "CREATE PREFERENCE cheap ON cars AS LOWEST(price) AND mileage AROUND 20000",
+    "DROP PREFERENCE cheap",
+    "SELECT * FROM t WHERE x IS NOT NULL AND y NOT BETWEEN 1 AND 2",
+    "SELECT * FROM t WHERE name LIKE '%son' OR x IN (SELECT y FROM u)",
+    "SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END AS tag FROM t",
+    "SELECT * FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.id = t.id)",
+    "SELECT * FROM t PREFERRING EXPLICIT(color, 'red' > 'blue', 'blue' > 'green')",
+    "SELECT * FROM t PREFERRING description CONTAINS 'quiet balcony'",
+    "SELECT * FROM t PREFERRING SCORE(power / price)",
+    "SELECT * FROM t PREFERRING PREFERENCE cheap CASCADE color = 'red'",
+]
+
+
+class TestFixpoint:
+    @pytest.mark.parametrize("query", ROUND_TRIP_QUERIES)
+    def test_parse_print_fixpoint(self, query):
+        once = to_sql(parse_statement(query))
+        twice = to_sql(parse_statement(once))
+        assert once == twice
+
+    @pytest.mark.parametrize("query", ROUND_TRIP_QUERIES)
+    def test_reparse_equals_original_ast(self, query):
+        statement = parse_statement(query)
+        assert parse_statement(to_sql(statement)) == statement
+
+
+class TestLiterals:
+    def test_string_quoting(self):
+        assert quote_string("it's") == "'it''s'"
+
+    def test_format_literal_values(self):
+        assert format_literal(None) == "NULL"
+        assert format_literal(True) == "1"
+        assert format_literal(False) == "0"
+        assert format_literal(42) == "42"
+        assert format_literal(1.5) == "1.5"
+        assert format_literal("x") == "'x'"
+
+    def test_string_literal_round_trip(self):
+        expr = ast.Literal(value="O'Brien")
+        assert parse_expression(to_sql(expr)) == expr
+
+
+class TestPrecedenceParentheses:
+    def test_nested_or_inside_and(self):
+        expr = ast.Binary(
+            op="AND",
+            left=ast.Binary(op="OR", left=ast.Column(name="a"), right=ast.Column(name="b")),
+            right=ast.Column(name="c"),
+        )
+        rendered = to_sql(expr)
+        assert rendered == "(a OR b) AND c"
+        assert parse_expression(rendered) == expr
+
+    def test_arithmetic_grouping(self):
+        expr = ast.Binary(
+            op="*",
+            left=ast.Binary(op="+", left=ast.Column(name="a"), right=ast.Column(name="b")),
+            right=ast.Column(name="c"),
+        )
+        rendered = to_sql(expr)
+        assert rendered == "(a + b) * c"
+        assert parse_expression(rendered) == expr
+
+    def test_right_associative_subtraction_parenthesised(self):
+        # a - (b - c) must not print as a - b - c
+        expr = ast.Binary(
+            op="-",
+            left=ast.Column(name="a"),
+            right=ast.Binary(op="-", left=ast.Column(name="b"), right=ast.Column(name="c")),
+        )
+        rendered = to_sql(expr)
+        assert parse_expression(rendered) == expr
+
+    def test_else_inside_pareto_needs_no_parens(self):
+        term = parse_preferring("a = 1 ELSE a = 2 AND LOWEST(b)")
+        assert parse_preferring(to_sql(term)) == term
+
+    def test_pareto_inside_else_gets_parens(self):
+        # Constructed directly: ELSE over a Pareto part must parenthesise.
+        term = ast.ElsePref(
+            parts=(
+                ast.PosPref(operand=ast.Column(name="a"), values=(ast.Literal(value=1),)),
+                ast.PosPref(operand=ast.Column(name="a"), values=(ast.Literal(value=2),)),
+            )
+        )
+        rendered = to_sql(term)
+        assert parse_preferring(rendered) == term
+
+    def test_cascade_inside_pareto_gets_parens(self):
+        term = ast.ParetoPref(
+            parts=(
+                ast.CascadePref(
+                    parts=(
+                        ast.LowestPref(operand=ast.Column(name="a")),
+                        ast.LowestPref(operand=ast.Column(name="b")),
+                    )
+                ),
+                ast.HighestPref(operand=ast.Column(name="c")),
+            )
+        )
+        rendered = to_sql(term)
+        assert "(" in rendered
+        assert parse_preferring(rendered) == term
+
+
+class TestAliases:
+    def test_plain_alias_unquoted(self):
+        statement = parse_statement("SELECT a AS x FROM t")
+        assert to_sql(statement) == "SELECT a AS x FROM t"
+
+    def test_special_alias_quoted(self):
+        select = ast.Select(
+            items=(
+                ast.SelectItem(
+                    expr=ast.Column(name="a"), alias="LEVEL(color)"
+                ),
+            ),
+            sources=(ast.TableRef(name="t"),),
+        )
+        rendered = to_sql(select)
+        assert '"LEVEL(color)"' in rendered
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(TypeError):
+            to_sql(object())

@@ -1,0 +1,149 @@
+"""Quality functions TOP/LEVEL/DISTANCE: resolution and evaluation."""
+
+import pytest
+
+from repro.errors import EvaluationError, PreferenceConstructionError
+from repro.model.builder import build_preference
+from repro.model.quality import QualityResolver
+from repro.sql import ast
+from repro.sql.parser import parse_expression, parse_preferring
+
+
+def make_resolver(text):
+    preference = build_preference(parse_preferring(text))
+    return preference, QualityResolver(preference)
+
+
+class TestResolution:
+    def test_resolves_by_column_name(self):
+        _pref, resolver = make_resolver("color = 'white' AND age AROUND 40")
+        resolved = resolver.resolve(parse_expression("age"))
+        assert resolved.base.kind == "AROUND"
+
+    def test_resolution_is_case_insensitive(self):
+        _pref, resolver = make_resolver("Age AROUND 40")
+        resolved = resolver.resolve(parse_expression("AGE"))
+        assert resolved.base.kind == "AROUND"
+
+    def test_unmatched_target_raises(self):
+        _pref, resolver = make_resolver("age AROUND 40")
+        with pytest.raises(PreferenceConstructionError):
+            resolver.resolve(parse_expression("price"))
+
+    def test_ambiguous_target_raises(self):
+        _pref, resolver = make_resolver("age AROUND 40 AND HIGHEST(age)")
+        with pytest.raises(PreferenceConstructionError):
+            resolver.resolve(parse_expression("age"))
+
+    def test_resolves_expression_operand_structurally(self):
+        _pref, resolver = make_resolver("HIGHEST(power / price)")
+        resolved = resolver.resolve(parse_expression("power / price"))
+        assert resolved.base.kind == "HIGHEST"
+
+    def test_bases_and_slices(self):
+        pref, resolver = make_resolver(
+            "color = 'white' ELSE color = 'yellow' AND age AROUND 40"
+        )
+        bases = resolver.bases
+        assert len(bases) == 2
+        assert bases[0][1] == slice(0, 1)
+        assert bases[1][1] == slice(1, 2)
+
+
+class TestLevel:
+    def test_layered_levels_are_one_based(self):
+        # The paper's oldtimer example: white=1, yellow=2, others=3.
+        _pref, resolver = make_resolver(
+            "color = 'white' ELSE color = 'yellow' AND age AROUND 40"
+        )
+        resolved = resolver.resolve(parse_expression("color"))
+        assert resolver.level(resolved, ("white", 40)) == 1
+        assert resolver.level(resolved, ("yellow", 40)) == 2
+        assert resolver.level(resolved, ("red", 40)) == 3
+
+    def test_explicit_level(self):
+        _pref, resolver = make_resolver("EXPLICIT(color, 'red' > 'blue')")
+        resolved = resolver.resolve(parse_expression("color"))
+        assert resolver.level(resolved, ("red",)) == 1
+        assert resolver.level(resolved, ("blue",)) == 2
+
+    def test_contains_level(self):
+        _pref, resolver = make_resolver("description CONTAINS 'sea view'")
+        resolved = resolver.resolve(parse_expression("description"))
+        assert resolver.level(resolved, ("room with sea view",)) == 1
+        assert resolver.level(resolved, ("sea side room",)) == 2
+        assert resolver.level(resolved, ("city room",)) == 3
+
+    def test_level_on_numeric_preference_raises(self):
+        _pref, resolver = make_resolver("age AROUND 40")
+        resolved = resolver.resolve(parse_expression("age"))
+        with pytest.raises(EvaluationError):
+            resolver.level(resolved, (40,))
+
+
+class TestDistance:
+    def test_around_distance(self):
+        _pref, resolver = make_resolver("age AROUND 40")
+        resolved = resolver.resolve(parse_expression("age"))
+        assert resolver.distance(resolved, (35,)) == 5
+        assert resolver.distance(resolved, (40,)) == 0
+
+    def test_between_distance(self):
+        _pref, resolver = make_resolver("price BETWEEN 100, 200")
+        resolved = resolver.resolve(parse_expression("price"))
+        assert resolver.distance(resolved, (150,)) == 0
+        assert resolver.distance(resolved, (250,)) == 50
+
+    def test_lowest_needs_candidate_optimum(self):
+        _pref, resolver = make_resolver("LOWEST(price)")
+        resolved = resolver.resolve(parse_expression("price"))
+        assert resolved.dynamic_optimum
+        with pytest.raises(EvaluationError):
+            resolver.distance(resolved, (100,))
+        assert resolver.distance(resolved, (100,), candidate_optimum=80.0) == 20
+
+    def test_highest_distance_from_maximum(self):
+        _pref, resolver = make_resolver("HIGHEST(area)")
+        resolved = resolver.resolve(parse_expression("area"))
+        # ranks are negated values; optimum is -max.
+        assert resolver.distance(resolved, (87,), candidate_optimum=-103.0) == 16
+
+    def test_distance_on_layered_raises(self):
+        _pref, resolver = make_resolver("color = 'white'")
+        resolved = resolver.resolve(parse_expression("color"))
+        with pytest.raises(EvaluationError):
+            resolver.distance(resolved, ("white",))
+
+
+class TestTop:
+    def test_top_on_around(self):
+        _pref, resolver = make_resolver("age AROUND 40")
+        resolved = resolver.resolve(parse_expression("age"))
+        assert resolver.top(resolved, (40,)) is True
+        assert resolver.top(resolved, (41,)) is False
+
+    def test_top_on_layered(self):
+        _pref, resolver = make_resolver("color = 'white' ELSE color = 'yellow'")
+        resolved = resolver.resolve(parse_expression("color"))
+        assert resolver.top(resolved, ("white",)) is True
+        assert resolver.top(resolved, ("yellow",)) is False
+
+    def test_top_on_neg(self):
+        _pref, resolver = make_resolver("location <> 'downtown'")
+        resolved = resolver.resolve(parse_expression("location"))
+        assert resolver.top(resolved, ("suburb",)) is True
+        assert resolver.top(resolved, ("downtown",)) is False
+
+    def test_top_on_explicit(self):
+        _pref, resolver = make_resolver("EXPLICIT(color, 'red' > 'blue')")
+        resolved = resolver.resolve(parse_expression("color"))
+        assert resolver.top(resolved, ("red",)) is True
+        assert resolver.top(resolved, ("blue",)) is False
+
+    def test_top_on_lowest_with_optimum(self):
+        _pref, resolver = make_resolver("LOWEST(price)")
+        resolved = resolver.resolve(parse_expression("price"))
+        assert resolver.top(resolved, (80,), candidate_optimum=80.0) is True
+        assert resolver.top(resolved, (100,), candidate_optimum=80.0) is False
+        with pytest.raises(EvaluationError):
+            resolver.top(resolved, (80,))

@@ -1,0 +1,66 @@
+"""In-memory relation tests."""
+
+import pytest
+
+from repro.engine.relation import Relation, column_index_map
+from repro.errors import EvaluationError
+
+
+class TestSchema:
+    def test_column_lookup_case_insensitive(self):
+        relation = Relation(columns=("Make", "Price"), rows=[("Audi", 1)])
+        assert relation.column_position("make") == 0
+        assert relation.column_position("PRICE") == 1
+        assert relation.has_column("mAkE")
+        assert not relation.has_column("model")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(EvaluationError):
+            Relation(columns=("a", "A"))
+        with pytest.raises(EvaluationError):
+            column_index_map(["x", "x"])
+
+    def test_unknown_column_raises(self):
+        relation = Relation(columns=("a",))
+        with pytest.raises(EvaluationError):
+            relation.column_position("b")
+
+    def test_row_width_checked(self):
+        relation = Relation(columns=("a", "b"))
+        with pytest.raises(EvaluationError):
+            relation.append((1,))
+        with pytest.raises(EvaluationError):
+            Relation(columns=("a",), rows=[(1, 2)])
+
+
+class TestData:
+    def test_iteration_and_length(self):
+        relation = Relation(columns=("a",), rows=[(1,), (2,)])
+        assert len(relation) == 2
+        assert list(relation) == [(1,), (2,)]
+
+    def test_column_values(self):
+        relation = Relation(columns=("a", "b"), rows=[(1, "x"), (2, "y")])
+        assert relation.column_values("b") == ["x", "y"]
+
+    def test_as_dicts(self):
+        relation = Relation(columns=("a", "b"), rows=[(1, "x")])
+        assert relation.as_dicts() == [{"a": 1, "b": "x"}]
+
+    def test_equality(self):
+        a = Relation(columns=("x",), rows=[(1,)])
+        b = Relation(columns=("x",), rows=[(1,)])
+        c = Relation(columns=("x",), rows=[(2,)])
+        assert a == b
+        assert a != c
+        assert a != "not a relation"
+
+    def test_pretty_renders_all_columns(self):
+        relation = Relation(columns=("a", "b"), rows=[(1, None)])
+        text = relation.pretty()
+        assert "a" in text and "b" in text and "NULL" in text
+
+    def test_pretty_truncates(self):
+        relation = Relation(columns=("a",), rows=[(i,) for i in range(30)])
+        text = relation.pretty(max_rows=5)
+        assert "more rows" in text

@@ -1,0 +1,278 @@
+"""The Preference SQL Optimizer: rewriting correctness and SQL shape."""
+
+import sqlite3
+
+import pytest
+
+import repro
+from repro.errors import RewriteError
+from repro.rewrite.planner import rewrite_select, rewrite_statement
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+from repro.sql.printer import to_sql
+from repro.workloads.fixtures import FIXTURES, load_fixtures
+
+
+def rewrite_text(query, schema=None):
+    result = rewrite_select(parse_statement(query), schema=schema)
+    assert result.rewritten
+    return to_sql(result.statement)
+
+
+@pytest.fixture
+def con(fixture_connection):
+    return fixture_connection
+
+
+class TestPassThrough:
+    def test_plain_select_untouched(self):
+        statement = parse_statement("SELECT * FROM t WHERE a = 1")
+        result = rewrite_select(statement)
+        assert not result.rewritten
+        assert result.statement is statement
+
+    def test_plain_insert_untouched(self):
+        statement = parse_statement("INSERT INTO t VALUES (1)")
+        result = rewrite_statement(statement)
+        assert not result.rewritten
+
+
+class TestShape:
+    def test_not_exists_anti_join(self):
+        sql = rewrite_text("SELECT * FROM cars PREFERRING LOWEST(price)")
+        assert "NOT EXISTS" in sql
+        assert "cars AS cars_d" in sql
+
+    def test_pareto_shape_matches_paper(self):
+        # <= on every component, < on at least one (section 3.2).
+        sql = rewrite_text(
+            "SELECT * FROM Cars PREFERRING Make = 'Audi' AND Diesel = 'yes'"
+        )
+        assert sql.count("<=") == 2
+        assert sql.count("<") >= 4  # two <= plus two strict <
+        assert "CASE WHEN" in sql
+
+    def test_where_appears_on_both_copies(self):
+        sql = rewrite_text(
+            "SELECT * FROM cars WHERE make = 'Opel' PREFERRING LOWEST(price)"
+        )
+        assert "WHERE make = 'Opel'" in sql
+        assert "cars_d.make = 'Opel'" in sql
+        assert sql.count("'Opel'") == 2
+
+    def test_grouping_is_null_safe(self):
+        sql = rewrite_text(
+            "SELECT * FROM cars PREFERRING LOWEST(price) GROUPING color"
+        )
+        assert "cars_d.color = cars.color" in sql
+        assert "cars_d.color IS NULL AND cars.color IS NULL" in sql
+
+    def test_but_only_on_both_copies(self):
+        sql = rewrite_text(
+            "SELECT * FROM cars PREFERRING price AROUND 100 "
+            "BUT ONLY DISTANCE(price) <= 10"
+        )
+        # threshold once on the dominator copy, once on the candidate.
+        assert sql.count("<= 10") == 2
+
+    def test_alias_collision_avoided(self):
+        sql = rewrite_text("SELECT * FROM cars AS cars_d PREFERRING LOWEST(price)")
+        assert "cars_d_d" in sql
+
+    def test_order_by_and_limit_preserved(self):
+        sql = rewrite_text(
+            "SELECT * FROM cars PREFERRING LOWEST(price) ORDER BY price LIMIT 3"
+        )
+        assert sql.endswith("ORDER BY price LIMIT 3")
+
+    def test_cascade_lexicographic_expansion(self):
+        sql = rewrite_text(
+            "SELECT * FROM cars PREFERRING LOWEST(price) CASCADE LOWEST(mileage)"
+        )
+        # better1 OR (equal1 AND better2)
+        assert " OR " in sql
+        assert sql.count("CASE WHEN") >= 4
+
+    def test_explicit_closure_disjunction(self):
+        sql = rewrite_text(
+            "SELECT * FROM cars PREFERRING "
+            "EXPLICIT(color, 'red' > 'blue', 'blue' > 'green')"
+        )
+        # The transitive pair red > green must be in the condition.
+        assert "'red'" in sql and "'green'" in sql
+        assert sql.count("AND") >= 3
+
+    def test_rewritten_sql_is_plain_sql(self):
+        sql = rewrite_text("SELECT * FROM cars PREFERRING LOWEST(price)")
+        reparsed = parse_statement(sql)
+        assert not reparsed.is_preference_query
+
+
+class TestValidation:
+    def test_group_by_with_preferring_rejected(self):
+        with pytest.raises(RewriteError):
+            rewrite_text(
+                "SELECT color FROM cars PREFERRING LOWEST(price) GROUP BY color"
+            )
+
+    def test_unbound_parameters_rejected(self):
+        with pytest.raises(RewriteError):
+            rewrite_text("SELECT * FROM cars WHERE make = ? PREFERRING LOWEST(price)")
+
+    def test_derived_table_rejected(self):
+        with pytest.raises(RewriteError):
+            rewrite_text(
+                "SELECT * FROM (SELECT * FROM cars) AS s PREFERRING LOWEST(price)"
+            )
+
+    def test_duplicate_binding_rejected(self):
+        with pytest.raises(RewriteError):
+            rewrite_text("SELECT * FROM cars, cars PREFERRING LOWEST(price)")
+
+    def test_multi_table_needs_schema_for_unqualified(self):
+        with pytest.raises(RewriteError):
+            rewrite_text(
+                "SELECT * FROM cars, dealers WHERE cars.dealer_id = dealers.id "
+                "PREFERRING LOWEST(price)"
+            )
+
+    def test_multi_table_with_schema_resolves(self):
+        schema = {"cars": ["id", "price", "dealer_id"], "dealers": ["id", "city"]}
+        sql = rewrite_text(
+            "SELECT * FROM cars, dealers WHERE cars.dealer_id = dealers.id "
+            "PREFERRING LOWEST(price)",
+            schema=schema,
+        )
+        assert "cars_d" in sql and "dealers_d" in sql
+
+    def test_ambiguous_column_with_schema_rejected(self):
+        schema = {"a": ["x"], "b": ["x"]}
+        with pytest.raises(RewriteError):
+            rewrite_text("SELECT * FROM a, b PREFERRING LOWEST(x)", schema=schema)
+
+    def test_unknown_qualifier_rejected(self):
+        with pytest.raises(RewriteError):
+            rewrite_text("SELECT * FROM cars PREFERRING LOWEST(nothere.price)")
+
+
+class TestExecutionOnSqlite:
+    """The rewritten SQL must produce the BMO answer on the host database."""
+
+    def test_paper_cars(self, con):
+        rows = con.execute(
+            "SELECT * FROM Cars PREFERRING Make = 'Audi' AND Diesel = 'yes'"
+        ).fetchall()
+        assert sorted(row[0] for row in rows) == [1, 2]
+
+    def test_paper_oldtimer(self, con):
+        rows = con.execute(
+            "SELECT ident, color, age, LEVEL(color), DISTANCE(age) FROM oldtimer "
+            "PREFERRING color = 'white' ELSE color = 'yellow' AND age AROUND 40"
+        ).fetchall()
+        assert set(rows) == {
+            ("Selma", "red", 40, 3, 0),
+            ("Homer", "yellow", 35, 2, 5),
+            ("Maggie", "white", 19, 1, 21),
+        }
+
+    def test_grouping_on_sqlite(self, con):
+        rows = con.execute(
+            "SELECT city, apartment_id FROM apartments "
+            "PREFERRING HIGHEST(area) GROUPING city"
+        ).fetchall()
+        assert {row[1] for row in rows} == {2, 3, 5}
+
+    def test_but_only_on_sqlite(self, con):
+        rows = con.execute(
+            "SELECT trip_id FROM trips "
+            "PREFERRING start_day AROUND 184 AND duration AROUND 14 "
+            "BUT ONLY DISTANCE(start_day) <= 2 AND DISTANCE(duration) <= 2"
+        ).fetchall()
+        assert {row[0] for row in rows} == {7}
+
+    def test_dynamic_top_on_sqlite(self, con):
+        rows = con.execute(
+            "SELECT apartment_id, TOP(area) FROM apartments "
+            "WHERE city = 'Augsburg' PREFERRING HIGHEST(area)"
+        ).fetchall()
+        assert set(rows) == {(2, 1), (3, 1)}
+
+    def test_dynamic_distance_with_grouping(self, con):
+        rows = con.execute(
+            "SELECT city, apartment_id, DISTANCE(area) FROM apartments "
+            "PREFERRING HIGHEST(area) GROUPING city"
+        ).fetchall()
+        assert all(row[2] == 0 for row in rows)
+
+    def test_insert_select_preferring(self, con):
+        con.execute(
+            "CREATE TABLE best_cars (Identifier INTEGER, Make TEXT, Model TEXT, "
+            "Price INTEGER, Mileage INTEGER, Airbag TEXT, Diesel TEXT)"
+        )
+        con.execute(
+            "INSERT INTO best_cars SELECT * FROM Cars "
+            "PREFERRING Make = 'Audi' AND Diesel = 'yes'"
+        )
+        rows = con.execute("SELECT Identifier FROM best_cars").fetchall()
+        assert sorted(row[0] for row in rows) == [1, 2]
+
+    def test_contains_on_sqlite(self, connection):
+        connection.execute("CREATE TABLE rooms (id INTEGER, description TEXT)")
+        connection.cursor().executemany(
+            "INSERT INTO rooms VALUES (?, ?)",
+            [
+                (1, "quiet room with balcony"),
+                (2, "room with balcony"),
+                (3, "noisy room"),
+            ],
+        )
+        rows = connection.execute(
+            "SELECT id FROM rooms PREFERRING description CONTAINS 'quiet balcony'"
+        ).fetchall()
+        assert rows == [(1,)]
+
+    def test_explicit_on_sqlite(self, connection):
+        connection.execute("CREATE TABLE shirts (id INTEGER, color TEXT)")
+        connection.cursor().executemany(
+            "INSERT INTO shirts VALUES (?, ?)",
+            [(1, "red"), (2, "blue"), (3, "green"), (4, "purple")],
+        )
+        rows = connection.execute(
+            "SELECT id FROM shirts PREFERRING "
+            "EXPLICIT(color, 'red' > 'blue', 'blue' > 'green')"
+        ).fetchall()
+        assert {row[0] for row in rows} == {1, 4}
+
+    def test_join_preference_query(self, connection):
+        connection.execute("CREATE TABLE cars (id INTEGER, dealer_id INTEGER, price INTEGER)")
+        connection.execute("CREATE TABLE dealers (id INTEGER, city TEXT)")
+        connection.cursor().executemany(
+            "INSERT INTO cars VALUES (?, ?, ?)",
+            [(1, 1, 100), (2, 1, 200), (3, 2, 150)],
+        )
+        connection.cursor().executemany(
+            "INSERT INTO dealers VALUES (?, ?)", [(1, "Augsburg"), (2, "Munich")]
+        )
+        rows = connection.execute(
+            "SELECT cars.id FROM cars JOIN dealers ON cars.dealer_id = dealers.id "
+            "WHERE dealers.city = 'Augsburg' PREFERRING LOWEST(cars.price)"
+        ).fetchall()
+        assert rows == [(1,)]
+
+    def test_nulls_never_dominate(self, connection):
+        connection.execute("CREATE TABLE t (id INTEGER, x INTEGER)")
+        connection.cursor().executemany(
+            "INSERT INTO t VALUES (?, ?)", [(1, None), (2, 5), (3, 7)]
+        )
+        rows = connection.execute(
+            "SELECT id FROM t PREFERRING LOWEST(x)"
+        ).fetchall()
+        assert rows == [(2,)]
+
+    def test_all_null_candidates_survive(self, connection):
+        connection.execute("CREATE TABLE t (id INTEGER, x INTEGER)")
+        connection.cursor().executemany(
+            "INSERT INTO t VALUES (?, ?)", [(1, None), (2, None)]
+        )
+        rows = connection.execute("SELECT id FROM t PREFERRING LOWEST(x)").fetchall()
+        assert {row[0] for row in rows} == {1, 2}

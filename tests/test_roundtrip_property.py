@@ -1,0 +1,163 @@
+"""Property-based parse/print round-trips over generated ASTs.
+
+The corpus tests in test_printer.py check known queries; here hypothesis
+builds arbitrary preference terms and expressions directly as AST values
+and requires ``parse(to_sql(node)) == node`` — the printer must emit
+enough parentheses and quoting for any tree shape.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.sql import ast
+from repro.sql.parser import parse_expression, parse_preferring
+from repro.sql.printer import to_sql
+
+_identifiers = st.sampled_from(["price", "color", "mileage", "power", "x1"])
+_columns = st.builds(ast.Column, name=_identifiers)
+_number = st.integers(min_value=0, max_value=9999).map(lambda v: ast.Literal(value=v))
+_string = st.sampled_from(["red", "blue", "it's", "a%b", ""]).map(
+    lambda v: ast.Literal(value=v)
+)
+_scalar = st.one_of(_number, _string)
+
+
+@st.composite
+def base_terms(draw):
+    kind = draw(
+        st.sampled_from(
+            ["around", "between", "lowest", "highest", "score", "pos", "neg",
+             "contains", "explicit"]
+        )
+    )
+    column = draw(_columns)
+    if kind == "around":
+        return ast.AroundPref(operand=column, target=draw(_number))
+    if kind == "between":
+        low = draw(st.integers(0, 100))
+        high = draw(st.integers(100, 200))
+        return ast.BetweenPref(
+            operand=column,
+            low=ast.Literal(value=low),
+            high=ast.Literal(value=high),
+        )
+    if kind == "lowest":
+        return ast.LowestPref(operand=column)
+    if kind == "highest":
+        return ast.HighestPref(operand=column)
+    if kind == "score":
+        return ast.ScorePref(operand=column)
+    if kind == "pos":
+        values = draw(st.lists(_scalar, min_size=1, max_size=3))
+        return ast.PosPref(operand=column, values=tuple(values))
+    if kind == "neg":
+        values = draw(st.lists(_scalar, min_size=1, max_size=3))
+        return ast.NegPref(operand=column, values=tuple(values))
+    if kind == "contains":
+        return ast.ContainsPref(
+            operand=column, terms=ast.Literal(value="quiet balcony")
+        )
+    pairs = tuple(
+        (ast.Literal(value=f"v{i}"), ast.Literal(value=f"w{i}"))
+        for i in range(draw(st.integers(1, 3)))
+    )
+    return ast.ExplicitPref(operand=column, pairs=pairs)
+
+
+@st.composite
+def else_terms(draw):
+    # ELSE chains combine POS/NEG-style constituents only.
+    parts = draw(
+        st.lists(
+            st.one_of(
+                st.builds(
+                    ast.PosPref,
+                    operand=_columns,
+                    values=st.lists(_scalar, min_size=1, max_size=2).map(tuple),
+                ),
+                st.builds(
+                    ast.NegPref,
+                    operand=_columns,
+                    values=st.lists(_scalar, min_size=1, max_size=2).map(tuple),
+                ),
+            ),
+            min_size=2,
+            max_size=3,
+        )
+    )
+    return ast.ElsePref(parts=tuple(parts))
+
+
+@st.composite
+def pref_terms(draw, depth=2):
+    if depth == 0:
+        return draw(st.one_of(base_terms(), else_terms()))
+    constructor = draw(st.sampled_from(["base", "else", "pareto", "cascade"]))
+    if constructor == "base":
+        return draw(base_terms())
+    if constructor == "else":
+        return draw(else_terms())
+    parts = tuple(
+        draw(pref_terms(depth=depth - 1)) for _ in range(draw(st.integers(2, 3)))
+    )
+    if constructor == "pareto":
+        # Normalise: the parser flattens nested Pareto of the same level,
+        # so avoid direct Pareto-in-Pareto nesting.
+        parts = tuple(
+            part for part in parts if not isinstance(part, ast.ParetoPref)
+        ) or (draw(base_terms()), draw(base_terms()))
+        if len(parts) < 2:
+            parts = parts + (draw(base_terms()),)
+        return ast.ParetoPref(parts=parts)
+    parts = tuple(
+        part for part in parts if not isinstance(part, ast.CascadePref)
+    ) or (draw(base_terms()), draw(base_terms()))
+    if len(parts) < 2:
+        parts = parts + (draw(base_terms()),)
+    return ast.CascadePref(parts=parts)
+
+
+@given(term=pref_terms())
+@settings(max_examples=200, deadline=None)
+def test_preference_term_round_trip(term):
+    rendered = to_sql(term)
+    assert parse_preferring(rendered) == term
+
+
+@st.composite
+def expressions(draw, depth=2):
+    if depth == 0:
+        return draw(st.one_of(_columns, _number, _string))
+    kind = draw(st.sampled_from(["leaf", "binary", "unary", "case", "in", "isnull"]))
+    if kind == "leaf":
+        return draw(expressions(depth=0))
+    if kind == "binary":
+        op = draw(st.sampled_from(["+", "-", "*", "/", "=", "<", "AND", "OR"]))
+        return ast.Binary(
+            op=op,
+            left=draw(expressions(depth=depth - 1)),
+            right=draw(expressions(depth=depth - 1)),
+        )
+    if kind == "unary":
+        return ast.Unary(op=draw(st.sampled_from(["-", "NOT"])), operand=draw(expressions(depth=depth - 1)))
+    if kind == "case":
+        return ast.CaseWhen(
+            branches=(
+                (draw(expressions(depth=depth - 1)), draw(expressions(depth=depth - 1))),
+            ),
+            otherwise=draw(st.none() | expressions(depth=depth - 1)),
+        )
+    if kind == "in":
+        return ast.InList(
+            operand=draw(expressions(depth=0)),
+            items=tuple(draw(st.lists(_scalar, min_size=1, max_size=3))),
+            negated=draw(st.booleans()),
+        )
+    return ast.IsNull(operand=draw(expressions(depth=0)), negated=draw(st.booleans()))
+
+
+@given(expr=expressions())
+@settings(max_examples=200, deadline=None)
+def test_expression_round_trip(expr):
+    rendered = to_sql(expr)
+    assert parse_expression(rendered) == expr
