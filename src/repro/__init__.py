@@ -28,6 +28,7 @@ from repro import errors
 from repro.driver import Connection, Cursor, connect
 from repro.engine import PreferenceEngine, Relation
 from repro.model import build_preference
+from repro.plan import Plan, plan_statement
 from repro.rewrite import paper_style_script, rewrite_select, rewrite_statement
 from repro.sql import parse_expression, parse_preferring, parse_statement, to_sql
 
@@ -47,6 +48,8 @@ __all__ = [
     "rewrite_statement",
     "rewrite_select",
     "paper_style_script",
+    "Plan",
+    "plan_statement",
     "errors",
     "__version__",
 ]

@@ -1,11 +1,11 @@
-"""CLI: ``python -m repro.bench [e1 e2 ...] [--quick]``."""
+"""CLI: ``python -m repro.bench [e1 e2 ... | plan] [--quick]``."""
 
 from __future__ import annotations
 
 import argparse
 import sys
 
-from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.experiments import ALIASES, EXPERIMENTS, run_experiment
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -17,7 +17,10 @@ def main(argv: list[str] | None = None) -> int:
         "experiments",
         nargs="*",
         default=list(EXPERIMENTS),
-        help=f"experiment ids (default: all of {', '.join(EXPERIMENTS)})",
+        help=(
+            f"experiment ids (default: all of {', '.join(EXPERIMENTS)}; "
+            f"aliases: {', '.join(f'{a}={t}' for a, t in ALIASES.items())})"
+        ),
     )
     parser.add_argument(
         "--quick", action="store_true", help="smaller data sizes for smoke runs"

@@ -374,6 +374,119 @@ def e7_rewrite_vs_engine(quick: bool = False) -> Report:
     return report
 
 
+def e8_plan_selection(quick: bool = False) -> Report:
+    """The plan benchmark: cost-based auto-selection vs fixed strategies.
+
+    Loads the jobs, shop and COSIMA workloads into sqlite at several
+    cardinalities and runs one representative preference query per case
+    with the automatically selected strategy and with every strategy
+    pinned.  All strategies must return identical rows; the interesting
+    output is the timing spread and whether auto lands on (or near) the
+    per-case winner.  ``--quick`` shrinks the cardinalities for CI smoke
+    runs.
+    """
+    from repro.plan.cost import STRATEGIES
+    from repro.workloads.fixtures import relation_to_sqlite
+    from repro.workloads.shop import SearchMask, mask_to_preference_sql, washing_machines_relation
+
+    report = Report(
+        experiment="E8",
+        title="cost-based plan selection: auto vs fixed strategies",
+    )
+    table = Table(("workload", "n", "strategy", "rows", "time [ms]"))
+    raw: dict = {}
+
+    def jobs_case(connection, n: int) -> str:
+        load_jobs(connection, n=n)
+        return benchmark_queries("600", "A").preferring
+
+    def shop_case(connection, n: int) -> str:
+        relation_to_sqlite(
+            connection, "products", washing_machines_relation(rows=n)
+        )
+        mask = SearchMask(
+            manufacturer="Miola",
+            width=60,
+            spinspeed=1400,
+            max_powerconsumption=1.2,
+            minimize_waterconsumption=True,
+            price_low=800,
+            price_high=2200,
+        )
+        return mask_to_preference_sql(mask)
+
+    def cosima_case(connection, n: int) -> str:
+        search = MetaSearch(shops=make_shops(3), catalog=make_catalog(n))
+        offers, _latencies = search.gather(session=1)
+        relation_to_sqlite(connection, "offers", offers)
+        return (
+            "SELECT * FROM offers PREFERRING LOWEST(price) "
+            "AND LOWEST(delivery_days) AND HIGHEST(rating)"
+        )
+
+    def points_case(connection, n: int) -> str:
+        # The [BKS01]-style distribution of E5/E7 — the shape where the
+        # in-memory skylines overtake the quadratic anti-join.
+        matrix = DISTRIBUTIONS["independent"](n, 3, seed=3)
+        relation_to_sqlite(connection, "points", vectors_to_relation(matrix))
+        return "SELECT * FROM points PREFERRING " + lowest_preference_sql(3)
+
+    cases: list[tuple[str, int, object]] = []
+    for n in (2000,) if quick else (4000, 12000):
+        cases.append(("jobs", n, jobs_case))
+    for n in (300,) if quick else (1000, 4000):
+        cases.append(("shop", n, shop_case))
+    for n in (150,) if quick else (400, 1200):
+        cases.append(("cosima", n, cosima_case))
+    for n in (2000,) if quick else (8000, 16000):
+        cases.append(("points", n, points_case))
+
+    repeats = 1 if quick else 2
+    for workload, n, loader in cases:
+        connection = repro.connect(":memory:")
+        query = loader(connection, n)
+        baseline: list | None = None
+        for strategy in ("auto",) + STRATEGIES:
+            algorithm = None if strategy == "auto" else strategy
+            cursor_box: dict = {}
+
+            def run():
+                cursor = connection.execute(query, algorithm=algorithm)
+                cursor_box["plan"] = cursor.plan
+                return cursor.fetchall()
+
+            rows, timing = time_call(run, repeats=repeats)
+            if baseline is None:
+                baseline = rows
+            elif rows != baseline:
+                raise AssertionError(
+                    f"strategy {strategy} disagrees on {workload} n={n}: "
+                    f"{len(rows)} vs {len(baseline)} rows"
+                )
+            label = strategy
+            if strategy == "auto" and cursor_box["plan"] is not None:
+                label = f"auto -> {cursor_box['plan'].strategy}"
+            table.add(workload, n, label, len(rows), timing.ms())
+            raw[(workload, n, strategy)] = {
+                "rows": len(rows),
+                "seconds": timing.best,
+                "chosen": (
+                    cursor_box["plan"].strategy
+                    if cursor_box["plan"] is not None
+                    else None
+                ),
+            }
+        connection.close()
+    report.add_table("auto-selection vs pinned strategies", table)
+    report.note(
+        "all strategies must return identical rows; auto should track the "
+        "per-case winner — rewrite on tiny candidate sets, an in-memory "
+        "skyline once the anti-join's quadratic term dominates."
+    )
+    report.data = raw
+    return report
+
+
 EXPERIMENTS = {
     "e1": e1_jobs_benchmark,
     "e2": e2_oldtimer,
@@ -382,12 +495,17 @@ EXPERIMENTS = {
     "e5": e5_algorithms,
     "e6": e6_bmo_sizes,
     "e7": e7_rewrite_vs_engine,
+    "e8": e8_plan_selection,
 }
+
+#: Friendly aliases accepted by ``run_experiment`` and the CLI.
+ALIASES = {"plan": "e8"}
 
 
 def run_experiment(name: str, quick: bool = False) -> Report:
-    """Run one experiment by id (``e1`` ... ``e7``)."""
+    """Run one experiment by id (``e1`` ... ``e8``, or an alias)."""
     key = name.lower()
+    key = ALIASES.get(key, key)
     if key not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {name!r}; available: {', '.join(EXPERIMENTS)}"

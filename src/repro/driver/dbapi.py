@@ -1,39 +1,100 @@
 """PEP 249-style driver wrapping sqlite3 with Preference SQL support.
 
-Layering (paper section 3.1, figure):
+Layering (paper section 3.1, figure — extended with the cost-based plan
+selector of :mod:`repro.plan`):
 
-    application → Preference driver → Preference SQL Optimizer
-                → standard driver (sqlite3) → SQL database
+    application → Preference driver → parse+plan cache
+                → Preference SQL Optimizer (rewrite)
+                → cost-based plan selector ─┬→ standard driver (sqlite3)
+                                            └→ pushdown + in-memory engine
 
 Behaviour:
 
 * statements without preference keywords pass straight through (native
   parameter binding, zero parsing overhead),
-* ``CREATE/DROP PREFERENCE`` maintain the persistent catalog,
-* preference SELECT/INSERT statements are parsed, their parameters bound,
-  the catalog consulted for named preferences, the statement rewritten to
-  standard SQL and executed on sqlite; the rewritten text is kept on the
-  cursor (``executed_sql``) for inspection.
+* ``CREATE/DROP PREFERENCE`` maintain the persistent catalog and bump the
+  *catalog version*, orphaning cached plans that resolved named
+  preferences,
+* preference SELECT/INSERT statements are parsed, planned (or served from
+  the LRU parse+plan cache keyed on statement text and catalog version),
+  their parameters bound, and executed on the strategy the cost model
+  selected: either the ``NOT EXISTS`` rewrite on the host database, or a
+  hard-condition pushdown followed by an in-memory skyline algorithm,
+* ``EXPLAIN PREFERENCE <select>`` returns the chosen plan, per-step cost
+  estimates and the rewritten SQL as a result relation without executing
+  the query,
+* every statement that may change table contents bumps the *data version*,
+  invalidating the per-connection statistics cache.
 """
 
 from __future__ import annotations
 
 import re
 import sqlite3
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.engine.bmo import PreferenceEngine
+from repro.engine.relation import Relation
 from repro.errors import DriverError, PreferenceSQLError
 from repro.pdl.catalog import PreferenceCatalog
-from repro.rewrite.planner import rewrite_statement
+from repro.plan.cache import CacheStats, PlanCache
+from repro.plan.explain import plan_relation, plan_text
+from repro.plan.planner import Plan, plan_statement, rebind_plan
+from repro.plan.statistics import StatisticsCache, TableStatistics
 from repro.sql import ast
 from repro.sql.params import bind_parameters
 from repro.sql.parser import parse_statement
 from repro.sql.printer import to_sql
 
 #: Cheap detector for statements that *may* use Preference SQL constructs.
-#: False positives only cost a parse; false negatives are impossible since
-#: every preference construct requires one of these keywords.
-_PREFERENCE_HINT = re.compile(r"\b(PREFERRING|PREFERENCE)\b", re.IGNORECASE)
+#:
+#: The contract this fast path guarantees:
+#:
+#: * **False negatives are impossible.**  Every construct the dialect
+#:   handles is introduced by one of these keywords — ``PREFERRING``
+#:   (the preference query block), ``PREFERENCE`` (the PDL statements and
+#:   named-preference references) and ``EXPLAIN`` (``EXPLAIN
+#:   PREFERENCE``).  A statement matching none of them is standard SQL and
+#:   is forwarded without any parsing overhead.
+#: * **False positives are allowed and cheap.**  A plain-SQL statement
+#:   that merely mentions one of the words — sqlite's own ``EXPLAIN QUERY
+#:   PLAN``, a column named ``preference`` — costs one failed dialect
+#:   parse and then takes the pass-through path with native parameter
+#:   binding.  Correctness is never affected, only a few microseconds;
+#:   the parse outcome is cached, so repeats pay nothing.
+_PREFERENCE_HINT = re.compile(r"\b(PREFERRING|PREFERENCE|EXPLAIN)\b", re.IGNORECASE)
+
+#: Constructs ``executescript`` genuinely cannot execute.  Narrower than
+#: :data:`_PREFERENCE_HINT` on purpose: a script mentioning ``EXPLAIN``
+#: (sqlite's own facility, or a comment) is still plain SQL.
+_SCRIPT_HINT = re.compile(r"\b(PREFERRING|PREFERENCE)\b", re.IGNORECASE)
+
+#: Statements that may change table contents (and hence the statistics).
+#: Deliberately unanchored so CTE-prefixed DML (``WITH ... INSERT``)
+#: matches too; over-matching is fine — a spurious data-version bump only
+#: costs one re-gathered COUNT per table.
+_DML_HINT = re.compile(
+    r"\b(INSERT|UPDATE|DELETE|REPLACE|CREATE|DROP|ALTER)\b", re.IGNORECASE
+)
+
+
+@dataclass
+class _CachedStatement:
+    """One parse+plan cache entry.
+
+    ``statement is None`` marks text that is *not* parseable as Preference
+    SQL (the pass-through path); ``param_free`` records whether the cached
+    plan's SQL texts can be reused verbatim (no ``?`` markers bound into
+    them); ``data_version`` is the connection's data version at planning
+    time — a later DML means the statistics the strategy was chosen on are
+    stale, so the statement is re-planned (parsing is still skipped).
+    """
+
+    statement: ast.Statement | None
+    plan: Plan | None
+    param_free: bool
+    data_version: int = 0
 
 
 def connect(database: str = ":memory:", **kwargs) -> "Connection":
@@ -51,6 +112,11 @@ class Connection:
         #: (original, executed) statement pairs, newest last; for tests
         #: and the answer-explanation examples.
         self.trace: list[tuple[str, str]] = []
+        self._data_version = 0
+        self._catalog_version = 0
+        self._statistics: StatisticsCache | None = None
+        self._plan_cache: PlanCache[_CachedStatement] = PlanCache()
+        self._schema_cache: tuple[int, dict[str, list[str]]] | None = None
 
     @property
     def raw(self) -> sqlite3.Connection:
@@ -64,14 +130,55 @@ class Connection:
             self._catalog = PreferenceCatalog(self._raw)
         return self._catalog
 
+    @property
+    def data_version(self) -> int:
+        """Bumped by every statement that may change table contents."""
+        return self._data_version
+
+    @property
+    def catalog_version(self) -> int:
+        """Bumped by CREATE/DROP PREFERENCE; part of the plan-cache key."""
+        return self._catalog_version
+
+    @property
+    def statistics(self) -> StatisticsCache:
+        """The per-connection table statistics cache."""
+        if self._statistics is None:
+            self._statistics = StatisticsCache(
+                self._raw, version=lambda: self._data_version
+            )
+        return self._statistics
+
+    def table_statistics(
+        self, table: str, columns: Sequence[str] = ()
+    ) -> TableStatistics:
+        """Row count and distinct counts for a table (cached)."""
+        return self.statistics.for_table(table, columns)
+
+    def plan_cache_stats(self) -> CacheStats:
+        """Hit/miss/eviction counters of the parse+plan cache."""
+        return self._plan_cache.stats()
+
+    def clear_plan_cache(self) -> None:
+        """Drop all cached plans (counters keep accumulating)."""
+        self._plan_cache.clear()
+
+    def _note_data_change(self) -> None:
+        self._data_version += 1
+
     def cursor(self) -> "Cursor":
         """Open a cursor."""
         return Cursor(self)
 
-    def execute(self, sql: str, params: Sequence[object] = ()) -> "Cursor":
+    def execute(
+        self,
+        sql: str,
+        params: Sequence[object] = (),
+        algorithm: str | None = None,
+    ) -> "Cursor":
         """Convenience: open a cursor and execute one statement."""
         cursor = self.cursor()
-        cursor.execute(sql, params)
+        cursor.execute(sql, params, algorithm=algorithm)
         return cursor
 
     def commit(self) -> None:
@@ -79,6 +186,13 @@ class Connection:
 
     def rollback(self) -> None:
         self._raw.rollback()
+        # Rolled-back DML may have bumped the data version already, but a
+        # rollback can also *revert* table contents — either way the
+        # statistics must not survive it.  CREATE/DROP PREFERENCE are
+        # transactional too, so cached plans that resolved named
+        # preferences against the rolled-back catalog must be orphaned.
+        self._note_data_change()
+        self._catalog_version += 1
 
     def close(self) -> None:
         self._raw.close()
@@ -96,7 +210,16 @@ class Connection:
     # ------------------------------------------------------------------
 
     def schema(self) -> dict[str, list[str]]:
-        """Table → column names, read from the sqlite catalog."""
+        """Table → column names, read from the sqlite catalog.
+
+        Cached per data version: the catalog scan plus one PRAGMA per
+        table would otherwise run on every preference execution, dwarfing
+        what the plan cache saves.  DDL bumps the data version and
+        refreshes it.
+        """
+        cached = self._schema_cache
+        if cached is not None and cached[0] == self._data_version:
+            return cached[1]
         tables = self._raw.execute(
             "SELECT name FROM sqlite_master WHERE type IN ('table', 'view')"
         ).fetchall()
@@ -104,15 +227,38 @@ class Connection:
         for (name,) in tables:
             info = self._raw.execute(f"PRAGMA table_info({_quote(name)})").fetchall()
             result[name] = [row[1] for row in info]
+        self._schema_cache = (self._data_version, result)
         return result
+
+    def plan(
+        self,
+        statement: ast.Statement | str,
+        params: Sequence[object] = (),
+        force: str | None = None,
+    ) -> Plan:
+        """Plan a statement without executing it."""
+        if isinstance(statement, str):
+            statement = parse_statement(statement)
+        if isinstance(statement, ast.ExplainPreference):
+            statement = statement.statement
+        if params:
+            statement = bind_parameters(statement, params)
+        return plan_statement(
+            statement,
+            schema=self.schema(),
+            resolver=self.catalog.resolve,
+            statistics=self.statistics.for_table,
+            force=force,
+        )
 
     def explain(self, sql: str) -> str:
         """Explain how a statement would be executed, without running it.
 
         For preference queries the report shows the normalised preference
-        tree, the rewrite notes of the Preference SQL Optimizer, the
-        emitted standard SQL and the host database's own query plan.
-        Plain SQL reports the pass-through path.
+        tree, the selected execution strategy with its cost estimates, the
+        rewrite notes of the Preference SQL Optimizer, the emitted
+        standard SQL and the host database's own query plan.  Plain SQL
+        reports the pass-through path.
         """
         from repro.model.algebra import describe, normalize
 
@@ -124,28 +270,59 @@ class Connection:
             return f"pass-through: not parseable as Preference SQL ({error})"
         if isinstance(statement, (ast.CreatePreference, ast.DropPreference)):
             return "catalog statement: maintains the persistent preference catalog"
+        if isinstance(statement, ast.ExplainPreference):
+            statement = statement.statement
 
-        result = rewrite_statement(
-            statement, schema=self.schema(), resolver=self.catalog.resolve
-        )
-        if not result.rewritten:
+        plan = self.plan(statement)
+        if plan.strategy == "passthrough":
             return "pass-through: no PREFERRING clause, executed as-is"
 
         query = statement.query if isinstance(statement, ast.Insert) else statement
         lines = ["preference query", "", "preference tree:"]
         lines.append(describe(normalize(query.preferring), indent=1))
-        for note in result.notes:
-            lines.append(f"note: {note}")
-        rewritten_sql = to_sql(result.statement)
-        lines += ["", "rewritten SQL:", f"  {rewritten_sql}", "", "host plan:"]
+        lines += ["", plan_text(plan)]
+        host_sql = plan.pushdown_sql or plan.rewritten_sql
+        lines += ["", "host plan:"]
         try:
-            plan = self._raw.execute(
-                f"EXPLAIN QUERY PLAN {rewritten_sql}"
+            host_plan = self._raw.execute(
+                f"EXPLAIN QUERY PLAN {host_sql}"
             ).fetchall()
-            lines += [f"  {row[-1]}" for row in plan]
+            lines += [f"  {row[-1]}" for row in host_plan]
         except sqlite3.Error as error:  # pragma: no cover - plan is advisory
             lines.append(f"  (unavailable: {error})")
         return "\n".join(lines)
+
+
+class _LocalResult:
+    """A locally-materialised result set (in-memory engine or EXPLAIN)."""
+
+    def __init__(self, relation: Relation):
+        self.relation = relation
+        self._position = 0
+
+    @property
+    def description(self):
+        return tuple(
+            (name, None, None, None, None, None, None)
+            for name in self.relation.columns
+        )
+
+    def fetchone(self):
+        if self._position >= len(self.relation.rows):
+            return None
+        row = self.relation.rows[self._position]
+        self._position += 1
+        return row
+
+    def fetchmany(self, size: int):
+        rows = self.relation.rows[self._position : self._position + size]
+        self._position += len(rows)
+        return rows
+
+    def fetchall(self):
+        rows = self.relation.rows[self._position :]
+        self._position = len(self.relation.rows)
+        return rows
 
 
 class Cursor:
@@ -157,48 +334,128 @@ class Cursor:
         self._connection = connection
         self._raw = connection.raw.cursor()
         #: The SQL text actually sent to the host database, None before
-        #: the first execute.  For preference queries this is the rewrite.
+        #: the first execute.  For preference queries this is the rewrite
+        #: (or, for in-memory strategies, the hard-condition pushdown).
         self.executed_sql: str | None = None
-        #: True when the last statement went through the rewriter.
+        #: True when the last statement went through the planner.
         self.was_rewritten: bool = False
+        #: The :class:`~repro.plan.planner.Plan` of the last preference
+        #: statement, None for pass-through and catalog statements.
+        self.plan: Plan | None = None
+        self._result: _LocalResult | None = None
 
     # ------------------------------------------------------------------
     # Execution
 
-    def execute(self, sql: str, params: Sequence[object] = ()) -> "Cursor":
-        """Execute one statement (preference-extended or plain SQL)."""
+    def execute(
+        self,
+        sql: str,
+        params: Sequence[object] = (),
+        algorithm: str | None = None,
+    ) -> "Cursor":
+        """Execute one statement (preference-extended or plain SQL).
+
+        ``algorithm`` pins the execution strategy (``rewrite``, ``bnl``,
+        ``sfs``, ``dnc``) instead of letting the cost model choose; pinned
+        executions bypass the plan cache.
+        """
+        self.plan = None
+        self._result = None
         if not _PREFERENCE_HINT.search(sql):
             return self._passthrough(sql, params)
 
-        try:
-            statement = parse_statement(sql)
-        except PreferenceSQLError:
-            # Keyword was a column/table name in plain SQL the dialect
-            # parser does not fully cover — let the host database decide.
-            return self._passthrough(sql, params)
+        connection = self._connection
+        use_cache = algorithm is None
+        entry = (
+            connection._plan_cache.get(sql, connection.catalog_version)
+            if use_cache
+            else None
+        )
+        if entry is not None:
+            if entry.statement is None:
+                return self._passthrough(sql, params)
+            statement = entry.statement
+        else:
+            try:
+                statement = parse_statement(sql)
+            except PreferenceSQLError:
+                # Keyword was a column/table name in plain SQL the dialect
+                # parser does not fully cover — let the host database
+                # decide (and remember the verdict).
+                if use_cache:
+                    connection._plan_cache.put(
+                        sql,
+                        connection.catalog_version,
+                        _CachedStatement(statement=None, plan=None, param_free=True),
+                    )
+                return self._passthrough(sql, params)
 
         if isinstance(statement, ast.CreatePreference):
-            self._connection.catalog.create(statement)
+            connection.catalog.create(statement)
+            connection._catalog_version += 1
             self.executed_sql = None
             self.was_rewritten = False
             return self
         if isinstance(statement, ast.DropPreference):
-            self._connection.catalog.drop(statement.name)
+            connection.catalog.drop(statement.name)
+            connection._catalog_version += 1
             self.executed_sql = None
             self.was_rewritten = False
             return self
+        if isinstance(statement, ast.ExplainPreference):
+            if entry is None and use_cache:
+                connection._plan_cache.put(
+                    sql,
+                    connection.catalog_version,
+                    _CachedStatement(statement=statement, plan=None, param_free=True),
+                )
+            return self._execute_explain(statement, params, algorithm)
 
-        if params:
-            statement = bind_parameters(statement, params)
-            params = ()
-        result = rewrite_statement(
-            statement,
-            schema=self._connection.schema(),
-            resolver=self._connection.catalog.resolve,
-        )
-        if not result.rewritten:
+        bound = bind_parameters(statement, params) if params else statement
+        fresh = entry is not None and entry.data_version == connection.data_version
+        if entry is not None and entry.plan is not None and fresh:
+            plan = entry.plan
+            if params or not entry.param_free:
+                plan = rebind_plan(
+                    plan,
+                    bound,
+                    schema=connection.schema(),
+                    resolver=connection.catalog.resolve,
+                )
+        else:
+            # First sighting, or the data version moved under a cached
+            # plan: re-plan so the strategy tracks the current statistics
+            # (parsing was still skipped on the stale-hit path).
+            plan = plan_statement(
+                bound,
+                schema=connection.schema(),
+                resolver=connection.catalog.resolve,
+                statistics=connection.statistics.for_table,
+                force=algorithm,
+            )
+            if use_cache:
+                connection._plan_cache.put(
+                    sql,
+                    connection.catalog_version,
+                    _CachedStatement(
+                        statement=statement,
+                        plan=plan,
+                        param_free=not params,
+                        data_version=connection.data_version,
+                    ),
+                )
+
+        if plan.strategy == "passthrough":
             return self._passthrough(sql, params)
-        rewritten_sql = to_sql(result.statement)
+        self.plan = plan
+        if plan.uses_engine:
+            return self._execute_in_memory(sql, plan)
+        return self._execute_rewrite(sql, bound, plan)
+
+    def _execute_rewrite(
+        self, sql: str, bound: ast.Statement, plan: Plan
+    ) -> "Cursor":
+        rewritten_sql = plan.rewritten_sql
         self._connection.trace.append((sql, rewritten_sql))
         self.executed_sql = rewritten_sql
         self.was_rewritten = True
@@ -208,6 +465,59 @@ class Cursor:
             raise DriverError(
                 f"host database rejected rewritten SQL: {error}\n{rewritten_sql}"
             ) from error
+        if isinstance(bound, ast.Insert):
+            self._connection._note_data_change()
+        return self
+
+    def _execute_in_memory(self, sql: str, plan: Plan) -> "Cursor":
+        connection = self._connection
+        try:
+            raw_cursor = connection.raw.execute(plan.pushdown_sql)
+        except sqlite3.Error as error:
+            raise DriverError(
+                f"host database rejected pushdown SQL: {error}\n{plan.pushdown_sql}"
+            ) from error
+        columns = [entry[0] for entry in raw_cursor.description]
+        candidates = Relation(columns=columns, rows=raw_cursor.fetchall())
+        engine = PreferenceEngine(
+            {plan.table: candidates}, algorithm=plan.strategy
+        )
+        result = engine.execute_select(plan.residual)
+        self._result = _LocalResult(result)
+        self.executed_sql = plan.pushdown_sql
+        self.was_rewritten = True
+        connection.trace.append(
+            (sql, f"{plan.pushdown_sql} /* + in-memory {plan.strategy} */")
+        )
+        return self
+
+    def _execute_explain(
+        self,
+        statement: ast.ExplainPreference,
+        params: Sequence[object],
+        algorithm: str | None = None,
+    ) -> "Cursor":
+        connection = self._connection
+        inner = statement.statement
+        bound = bind_parameters(inner, params) if params else inner
+        plan = plan_statement(
+            bound,
+            schema=connection.schema(),
+            resolver=connection.catalog.resolve,
+            statistics=connection.statistics.for_table,
+            force=algorithm,
+        )
+        stats = connection.plan_cache_stats()
+        cache_note = (
+            f"{stats.hits} hits / {stats.misses} misses, "
+            f"size {stats.size}/{stats.maxsize}"
+        )
+        self._result = _LocalResult(
+            plan_relation(plan, source_sql=to_sql(bound), cache_note=cache_note)
+        )
+        self.executed_sql = None
+        self.was_rewritten = False
+        self.plan = plan
         return self
 
     def _passthrough(self, sql: str, params: Sequence[object]) -> "Cursor":
@@ -218,6 +528,8 @@ class Cursor:
             self._raw.execute(sql, tuple(params))
         except sqlite3.Error as error:
             raise DriverError(str(error)) from error
+        if _DML_HINT.search(sql):
+            self._connection._note_data_change()
         return self
 
     def executemany(self, sql: str, rows: Iterable[Sequence[object]]) -> "Cursor":
@@ -225,10 +537,14 @@ class Cursor:
         if not _PREFERENCE_HINT.search(sql):
             self.executed_sql = sql
             self.was_rewritten = False
+            self.plan = None
+            self._result = None
             try:
                 self._raw.executemany(sql, [tuple(row) for row in rows])
             except sqlite3.Error as error:
                 raise DriverError(str(error)) from error
+            if _DML_HINT.search(sql):
+                self._connection._note_data_change()
             return self
         for row in rows:
             self.execute(sql, row)
@@ -236,23 +552,30 @@ class Cursor:
 
     def executescript(self, script: str) -> "Cursor":
         """Run a plain SQL script (no preference constructs)."""
-        if _PREFERENCE_HINT.search(script):
+        if _SCRIPT_HINT.search(script):
             raise DriverError(
                 "executescript is a plain-SQL fast path; execute preference "
                 "statements one by one"
             )
+        self.plan = None
+        self._result = None
         self._raw.executescript(script)
+        self._connection._note_data_change()
         return self
 
     # ------------------------------------------------------------------
-    # Results (delegated)
+    # Results (delegated, or served from a local relation)
 
     @property
     def description(self):
+        if self._result is not None:
+            return self._result.description
         return self._raw.description
 
     @property
     def rowcount(self) -> int:
+        if self._result is not None:
+            return -1
         return self._raw.rowcount
 
     @property
@@ -260,15 +583,24 @@ class Cursor:
         return self._raw.lastrowid
 
     def fetchone(self):
+        if self._result is not None:
+            return self._result.fetchone()
         return self._raw.fetchone()
 
     def fetchall(self):
+        if self._result is not None:
+            return self._result.fetchall()
         return self._raw.fetchall()
 
     def fetchmany(self, size: int | None = None):
-        return self._raw.fetchmany(size if size is not None else self.arraysize)
+        count = size if size is not None else self.arraysize
+        if self._result is not None:
+            return self._result.fetchmany(count)
+        return self._raw.fetchmany(count)
 
     def __iter__(self):
+        if self._result is not None:
+            return iter(self._result.fetchall())
         return iter(self._raw)
 
     def close(self) -> None:
@@ -277,9 +609,9 @@ class Cursor:
     @property
     def column_names(self) -> list[str]:
         """Result column names of the last query."""
-        if self._raw.description is None:
+        if self.description is None:
             return []
-        return [entry[0] for entry in self._raw.description]
+        return [entry[0] for entry in self.description]
 
 
 def _quote(name: str) -> str:

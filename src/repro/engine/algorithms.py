@@ -179,12 +179,23 @@ def maximal_indices(
     vectors: Sequence[Vector],
     algorithm: str = "bnl",
 ) -> list[int]:
-    """Compute the maximal (BMO) row indices with the chosen algorithm."""
+    """Compute the maximal (BMO) row indices with the chosen algorithm.
+
+    ``algorithm="auto"`` asks the plan cost model
+    (:func:`repro.plan.cost.choose_algorithm`) to pick among the in-memory
+    algorithms from the input size and preference dimensionality.
+    """
+    if algorithm == "auto":
+        from repro.plan.cost import choose_algorithm
+
+        algorithm = choose_algorithm(
+            len(vectors), len(list(preference.iter_base()))
+        )
     try:
         implementation = ALGORITHMS[algorithm]
     except KeyError:
         raise EvaluationError(
             f"unknown skyline algorithm {algorithm!r}; "
-            f"choose from {', '.join(sorted(ALGORITHMS))}"
+            f"choose from auto, {', '.join(sorted(ALGORITHMS))}"
         )
     return implementation(preference, vectors)

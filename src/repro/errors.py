@@ -64,6 +64,14 @@ class RewriteError(PreferenceSQLError):
     """The Preference SQL Optimizer could not produce standard SQL."""
 
 
+class PlanError(PreferenceSQLError):
+    """The cost-based planner could not gather statistics or select a plan.
+
+    Also raised when a caller forces an execution strategy the statement is
+    not eligible for (e.g. an in-memory skyline on a multi-table query).
+    """
+
+
 class EvaluationError(PreferenceSQLError):
     """The in-memory engine failed to evaluate an expression over a row."""
 

@@ -1,0 +1,85 @@
+"""An LRU parse+plan cache for the driver's hot path.
+
+Under production traffic the same statement texts arrive over and over
+with different parameters.  Parsing and planning (which includes a
+statistics lookup and a full rewrite) are pure functions of the statement
+text and the preference catalog, so the driver caches their outcome keyed
+on ``(statement text, catalog version)``: a ``CREATE/DROP PREFERENCE``
+bumps the catalog version and naturally orphans every plan that might have
+resolved a named preference differently.
+
+The cache is deliberately tiny and dependency-free — an ``OrderedDict``
+in LRU discipline with hit/miss/eviction counters surfaced through
+:class:`CacheStats` (``Connection.plan_cache_stats()``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generic, Hashable, TypeVar
+
+Entry = TypeVar("Entry")
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of plan-cache effectiveness."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class PlanCache(Generic[Entry]):
+    """LRU mapping of ``(statement text, catalog version)`` → cached plan."""
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise ValueError("plan cache needs room for at least one entry")
+        self._maxsize = maxsize
+        self._entries: OrderedDict[Hashable, Entry] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, text: str, catalog_version: int) -> Entry | None:
+        key = (text, catalog_version)
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return entry
+
+    def put(self, text: str, catalog_version: int, entry: Entry) -> None:
+        key = (text, catalog_version)
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._maxsize:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries; counters keep accumulating."""
+        self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._entries),
+            maxsize=self._maxsize,
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)

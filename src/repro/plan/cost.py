@@ -1,0 +1,276 @@
+"""The calibrated cost model behind plan selection.
+
+Four candidate strategies compete for every preference SELECT:
+
+* ``rewrite`` — the paper's selection method (section 3.2): a correlated
+  ``NOT EXISTS`` anti-join executed entirely by the host database,
+* ``bnl`` / ``sfs`` / ``dnc`` — a hard-condition pushdown fetches the
+  WHERE-surviving candidates, then one of the in-memory skyline algorithms
+  of :mod:`repro.engine.algorithms` computes the BMO set.
+
+The model prices each strategy in seconds from three inputs: the estimated
+candidate count ``n`` (row count × System-R-style WHERE selectivity), the
+estimated maximal-set size ``s`` (the classical ``(ln n)^(d-1)/(d-1)!``
+skyline estimate for ``d`` preference dimensions, corrected for duplicate
+operand values via distinct counts), and per-operation constants calibrated
+against this repo's E5/E7 benchmarks on sqlite.  The constants are grouped
+in :class:`CostModel` so experiments can re-calibrate without touching the
+formulas.  Absolute numbers are deliberately rough — only the *crossover
+points* between strategies need to be right, and those are dominated by the
+quadratic anti-join versus the linear fetch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import PlanError
+from repro.sql import ast
+
+#: Strategies that evaluate the BMO set in Python after a pushdown.
+IN_MEMORY_STRATEGIES: tuple[str, ...] = ("bnl", "sfs", "dnc")
+
+#: All selectable execution strategies, in tie-breaking order.
+STRATEGIES: tuple[str, ...] = ("rewrite",) + IN_MEMORY_STRATEGIES
+
+#: Assumed distinct count for preference dimensions whose operand is a
+#: computed expression (no column statistics available).
+_DEFAULT_DISTINCT = 64
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation cost constants, in seconds.
+
+    Calibrated against measured runs of the jobs/shop/cosima workloads and
+    the E5/E7 point distributions on sqlite: one anti-join probe in
+    sqlite's VM is ~50 ns, a dominance test through the compiled
+    comparator ~0.25 µs, moving one (8-column) row across the
+    sqlite→Python boundary and into an engine bundle ~3 µs, and one
+    ``dominance_key`` computation for the SFS presort ~0.9 µs amortised
+    per ``n·log n``.  Setup constants capture the fixed overhead of,
+    respectively, preparing a host statement and standing up the in-memory
+    engine for one query.
+    """
+
+    sql_probe: float = 0.05e-6
+    py_dominance: float = 0.25e-6
+    row_fetch: float = 3.0e-6
+    sort_key: float = 0.9e-6
+    sql_setup: float = 0.4e-3
+    py_setup: float = 1.3e-3
+
+
+DEFAULT_COST_MODEL = CostModel()
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Predicted cost of one strategy, with a per-step breakdown."""
+
+    strategy: str
+    seconds: float
+    steps: tuple[tuple[str, float], ...]
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1000.0
+
+
+def estimate_skyline_size(
+    candidates: float,
+    dimensions: int,
+    distinct_counts: Sequence[int | None] = (),
+) -> float:
+    """Expected BMO (maximal set) size for ``candidates`` input rows.
+
+    For ``d`` independent dimensions over ``m`` distinct value
+    combinations, the expected number of distinct skyline points is the
+    classical ``(ln m)^(d-1) / (d-1)!``; duplicate rows multiply it by
+    ``n / m``.  One-dimensional preferences degenerate to "all rows sharing
+    the best value", i.e. ``n / m``.
+    """
+    n = float(max(0, candidates))
+    if n == 0:
+        return 0.0
+    d = max(1, dimensions)
+    value_space = 1.0
+    for count in distinct_counts or [None] * d:
+        value_space *= float(count) if count else _DEFAULT_DISTINCT
+        if value_space > 1e15:  # avoid overflow on wide Pareto terms
+            value_space = 1e15
+            break
+    n_eff = max(1.0, min(n, value_space))
+    if d == 1:
+        distinct_points = 1.0
+    else:
+        log_term = math.log(n_eff) if n_eff > 1.0 else 0.0
+        distinct_points = (log_term ** (d - 1)) / math.factorial(d - 1)
+    multiplicity = n / n_eff
+    return float(min(n, max(1.0, distinct_points * max(1.0, multiplicity))))
+
+
+def estimate_selectivity(
+    expr: ast.Expr | None,
+    distinct_count: Callable[[str], int | None] = lambda _name: None,
+) -> float:
+    """System-R-style selectivity guess for a WHERE expression in [0, 1].
+
+    Equality against a column uses ``1/distinct`` when statistics are
+    available; everything else falls back to the textbook magic constants.
+    """
+    if expr is None:
+        return 1.0
+    selectivity = _selectivity(expr, distinct_count)
+    return min(1.0, max(1e-4, selectivity))
+
+
+def _selectivity(expr: ast.Expr, distinct_count) -> float:
+    if isinstance(expr, ast.Binary):
+        if expr.op == "AND":
+            return _selectivity(expr.left, distinct_count) * _selectivity(
+                expr.right, distinct_count
+            )
+        if expr.op == "OR":
+            left = _selectivity(expr.left, distinct_count)
+            right = _selectivity(expr.right, distinct_count)
+            return left + right - left * right
+        if expr.op in ("=", "<>"):
+            column = _column_operand(expr.left, expr.right)
+            count = distinct_count(column) if column else None
+            equal = 1.0 / count if count else 0.1
+            return equal if expr.op == "=" else 1.0 - equal
+        if expr.op in ("<", "<=", ">", ">="):
+            return 0.3
+        if expr.op == "LIKE":
+            return 0.25
+        return 0.5
+    if isinstance(expr, ast.Unary) and expr.op == "NOT":
+        return 1.0 - _selectivity(expr.operand, distinct_count)
+    if isinstance(expr, ast.InList):
+        column = expr.operand.name if isinstance(expr.operand, ast.Column) else None
+        count = distinct_count(column) if column else None
+        inside = (
+            min(1.0, len(expr.items) / count)
+            if count
+            else min(0.5, 0.1 * len(expr.items))
+        )
+        return 1.0 - inside if expr.negated else inside
+    if isinstance(expr, ast.BetweenExpr):
+        return 0.75 if expr.negated else 0.25
+    if isinstance(expr, ast.IsNull):
+        return 0.95 if expr.negated else 0.05
+    if isinstance(expr, (ast.Exists, ast.InSubquery)):
+        return 0.5
+    if isinstance(expr, ast.Literal):
+        return 1.0 if expr.value else 0.0
+    return 0.5
+
+
+def _column_operand(*operands: ast.Expr) -> str | None:
+    for operand in operands:
+        if isinstance(operand, ast.Column):
+            return operand.name
+    return None
+
+
+def estimate_costs(
+    candidates: float,
+    dimensions: int,
+    distinct_counts: Sequence[int | None] = (),
+    model: CostModel = DEFAULT_COST_MODEL,
+    include: Sequence[str] = STRATEGIES,
+    row_width: int | None = None,
+) -> dict[str, CostEstimate]:
+    """Price every strategy in ``include`` for the given input shape.
+
+    ``row_width`` (column count of the candidate table) scales the
+    sqlite→Python transfer cost of the in-memory strategies: the pushdown
+    materialises whole rows, so a 74-attribute profile costs an order of
+    magnitude more per row than a 7-attribute catalog entry, while the
+    host-side anti-join only ever ships the winners.
+    """
+    n = max(1.0, float(candidates))
+    s = max(1.0, estimate_skyline_size(n, dimensions, distinct_counts))
+    log_n = math.log2(n) if n > 1.0 else 1.0
+    width_factor = max(1.0, (row_width or 8) / 8.0)
+    row_fetch = model.row_fetch * width_factor
+    estimates: dict[str, CostEstimate] = {}
+
+    for strategy in include:
+        if strategy == "rewrite":
+            # Every candidate probes the dominator copy: winners scan all n
+            # rows, losers stop at their first dominator (expected position
+            # n/(s+1) with s winners spread uniformly).
+            probes = s * n + (n - s) * (n / (s + 1.0))
+            steps = (
+                ("prepare host statement", model.sql_setup),
+                ("host anti-join probes", model.sql_probe * probes),
+                ("fetch winners", model.row_fetch * s),
+            )
+        elif strategy == "bnl":
+            # Window scans plus evictions: grows with the skyline size.
+            steps = (
+                ("engine setup", model.py_setup),
+                ("fetch candidates", row_fetch * n),
+                ("window scan", model.py_dominance * n * s * 0.35),
+            )
+        elif strategy == "sfs":
+            # The presort guarantees no later tuple dominates an earlier
+            # one, so the filter pass compares less than BNL's window scan
+            # — SFS overtakes BNL once the skyline outgrows the sort cost.
+            steps = (
+                ("engine setup", model.py_setup),
+                ("fetch candidates", row_fetch * n),
+                ("presort by dominance key", model.sort_key * n * log_n),
+                ("filter pass", model.py_dominance * n * s * 0.2),
+            )
+        elif strategy == "dnc":
+            steps = (
+                ("engine setup", model.py_setup),
+                ("fetch candidates", row_fetch * n),
+                ("recursive cross-filter", model.py_dominance * n * (log_n + s) * 0.35),
+            )
+        else:
+            raise PlanError(f"unknown strategy {strategy!r}")
+        estimates[strategy] = CostEstimate(
+            strategy=strategy,
+            seconds=sum(seconds for _label, seconds in steps),
+            steps=steps,
+        )
+    return estimates
+
+
+def choose_strategy(estimates: Mapping[str, CostEstimate]) -> str:
+    """The cheapest strategy; ties break in :data:`STRATEGIES` order."""
+    if not estimates:
+        raise PlanError("no cost estimates to choose from")
+    return min(
+        estimates,
+        key=lambda name: (estimates[name].seconds, STRATEGIES.index(name)),
+    )
+
+
+def choose_algorithm(
+    candidates: int,
+    dimensions: int,
+    distinct_counts: Sequence[int | None] = (),
+    model: CostModel = DEFAULT_COST_MODEL,
+) -> str:
+    """Pick an in-memory skyline algorithm for already-fetched vectors.
+
+    Used by ``maximal_indices(..., algorithm="auto")``: the data is in
+    memory already, so fetch and setup constants are zeroed and only the
+    comparison structure of the three algorithms matters.
+    """
+    in_memory_model = replace(model, row_fetch=0.0, py_setup=0.0, sql_setup=0.0)
+    estimates = estimate_costs(
+        candidates,
+        dimensions,
+        distinct_counts,
+        model=in_memory_model,
+        include=IN_MEMORY_STRATEGIES,
+    )
+    return choose_strategy(estimates)

@@ -1,0 +1,87 @@
+"""Render a :class:`~repro.plan.planner.Plan` for humans and tools.
+
+``EXPLAIN PREFERENCE <select>`` returns :func:`plan_relation` — a
+two-column ``(item, detail)`` relation that is stable enough to assert on
+in tests yet readable at a REPL.  :func:`plan_text` is the same content as
+an indented text block, used by :meth:`repro.driver.Connection.explain`.
+"""
+
+from __future__ import annotations
+
+from repro.engine.relation import Relation
+from repro.plan.cost import STRATEGIES
+from repro.plan.planner import Plan
+
+#: Column names of the EXPLAIN PREFERENCE result relation.
+REPORT_COLUMNS = ("item", "detail")
+
+_STRATEGY_LABELS = {
+    "passthrough": "pass-through (no PREFERRING clause)",
+    "rewrite": "NOT EXISTS rewrite on the host database",
+    "bnl": "in-memory block-nested-loops after hard-condition pushdown",
+    "sfs": "in-memory sort-filter-skyline after hard-condition pushdown",
+    "dnc": "in-memory divide & conquer after hard-condition pushdown",
+}
+
+
+def plan_relation(
+    plan: Plan, source_sql: str | None = None, cache_note: str | None = None
+) -> Relation:
+    """The EXPLAIN PREFERENCE result for one plan."""
+    rows: list[tuple[str, str]] = []
+
+    def add(item: str, detail: object) -> None:
+        rows.append((item, str(detail)))
+
+    if source_sql is not None:
+        add("statement", source_sql)
+    label = _STRATEGY_LABELS.get(plan.strategy, plan.strategy)
+    add("strategy", f"{plan.strategy} — {label}" + (" [forced]" if plan.forced else ""))
+    if plan.preference_sql:
+        add("preference", plan.preference_sql)
+        add("dimensions", plan.dimensions)
+    if plan.table:
+        add("table", plan.table)
+    if plan.statistics is not None:
+        add("table rows", plan.statistics.row_count)
+        if plan.statistics.distinct:
+            add(
+                "distinct counts",
+                ", ".join(
+                    f"{column}={count}"
+                    for column, count in sorted(plan.statistics.distinct.items())
+                ),
+            )
+    if plan.strategy != "passthrough":
+        add("candidates (est)", f"{plan.candidate_estimate:.0f}")
+        add("maximal set (est)", f"{plan.skyline_estimate:.0f}")
+    for name in STRATEGIES:
+        estimate = plan.estimates.get(name)
+        if estimate is None:
+            continue
+        chosen = "  <- chosen" if name == plan.strategy else ""
+        add(f"cost: {name}", f"{estimate.milliseconds:.2f} ms{chosen}")
+    chosen_cost = plan.chosen_cost
+    if chosen_cost is not None:
+        for label_, seconds in chosen_cost.steps:
+            add(f"step: {label_}", f"{seconds * 1000:.2f} ms")
+    if plan.rewritten_sql:
+        add("rewritten SQL", plan.rewritten_sql)
+    if plan.pushdown_sql:
+        add("pushdown SQL", plan.pushdown_sql)
+    for note in plan.notes:
+        add("note", note)
+    if cache_note is not None:
+        add("plan cache", cache_note)
+    return Relation(columns=REPORT_COLUMNS, rows=rows)
+
+
+def plan_text(
+    plan: Plan, source_sql: str | None = None, cache_note: str | None = None
+) -> str:
+    """The same report as an indented text block."""
+    relation = plan_relation(plan, source_sql=source_sql, cache_note=cache_note)
+    width = max(len(item) for item, _detail in relation.rows)
+    return "\n".join(
+        f"{item.ljust(width)}  {detail}" for item, detail in relation.rows
+    )

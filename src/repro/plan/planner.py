@@ -1,0 +1,307 @@
+"""Cost-based selection between the NOT EXISTS rewrite and in-memory skylines.
+
+This is the seam between the Preference SQL Optimizer (:mod:`repro.rewrite`)
+and the two execution paths the repo has had since the seed: the paper's
+rewrite executed by the host database, and the in-memory BMO engine with
+its skyline algorithms.  The paper notes that dedicated skyline algorithms
+"clearly hold much promise for additional speed-ups" (section 3.3); here
+the choice is made per query from cheap table statistics instead of a
+hardcoded string argument.
+
+:func:`plan_statement` produces a :class:`Plan` that fully describes one
+execution: the chosen strategy, the cost estimates of every candidate, the
+rewritten SQL (always computed — it is both the ``rewrite`` execution text
+and the EXPLAIN PREFERENCE exhibit) and, for in-memory strategies, the
+hard-condition *pushdown* query plus the *residual* preference block the
+engine evaluates over the fetched candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from repro.errors import PlanError
+from repro.model.builder import NameResolver
+from repro.model.quality import QUALITY_FUNCTIONS
+from repro.plan.cost import (
+    DEFAULT_COST_MODEL,
+    IN_MEMORY_STRATEGIES,
+    STRATEGIES,
+    CostEstimate,
+    CostModel,
+    choose_strategy,
+    estimate_costs,
+    estimate_selectivity,
+    estimate_skyline_size,
+)
+from repro.plan.statistics import TableStatistics
+from repro.rewrite.planner import Schema, pref_expressions, rewrite_statement
+from repro.sql import ast
+from repro.sql.printer import to_sql
+
+#: Provider signature: (table, columns needing distinct counts) → stats.
+StatisticsProvider = Callable[[str, Sequence[str]], TableStatistics]
+
+#: Row-count guess when no statistics provider is available.
+_DEFAULT_ROW_ESTIMATE = 1000
+
+
+@dataclass
+class Plan:
+    """One fully-described execution of a preference statement."""
+
+    statement: ast.Statement
+    strategy: str  # 'passthrough' | 'rewrite' | 'bnl' | 'sfs' | 'dnc'
+    rewritten_sql: str | None = None
+    pushdown_sql: str | None = None
+    residual: ast.Select | None = None
+    estimates: dict[str, CostEstimate] = field(default_factory=dict)
+    statistics: TableStatistics | None = None
+    table: str | None = None
+    candidate_estimate: float = 0.0
+    skyline_estimate: float = 0.0
+    dimensions: int = 0
+    preference_sql: str | None = None
+    notes: list[str] = field(default_factory=list)
+    forced: bool = False
+
+    @property
+    def uses_engine(self) -> bool:
+        """True when the strategy evaluates in-memory after a pushdown."""
+        return self.strategy in IN_MEMORY_STRATEGIES
+
+    @property
+    def chosen_cost(self) -> CostEstimate | None:
+        return self.estimates.get(self.strategy)
+
+
+def plan_statement(
+    statement: ast.Statement,
+    schema: Schema | None = None,
+    resolver: NameResolver | None = None,
+    statistics: StatisticsProvider | None = None,
+    model: CostModel = DEFAULT_COST_MODEL,
+    force: str | None = None,
+) -> Plan:
+    """Plan one (parameter-bound) statement.
+
+    ``force`` pins the strategy (benchmarks and differential tests);
+    forcing an in-memory strategy on an ineligible statement raises
+    :class:`~repro.errors.PlanError`.
+    """
+    if isinstance(statement, ast.ExplainPreference):
+        statement = statement.statement
+
+    result = rewrite_statement(statement, schema=schema, resolver=resolver)
+    if not result.rewritten:
+        return Plan(statement=statement, strategy="passthrough")
+
+    select = statement.query if isinstance(statement, ast.Insert) else statement
+    preference = result.preference
+    bases = list(preference.iter_base())
+    dimensions = len(bases)
+    notes = list(result.notes)
+    rewritten_sql = to_sql(result.statement)
+
+    table, ineligible_reason = _in_memory_table(statement, select)
+    if table is None:
+        notes.append(f"host-only: {ineligible_reason}")
+
+    stats: TableStatistics | None = None
+    if table is not None and statistics is not None:
+        try:
+            stats = statistics(table, _statistics_columns(select, bases))
+        except PlanError as error:
+            notes.append(f"statistics unavailable: {error}")
+
+    if stats is not None:
+        row_count = stats.row_count
+        lookup = stats.distinct_count
+    else:
+        row_count = _DEFAULT_ROW_ESTIMATE
+        lookup = lambda _name: None  # noqa: E731 - trivial fallback
+        if table is not None:
+            notes.append(
+                f"no statistics; assuming {_DEFAULT_ROW_ESTIMATE} rows"
+            )
+
+    selectivity = estimate_selectivity(select.where, lookup)
+    candidates = max(1.0, row_count * selectivity) if row_count else 0.0
+    distinct_counts = [
+        lookup(base.operands[0].name)
+        if base.operands and isinstance(base.operands[0], ast.Column)
+        else None
+        for base in bases
+    ]
+    skyline = estimate_skyline_size(candidates, dimensions, distinct_counts)
+    include = STRATEGIES if table is not None else ("rewrite",)
+    estimates = estimate_costs(
+        candidates,
+        dimensions,
+        distinct_counts,
+        model=model,
+        include=include,
+        row_width=_row_width(table, schema),
+    )
+
+    if force is not None:
+        if force not in STRATEGIES:
+            raise PlanError(
+                f"unknown strategy {force!r}; choose from {', '.join(STRATEGIES)}"
+            )
+        if force in IN_MEMORY_STRATEGIES and table is None:
+            raise PlanError(
+                f"cannot force in-memory strategy {force!r}: {ineligible_reason}"
+            )
+        strategy = force
+    else:
+        strategy = choose_strategy(estimates)
+
+    plan = Plan(
+        statement=statement,
+        strategy=strategy,
+        rewritten_sql=rewritten_sql,
+        estimates=estimates,
+        statistics=stats,
+        table=table,
+        candidate_estimate=candidates,
+        skyline_estimate=skyline,
+        dimensions=dimensions,
+        preference_sql=to_sql(select.preferring),
+        notes=notes,
+        forced=force is not None,
+    )
+    if plan.uses_engine:
+        plan.pushdown_sql, plan.residual = in_memory_parts(select, resolver)
+    return plan
+
+
+def rebind_plan(
+    plan: Plan,
+    statement: ast.Statement,
+    schema: Schema | None = None,
+    resolver: NameResolver | None = None,
+) -> Plan:
+    """Reuse a cached strategy decision for a freshly parameter-bound
+    statement, regenerating only the SQL texts (the rewrite embeds the
+    bound literals, so they are per-execution)."""
+    if plan.strategy == "passthrough":
+        return plan
+    if plan.uses_engine:
+        select = statement.query if isinstance(statement, ast.Insert) else statement
+        pushdown_sql, residual = in_memory_parts(select, resolver)
+        return replace(
+            plan, statement=statement, pushdown_sql=pushdown_sql, residual=residual
+        )
+    result = rewrite_statement(statement, schema=schema, resolver=resolver)
+    return replace(plan, statement=statement, rewritten_sql=to_sql(result.statement))
+
+
+def in_memory_parts(
+    select: ast.Select, resolver: NameResolver | None = None
+) -> tuple[str, ast.Select]:
+    """Split one SELECT into (pushdown SQL, residual preference block).
+
+    The pushdown ships the hard conditions to the host database —
+    ``SELECT * FROM <source> WHERE <original WHERE>`` — and the residual is
+    the same query block with the WHERE consumed, evaluated by the
+    in-memory engine over the fetched candidates.  Named preferences are
+    inlined so the engine never needs catalog access.
+    """
+    pushdown = ast.Select(
+        items=(ast.Star(),), sources=select.sources, where=select.where
+    )
+    term = select.preferring
+    if term is not None and resolver is not None:
+        term = inline_named_preferences(term, resolver)
+    residual = replace(select, where=None, preferring=term)
+    return to_sql(pushdown), residual
+
+
+def inline_named_preferences(
+    term: ast.PrefTerm, resolver: NameResolver, _seen: tuple[str, ...] = ()
+) -> ast.PrefTerm:
+    """Replace every ``PREFERENCE name`` reference by its definition."""
+    if isinstance(term, ast.NamedPref):
+        key = term.name.lower()
+        if key in _seen:
+            raise PlanError(f"cyclic preference definition {term.name!r}")
+        return inline_named_preferences(resolver(term.name), resolver, _seen + (key,))
+    if isinstance(term, (ast.ParetoPref, ast.CascadePref, ast.ElsePref)):
+        parts = tuple(
+            inline_named_preferences(part, resolver, _seen) for part in term.parts
+        )
+        return type(term)(parts=parts)
+    return term
+
+
+def _row_width(table: str | None, schema: Schema | None) -> int | None:
+    """Column count of the candidate table, when the schema knows it."""
+    if table is None or not schema:
+        return None
+    for name, columns in schema.items():
+        if name.lower() == table.lower():
+            return len(columns)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Eligibility and statistics wishlist
+
+
+def _in_memory_table(
+    statement: ast.Statement, select: ast.Select
+) -> tuple[str | None, str]:
+    """The single base table an in-memory plan would fetch, or a reason."""
+    if isinstance(statement, ast.Insert):
+        return None, "INSERT materialises its result on the host database"
+    if len(select.sources) != 1 or not isinstance(select.sources[0], ast.TableRef):
+        return None, "in-memory evaluation needs a single base table"
+
+    surface: list[ast.Expr] = [
+        item.expr for item in select.items if isinstance(item, ast.SelectItem)
+    ]
+    surface.extend(order_item.expr for order_item in select.order_by)
+    for expr in surface:
+        for node in ast.walk_expr(expr):
+            if isinstance(node, ast.FuncCall) and node.name in QUALITY_FUNCTIONS:
+                return None, (
+                    "quality-function adornments keep host-database result types"
+                )
+
+    everywhere = list(surface)
+    if select.but_only is not None:
+        everywhere.append(select.but_only)
+    for clause in (select.limit, select.offset):
+        if clause is not None:
+            everywhere.append(clause)
+    if select.preferring is not None:
+        for term in ast.walk_pref(select.preferring):
+            everywhere.extend(pref_expressions(term))
+    for expr in everywhere:
+        for node in ast.walk_expr(expr):
+            if isinstance(node, (ast.InSubquery, ast.Exists, ast.ScalarSubquery)):
+                return None, "sub-queries outside WHERE need the host database"
+    return select.sources[0].name, ""
+
+
+def _statistics_columns(select: ast.Select, bases: Sequence) -> list[str]:
+    """Columns worth a distinct count: preference operands and WHERE columns."""
+    columns: list[str] = []
+    seen: set[str] = set()
+
+    def add(name: str) -> None:
+        key = name.lower()
+        if key not in seen:
+            seen.add(key)
+            columns.append(name)
+
+    for base in bases:
+        if base.operands and isinstance(base.operands[0], ast.Column):
+            add(base.operands[0].name)
+    if select.where is not None:
+        for node in ast.walk_expr(select.where):
+            if isinstance(node, ast.Column):
+                add(node.name)
+    return columns

@@ -1,0 +1,109 @@
+"""Cheap per-table statistics for the cost-based planner.
+
+The paper's commercial optimizer "read the host catalog" for schema
+knowledge; Chomicki's semantic-optimization work frames winnow evaluation
+as a planning problem whose algorithm choice should depend on input
+statistics.  This module gathers the two statistics the cost model needs —
+table row counts and per-column distinct counts — with plain ``COUNT``
+queries, and caches them per connection.
+
+Invalidation is version-based: the driver connection bumps a *data
+version* counter on every statement that may change table contents (DML,
+DDL, ``executescript``, rollback), and cache entries gathered at an older
+version are re-gathered on next use.  Statistics are therefore at most one
+DML statement stale, and read-only traffic — the "millions of users" hot
+path — never re-scans.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import PlanError
+
+
+@dataclass(frozen=True)
+class TableStatistics:
+    """Row count and distinct counts (lowercase column → count) of a table."""
+
+    table: str
+    row_count: int
+    distinct: Mapping[str, int]
+
+    def distinct_count(self, column: str) -> int | None:
+        """Distinct non-NULL count for a column, None when not gathered."""
+        return self.distinct.get(column.lower())
+
+
+class StatisticsCache:
+    """Gathers and caches :class:`TableStatistics` for one connection.
+
+    ``version`` supplies the connection's current data version; entries
+    remembered under an older version are considered stale.  ``scan_count``
+    counts the ``COUNT`` queries actually issued, so tests (and curious
+    operators) can observe cache effectiveness.
+    """
+
+    def __init__(self, connection: sqlite3.Connection, version: Callable[[], int]):
+        self._connection = connection
+        self._version = version
+        self._entries: dict[str, tuple[int, TableStatistics]] = {}
+        #: Number of statistics scans issued against the host database.
+        self.scan_count = 0
+
+    def for_table(self, table: str, columns: Sequence[str] = ()) -> TableStatistics:
+        """Statistics for ``table`` covering at least ``columns``.
+
+        Distinct counts are gathered lazily and merged into the cached
+        entry, so successive queries over different preference attributes
+        only pay for the columns they add.
+        """
+        key = table.lower()
+        version = self._version()
+        cached = self._entries.get(key)
+        wanted = {column.lower() for column in columns}
+
+        distinct: dict[str, int] = {}
+        if cached is not None and cached[0] == version:
+            stats = cached[1]
+            missing = sorted(wanted - set(stats.distinct))
+            if not missing:
+                return stats
+            distinct = dict(stats.distinct)
+            row_count = stats.row_count
+        else:
+            missing = sorted(wanted)
+            row_count = self._scalar(f"SELECT COUNT(*) FROM {_quote(table)}")
+
+        for column in missing:
+            distinct[column] = self._scalar(
+                f"SELECT COUNT(DISTINCT {_quote(column)}) FROM {_quote(table)}"
+            )
+        stats = TableStatistics(table=table, row_count=row_count, distinct=distinct)
+        self._entries[key] = (version, stats)
+        return stats
+
+    def invalidate(self, table: str | None = None) -> None:
+        """Drop cached entries (all of them when ``table`` is None)."""
+        if table is None:
+            self._entries.clear()
+        else:
+            self._entries.pop(table.lower(), None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _scalar(self, sql: str) -> int:
+        self.scan_count += 1
+        try:
+            row = self._connection.execute(sql).fetchone()
+        except sqlite3.Error as error:
+            raise PlanError(f"cannot gather statistics: {error}") from error
+        return int(row[0])
+
+
+def _quote(name: str) -> str:
+    escaped = name.replace('"', '""')
+    return f'"{escaped}"'

@@ -214,7 +214,7 @@ class _SelectRewriter:
             yield from ast.walk_expr(order_item.expr)
         if select.preferring is not None:
             for term in ast.walk_pref(select.preferring):
-                for expr in _pref_expressions(term):
+                for expr in pref_expressions(term):
                     yield from ast.walk_expr(expr)
 
     def _collect_bindings(
@@ -617,8 +617,12 @@ def _render(expr: ast.Expr) -> str:
     return to_sql(expr)
 
 
-def _pref_expressions(term: ast.PrefTerm):
-    """All scalar expressions inside one preference term node."""
+def pref_expressions(term: ast.PrefTerm):
+    """All scalar expressions directly inside one preference term node.
+
+    Shared with the cost-based planner (:mod:`repro.plan.planner`), which
+    walks them for sub-queries when deciding in-memory eligibility.
+    """
     if isinstance(term, ast.AroundPref):
         yield term.operand
         yield term.target

@@ -422,6 +422,19 @@ class DropPreference(Statement):
     name: str
 
 
+@dataclass(frozen=True)
+class ExplainPreference(Statement):
+    """``EXPLAIN PREFERENCE <select|insert>`` — plan inspection.
+
+    Executing it never touches user data: the wrapped statement is parsed,
+    parameters bound and handed to the cost-based planner, and the chosen
+    strategy, per-step cost estimates and the rewritten SQL come back as a
+    two-column result relation (see :mod:`repro.plan.explain`).
+    """
+
+    statement: "Select | Insert"
+
+
 # ----------------------------------------------------------------------
 # Tree utilities
 

@@ -40,6 +40,8 @@ class _Binder:
     # ------------------------------------------------------------------
 
     def statement(self, statement: ast.Statement) -> ast.Statement:
+        if isinstance(statement, ast.ExplainPreference):
+            return ast.ExplainPreference(statement=self.statement(statement.statement))
         if isinstance(statement, ast.Select):
             return self.select(statement)
         if isinstance(statement, ast.Insert):

@@ -102,8 +102,10 @@ class Parser:
             statement = self._parse_create_preference()
         elif token.is_keyword("DROP"):
             statement = self._parse_drop_preference()
+        elif token.is_keyword("EXPLAIN"):
+            statement = self._parse_explain_preference()
         else:
-            raise self._error("expected SELECT, INSERT, CREATE or DROP")
+            raise self._error("expected SELECT, INSERT, CREATE, DROP or EXPLAIN")
         self._accept_operator(";")
         if self._peek().type is not TokenType.EOF:
             raise self._error("unexpected trailing input")
@@ -222,6 +224,22 @@ class Parser:
         self._expect_keyword("DROP")
         self._expect_keyword("PREFERENCE")
         return ast.DropPreference(name=self._identifier("preference name"))
+
+    def _parse_explain_preference(self) -> ast.ExplainPreference:
+        """``EXPLAIN PREFERENCE <select|insert>``.
+
+        Note that plain ``EXPLAIN <statement>`` (the host database's own
+        facility) is deliberately *not* part of the dialect: the driver
+        lets it fall through to the pass-through path.
+        """
+        self._expect_keyword("EXPLAIN")
+        self._expect_keyword("PREFERENCE")
+        token = self._peek()
+        if token.is_keyword("SELECT"):
+            return ast.ExplainPreference(statement=self.parse_select())
+        if token.is_keyword("INSERT"):
+            return ast.ExplainPreference(statement=self._parse_insert())
+        raise self._error("expected SELECT or INSERT after EXPLAIN PREFERENCE")
 
     # ------------------------------------------------------------------
     # Select clause pieces
@@ -655,7 +673,9 @@ def parse_preferring(text: str) -> ast.PrefTerm:
 
 def _validate_restrictions(statement: ast.Statement) -> None:
     """Enforce the release 1.3 restriction from paper section 2.2.5."""
-    if isinstance(statement, ast.Select):
+    if isinstance(statement, ast.ExplainPreference):
+        _validate_restrictions(statement.statement)
+    elif isinstance(statement, ast.Select):
         _check_where_subqueries(statement)
     elif isinstance(statement, ast.Insert) and statement.query is not None:
         _check_where_subqueries(statement.query)

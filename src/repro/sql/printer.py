@@ -45,6 +45,8 @@ def to_sql(node: ast.Node) -> str:
         return f"CREATE PREFERENCE {node.name} ON {node.table} AS {_pref(node.term)}"
     if isinstance(node, ast.DropPreference):
         return f"DROP PREFERENCE {node.name}"
+    if isinstance(node, ast.ExplainPreference):
+        return f"EXPLAIN PREFERENCE {to_sql(node.statement)}"
     if isinstance(node, ast.PrefTerm):
         return _pref(node)
     if isinstance(node, ast.Expr):

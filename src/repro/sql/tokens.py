@@ -4,8 +4,9 @@ The keyword list is the union of the SQL92 entry-level subset the rewriter
 targets and the Preference SQL extensions introduced by the paper:
 ``PREFERRING``, ``GROUPING``, ``BUT ONLY``, the base preference keywords
 (``AROUND``, ``LOWEST``, ``HIGHEST``, ``CONTAINS``, ``EXPLICIT``, ``SCORE``),
-the constructors (``CASCADE``, ``ELSE`` inside a preference term) and the
-quality functions (``TOP``, ``LEVEL``, ``DISTANCE``).
+the constructors (``CASCADE``, ``ELSE`` inside a preference term), the
+quality functions (``TOP``, ``LEVEL``, ``DISTANCE``) and the plan
+inspection statement ``EXPLAIN PREFERENCE``.
 """
 
 from __future__ import annotations
@@ -93,6 +94,7 @@ KEYWORDS = frozenset(
         "LEVEL",
         "DISTANCE",
         "PREFERENCE",
+        "EXPLAIN",
     }
 )
 

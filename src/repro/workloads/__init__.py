@@ -43,7 +43,7 @@ from repro.workloads.shop import (
     mask_to_preference_sql,
     washing_machines_relation,
 )
-from repro.workloads.cosima import MetaSearch, SimulatedShop, make_shops
+from repro.workloads.cosima import MetaSearch, SimulatedShop, make_catalog, make_shops
 
 __all__ = [
     "oldtimer_relation",
@@ -66,4 +66,5 @@ __all__ = [
     "SimulatedShop",
     "MetaSearch",
     "make_shops",
+    "make_catalog",
 ]

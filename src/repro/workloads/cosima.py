@@ -158,17 +158,25 @@ class MetaSearch:
         self.shops = shops if shops is not None else make_shops()
         self.catalog = catalog if catalog is not None else make_catalog()
 
-    def run_session(self, session: int) -> SessionResult:
-        """Execute one comparison-shopping session."""
-        rng = np.random.default_rng(session)
+    def gather(self, session: int) -> tuple[Relation, list[float]]:
+        """Query every shop once; return (gathered offers, latencies).
+
+        This is the "temporary database" half of the pipeline, reusable on
+        its own — the plan benchmark loads the gathered relation into a
+        driver connection to compare execution strategies over it.
+        """
         rows: list[tuple] = []
         latencies: list[float] = []
         for shop in self.shops:
             shop_rows, latency = shop.fetch(self.catalog, session)
             rows.extend(shop_rows)
             latencies.append(latency)
+        return Relation(columns=_CANDIDATE_COLUMNS, rows=rows), latencies
 
-        temporary = Relation(columns=_CANDIDATE_COLUMNS, rows=rows)
+    def run_session(self, session: int) -> SessionResult:
+        """Execute one comparison-shopping session."""
+        rng = np.random.default_rng(session)
+        temporary, latencies = self.gather(session)
         engine = PreferenceEngine({"offers": temporary})
         preference = SESSION_PREFERENCES[
             int(rng.integers(0, len(SESSION_PREFERENCES)))

@@ -36,7 +36,14 @@ class TestHarness:
 
 class TestExperiments:
     def test_registry_complete(self):
-        assert set(EXPERIMENTS) == {"e1", "e2", "e3", "e4", "e5", "e6", "e7"}
+        assert set(EXPERIMENTS) == {
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8",
+        }
+
+    def test_plan_alias(self):
+        from repro.bench.experiments import ALIASES
+
+        assert ALIASES["plan"] == "e8"
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):

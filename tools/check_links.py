@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Check intra-repository markdown links in README.md and docs/.
+
+Verifies that every relative link target exists and that ``#anchor``
+fragments match a heading (GitHub slug rules) in the target file.
+External (http/https/mailto) links are skipped — CI must not depend on
+the network.  Exits non-zero and lists every broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def _markdown_files() -> list[Path]:
+    files = [ROOT / "README.md"]
+    docs = ROOT / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug: lowercase, spaces→dashes, drop punctuation."""
+    text = re.sub(r"[`*_]", "", heading).strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set[str]:
+    return {_slugify(match) for match in _HEADING.findall(path.read_text(encoding="utf-8"))}
+
+
+def check() -> list[str]:
+    problems: list[str] = []
+    for path in _markdown_files():
+        text = _CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+        for target in _LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            location, _hash, fragment = target.partition("#")
+            if location:
+                resolved = (path.parent / location).resolve()
+                if not resolved.exists():
+                    problems.append(f"{path.relative_to(ROOT)}: missing target {target}")
+                    continue
+            else:
+                resolved = path
+            if fragment and resolved.suffix == ".md":
+                if fragment not in _anchors(resolved):
+                    problems.append(
+                        f"{path.relative_to(ROOT)}: no heading for anchor {target}"
+                    )
+    return problems
+
+
+def main() -> int:
+    problems = check()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    checked = len(_markdown_files())
+    if problems:
+        print(f"{len(problems)} broken link(s) across {checked} file(s)", file=sys.stderr)
+        return 1
+    print(f"links ok across {checked} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
