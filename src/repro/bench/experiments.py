@@ -487,6 +487,167 @@ def e8_plan_selection(quick: bool = False) -> Report:
     return report
 
 
+def e9_parallel(quick: bool = False) -> Report:
+    """The parallel benchmark: serial vs partitioned skyline execution.
+
+    For each workload the candidate operand vectors and GROUPING keys are
+    built once (the part both execution paths share — fetch and expression
+    evaluation), then the skyline stage is timed through
+    :func:`~repro.engine.bmo.bmo_filter` with the serial algorithms and
+    with the partitioned parallel executor, asserting identical winner
+    sets per cell.  Jobs, shop and cosima run grouped (GROUPING partitions
+    are the natural tasks); points runs ungrouped through the
+    hash-partition → local skylines → merge-filter path.  The driver-level
+    pass pins ``rewrite`` vs ``parallel`` end to end on the shop workload,
+    and EXPLAIN PREFERENCE on a small input must decline to parallelize.
+    """
+    from repro.engine.bmo import bmo_filter
+    from repro.sql import ast as _ast
+    from repro.workloads.fixtures import relation_to_sqlite
+    from repro.workloads.jobs import CONDITION_SETS, jobs_relation
+    from repro.workloads.shop import washing_machines_relation
+
+    report = Report(
+        experiment="E9",
+        title="serial vs partitioned-parallel skyline execution",
+    )
+
+    def operand_vectors(relation, preference):
+        positions = {name.lower(): i for i, name in enumerate(relation.columns)}
+        slots = []
+        for operand in preference.operands:
+            if not isinstance(operand, _ast.Column):
+                raise AssertionError("e9 preferences use plain column operands")
+            slots.append(positions[operand.name.lower()])
+        return [tuple(row[i] for i in slots) for row in relation.rows]
+
+    def group_keys_for(relation, columns):
+        if not columns:
+            return None
+        positions = {name.lower(): i for i, name in enumerate(relation.columns)}
+        slots = [positions[c.lower()] for c in columns]
+        return [tuple(row[i] for i in slots) for row in relation.rows]
+
+    jobs_soft = " AND ".join(soft for _hard, soft in CONDITION_SETS["A"])
+    cases: list[tuple[str, int, object, str, tuple[str, ...]]] = []
+
+    def jobs_case(n):
+        return jobs_relation(n=n)
+
+    def shop_case(n):
+        return washing_machines_relation(rows=n)
+
+    def cosima_case(n):
+        search = MetaSearch(shops=make_shops(3), catalog=make_catalog(n))
+        offers, _latencies = search.gather(session=1)
+        return offers
+
+    def points_case(n):
+        return vectors_to_relation(DISTRIBUTIONS["independent"](n, 3, seed=3))
+
+    jobs_sizes = (4_000,) if quick else (10_000, 30_000)
+    shop_sizes = (2_000,) if quick else (5_000, 20_000)
+    cosima_sizes = (800,) if quick else (2_000, 6_000)
+    points_sizes = (2_000,) if quick else (5_000, 20_000)
+    for n in jobs_sizes:
+        cases.append(("jobs", n, jobs_case, jobs_soft, ("region", "profession")))
+    for n in shop_sizes:
+        cases.append(
+            (
+                "shop",
+                n,
+                shop_case,
+                "LOWEST(price) AND LOWEST(powerconsumption) "
+                "AND LOWEST(waterconsumption)",
+                ("manufacturer",),
+            )
+        )
+    for n in cosima_sizes:
+        cases.append(
+            (
+                "cosima",
+                n,
+                cosima_case,
+                "LOWEST(price) AND LOWEST(delivery_days) AND HIGHEST(rating)",
+                ("shop", "medium"),
+            )
+        )
+    for n in points_sizes:
+        cases.append(("points", n, points_case, lowest_preference_sql(3), ()))
+
+    table = Table(
+        ("workload", "n", "groups", "path", "winners", "time [ms]")
+    )
+    raw: dict = {}
+    repeats = 1 if quick else 2
+    for workload, n, loader, preferring, grouping in cases:
+        relation = loader(n)
+        preference = build_preference(parse_preferring(preferring))
+        vectors = operand_vectors(relation, preference)
+        keys = group_keys_for(relation, grouping)
+        group_count = len(set(keys)) if keys is not None else 1
+        baseline: list | None = None
+        cell: dict = {"rows": len(vectors), "groups": group_count}
+        for path in ("bnl", "sfs", "parallel"):
+            winners, timing = time_call(
+                lambda p=path: bmo_filter(
+                    preference, vectors, group_keys=keys, algorithm=p
+                ),
+                repeats=repeats,
+            )
+            if baseline is None:
+                baseline = winners
+            elif winners != baseline:
+                raise AssertionError(
+                    f"{path} disagrees on {workload} n={n}: "
+                    f"{len(winners)} vs {len(baseline)} winners"
+                )
+            label = "parallel" if path == "parallel" else f"serial {path}"
+            table.add(workload, len(vectors), group_count, label, len(winners), timing.ms())
+            cell[path] = timing.best
+        cell["speedup_vs_bnl"] = cell["bnl"] / cell["parallel"]
+        raw[(workload, n)] = cell
+    report.add_table("skyline stage: serial vs partitioned", table)
+
+    # Driver-level differential: the full path must agree in both regimes.
+    connection = repro.connect(":memory:")
+    relation_to_sqlite(
+        connection, "products", washing_machines_relation(rows=max(shop_sizes))
+    )
+    grouped_sql = (
+        "SELECT * FROM products PREFERRING LOWEST(price) AND "
+        "LOWEST(powerconsumption) GROUPING manufacturer"
+    )
+    rewrite_rows = connection.execute(grouped_sql, algorithm="rewrite").fetchall()
+    parallel_rows = connection.execute(grouped_sql, algorithm="parallel").fetchall()
+    if rewrite_rows != parallel_rows:
+        raise AssertionError("driver paths disagree on the grouped shop query")
+    raw["driver_rows"] = len(parallel_rows)
+    connection.close()
+
+    # Small input: the cost model must decline to parallelize.
+    connection = repro.connect(":memory:")
+    relation_to_sqlite(connection, "products", washing_machines_relation(rows=60))
+    small_plan = connection.plan(grouped_sql)
+    raw["small_input_strategy"] = small_plan.strategy
+    if small_plan.strategy == "parallel":
+        raise AssertionError("cost model parallelized a 60-row input")
+    connection.close()
+
+    largest = max(jobs_sizes)
+    raw["largest_jobs_speedup"] = raw[("jobs", largest)]["speedup_vs_bnl"]
+    report.note(
+        "all paths must report identical winner sets; the partitioned "
+        "executor compiles ranks once globally and wins on grouped "
+        "workloads even at worker degree 1 "
+        f"(largest jobs speedup vs serial BNL: "
+        f"{raw['largest_jobs_speedup']:.2f}x); the cost model declines to "
+        f"parallelize small inputs (chose {raw['small_input_strategy']!r})."
+    )
+    report.data = raw
+    return report
+
+
 EXPERIMENTS = {
     "e1": e1_jobs_benchmark,
     "e2": e2_oldtimer,
@@ -496,14 +657,15 @@ EXPERIMENTS = {
     "e6": e6_bmo_sizes,
     "e7": e7_rewrite_vs_engine,
     "e8": e8_plan_selection,
+    "e9": e9_parallel,
 }
 
 #: Friendly aliases accepted by ``run_experiment`` and the CLI.
-ALIASES = {"plan": "e8"}
+ALIASES = {"plan": "e8", "parallel": "e9"}
 
 
 def run_experiment(name: str, quick: bool = False) -> Report:
-    """Run one experiment by id (``e1`` ... ``e8``, or an alias)."""
+    """Run one experiment by id (``e1`` ... ``e9``, or an alias)."""
     key = name.lower()
     key = ALIASES.get(key, key)
     if key not in EXPERIMENTS:

@@ -16,10 +16,12 @@ Behaviour:
   *catalog version*, orphaning cached plans that resolved named
   preferences,
 * preference SELECT/INSERT statements are parsed, planned (or served from
-  the LRU parse+plan cache keyed on statement text and catalog version),
-  their parameters bound, and executed on the strategy the cost model
-  selected: either the ``NOT EXISTS`` rewrite on the host database, or a
-  hard-condition pushdown followed by an in-memory skyline algorithm,
+  the LRU parse+plan cache keyed on statement text, catalog version and
+  worker degree), their parameters bound, and executed on the strategy the
+  cost model selected: the ``NOT EXISTS`` rewrite on the host database, a
+  hard-condition pushdown followed by an in-memory skyline algorithm, or
+  the partitioned parallel executor (``max_workers`` caps its worker
+  pool; changing it orphans the affected cached plans),
 * ``EXPLAIN PREFERENCE <select>`` returns the chosen plan, per-step cost
   estimates and the rewritten SQL as a result relation without executing
   the query,
@@ -35,6 +37,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.engine.bmo import PreferenceEngine
+from repro.engine.parallel import ParallelExecutor, default_worker_count
 from repro.engine.relation import Relation
 from repro.errors import DriverError, PreferenceSQLError
 from repro.pdl.catalog import PreferenceCatalog
@@ -97,16 +100,23 @@ class _CachedStatement:
     data_version: int = 0
 
 
-def connect(database: str = ":memory:", **kwargs) -> "Connection":
-    """Open a Preference SQL connection to a sqlite database."""
+def connect(
+    database: str = ":memory:", max_workers: int | None = None, **kwargs
+) -> "Connection":
+    """Open a Preference SQL connection to a sqlite database.
+
+    ``max_workers`` caps the worker degree of the parallel execution
+    strategy (None lets the hardware decide); it can be changed later via
+    :attr:`Connection.max_workers`.
+    """
     raw = sqlite3.connect(database, **kwargs)
-    return Connection(raw)
+    return Connection(raw, max_workers=max_workers)
 
 
 class Connection:
     """A connection through the Preference driver."""
 
-    def __init__(self, raw: sqlite3.Connection):
+    def __init__(self, raw: sqlite3.Connection, max_workers: int | None = None):
         self._raw = raw
         self._catalog: PreferenceCatalog | None = None
         #: (original, executed) statement pairs, newest last; for tests
@@ -114,6 +124,14 @@ class Connection:
         self.trace: list[tuple[str, str]] = []
         self._data_version = 0
         self._catalog_version = 0
+        #: Catalog version at the last commit — rollback restores it, so
+        #: plans cached against the committed catalog stay servable.
+        self._committed_catalog_version = 0
+        #: Highest catalog version ever issued; versions burnt inside an
+        #: aborted transaction are never reissued for a different catalog.
+        self._catalog_high_water = 0
+        self._max_workers = max_workers
+        self._parallel: ParallelExecutor | None = None
         self._statistics: StatisticsCache | None = None
         self._plan_cache: PlanCache[_CachedStatement] = PlanCache()
         self._schema_cache: tuple[int, dict[str, list[str]]] | None = None
@@ -139,6 +157,81 @@ class Connection:
     def catalog_version(self) -> int:
         """Bumped by CREATE/DROP PREFERENCE; part of the plan-cache key."""
         return self._catalog_version
+
+    @property
+    def max_workers(self) -> int | None:
+        """Worker-degree cap of the parallel strategy (None = hardware)."""
+        return self._max_workers
+
+    @max_workers.setter
+    def max_workers(self, value: int | None) -> None:
+        if value is not None and value < 1:
+            raise DriverError("max_workers must be at least 1")
+        if value == self._max_workers:
+            return
+        self._max_workers = value
+        # The plan-cache key embeds the worker degree, so cached parallel
+        # plans (and cost comparisons priced for the old pool) are
+        # orphaned automatically; the old pool itself is retired.
+        if self._parallel is not None:
+            self._parallel.close()
+            self._parallel = None
+
+    @property
+    def parallel_executor(self) -> "ParallelExecutor":
+        """The connection-wide partitioned executor (created on first use)."""
+        if self._parallel is None:
+            self._parallel = ParallelExecutor(max_workers=self._max_workers)
+        return self._parallel
+
+    def _effective_workers(self) -> int:
+        return self._max_workers or default_worker_count()
+
+    def _plan_version(self) -> tuple[int, int | None]:
+        """The plan-cache version key: catalog version + worker degree."""
+        return (self._catalog_version, self._max_workers)
+
+    def _bump_catalog_version(self) -> None:
+        self._catalog_high_water = (
+            max(self._catalog_high_water, self._catalog_version) + 1
+        )
+        self._catalog_version = self._catalog_high_water
+
+    def _note_transaction_statement(self, sql: str) -> None:
+        """Keep the committed catalog version honest under raw SQL.
+
+        ``COMMIT``/``END`` executed as pass-through SQL makes the current
+        catalog durable just like :meth:`commit`; a raw ``ROLLBACK``
+        reverts catalog writes without going through :meth:`rollback`, so
+        cached plans from the aborted transaction are orphaned
+        conservatively (no restore — we cannot know here which version
+        the transaction started from relative to the raw statement).
+        """
+        head = sql.lstrip().split(None, 1)
+        keyword = head[0].upper() if head else ""
+        if keyword in ("COMMIT", "END"):
+            self._committed_catalog_version = self._catalog_version
+        elif keyword == "ROLLBACK":
+            self._note_data_change()
+            self._bump_catalog_version()
+            self._committed_catalog_version = self._catalog_version
+
+    def _catalog_is_transactional(self) -> bool:
+        """True when rollback() actually reverts catalog writes.
+
+        With ``isolation_level=None`` (or ``autocommit=True`` on newer
+        sqlite3) every catalog write commits immediately, so a rollback
+        reverts nothing and the committed catalog version must *not* be
+        restored — cached plans from before the "rolled-back" change
+        would describe the wrong catalog.
+        """
+        autocommit = getattr(self._raw, "autocommit", None)
+        if autocommit is True:
+            return False
+        if autocommit is False:
+            return True
+        # Legacy transaction control: isolation_level None = autocommit.
+        return self._raw.isolation_level is not None
 
     @property
     def statistics(self) -> StatisticsCache:
@@ -183,18 +276,36 @@ class Connection:
 
     def commit(self) -> None:
         self._raw.commit()
+        self._committed_catalog_version = self._catalog_version
 
     def rollback(self) -> None:
         self._raw.rollback()
         # Rolled-back DML may have bumped the data version already, but a
         # rollback can also *revert* table contents — either way the
         # statistics must not survive it.  CREATE/DROP PREFERENCE are
-        # transactional too, so cached plans that resolved named
-        # preferences against the rolled-back catalog must be orphaned.
+        # transactional too: the rollback reverts the catalog to its last
+        # committed state, so the committed catalog version is *restored*
+        # — plans cached against it (e.g. before a rolled-back DROP
+        # PREFERENCE) become servable again, while plans cached against
+        # versions issued inside the aborted transaction are orphaned
+        # (the high-water mark guarantees those versions are never
+        # reissued for a different catalog).
         self._note_data_change()
-        self._catalog_version += 1
+        if self._catalog_is_transactional():
+            self._catalog_high_water = max(
+                self._catalog_high_water, self._catalog_version
+            )
+            self._catalog_version = self._committed_catalog_version
+        else:
+            # Autocommit mode: the catalog kept every change, so cached
+            # plans must be orphaned, not restored.
+            self._bump_catalog_version()
+            self._committed_catalog_version = self._catalog_version
 
     def close(self) -> None:
+        if self._parallel is not None:
+            self._parallel.close()
+            self._parallel = None
         self._raw.close()
 
     def __enter__(self) -> "Connection":
@@ -249,6 +360,7 @@ class Connection:
             resolver=self.catalog.resolve,
             statistics=self.statistics.for_table,
             force=force,
+            workers=self._effective_workers(),
         )
 
     def explain(self, sql: str) -> str:
@@ -356,8 +468,8 @@ class Cursor:
         """Execute one statement (preference-extended or plain SQL).
 
         ``algorithm`` pins the execution strategy (``rewrite``, ``bnl``,
-        ``sfs``, ``dnc``) instead of letting the cost model choose; pinned
-        executions bypass the plan cache.
+        ``sfs``, ``dnc``, ``parallel``) instead of letting the cost model
+        choose; pinned executions bypass the plan cache.
         """
         self.plan = None
         self._result = None
@@ -367,7 +479,7 @@ class Cursor:
         connection = self._connection
         use_cache = algorithm is None
         entry = (
-            connection._plan_cache.get(sql, connection.catalog_version)
+            connection._plan_cache.get(sql, connection._plan_version())
             if use_cache
             else None
         )
@@ -385,20 +497,20 @@ class Cursor:
                 if use_cache:
                     connection._plan_cache.put(
                         sql,
-                        connection.catalog_version,
+                        connection._plan_version(),
                         _CachedStatement(statement=None, plan=None, param_free=True),
                     )
                 return self._passthrough(sql, params)
 
         if isinstance(statement, ast.CreatePreference):
             connection.catalog.create(statement)
-            connection._catalog_version += 1
+            connection._bump_catalog_version()
             self.executed_sql = None
             self.was_rewritten = False
             return self
         if isinstance(statement, ast.DropPreference):
             connection.catalog.drop(statement.name)
-            connection._catalog_version += 1
+            connection._bump_catalog_version()
             self.executed_sql = None
             self.was_rewritten = False
             return self
@@ -406,7 +518,7 @@ class Cursor:
             if entry is None and use_cache:
                 connection._plan_cache.put(
                     sql,
-                    connection.catalog_version,
+                    connection._plan_version(),
                     _CachedStatement(statement=statement, plan=None, param_free=True),
                 )
             return self._execute_explain(statement, params, algorithm)
@@ -432,11 +544,12 @@ class Cursor:
                 resolver=connection.catalog.resolve,
                 statistics=connection.statistics.for_table,
                 force=algorithm,
+                workers=connection._effective_workers(),
             )
             if use_cache:
                 connection._plan_cache.put(
                     sql,
-                    connection.catalog_version,
+                    connection._plan_version(),
                     _CachedStatement(
                         statement=statement,
                         plan=plan,
@@ -480,7 +593,13 @@ class Cursor:
         columns = [entry[0] for entry in raw_cursor.description]
         candidates = Relation(columns=columns, rows=raw_cursor.fetchall())
         engine = PreferenceEngine(
-            {plan.table: candidates}, algorithm=plan.strategy
+            {plan.table: candidates},
+            algorithm=plan.strategy,
+            executor=(
+                connection.parallel_executor
+                if plan.strategy == "parallel"
+                else None
+            ),
         )
         result = engine.execute_select(plan.residual)
         self._result = _LocalResult(result)
@@ -506,6 +625,7 @@ class Cursor:
             resolver=connection.catalog.resolve,
             statistics=connection.statistics.for_table,
             force=algorithm,
+            workers=connection._effective_workers(),
         )
         stats = connection.plan_cache_stats()
         cache_note = (
@@ -530,6 +650,7 @@ class Cursor:
             raise DriverError(str(error)) from error
         if _DML_HINT.search(sql):
             self._connection._note_data_change()
+        self._connection._note_transaction_statement(sql)
         return self
 
     def executemany(self, sql: str, rows: Iterable[Sequence[object]]) -> "Cursor":
@@ -561,6 +682,11 @@ class Cursor:
         self._result = None
         self._raw.executescript(script)
         self._connection._note_data_change()
+        # sqlite3's executescript implicitly COMMITs any pending
+        # transaction, so the current catalog state is durable now.
+        self._connection._committed_catalog_version = (
+            self._connection._catalog_version
+        )
         return self
 
     # ------------------------------------------------------------------

@@ -25,8 +25,18 @@ from repro.engine.algorithms import (
     sort_filter_skyline,
 )
 from repro.engine.bmo import BmoResult, PreferenceEngine, bmo_filter
+from repro.engine.parallel import (
+    ParallelExecutor,
+    default_worker_count,
+    parallel_maximal_indices,
+    partition_count,
+)
 
 __all__ = [
+    "ParallelExecutor",
+    "parallel_maximal_indices",
+    "partition_count",
+    "default_worker_count",
     "Relation",
     "column_index_map",
     "Evaluator",

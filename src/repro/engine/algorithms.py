@@ -182,8 +182,12 @@ def maximal_indices(
     """Compute the maximal (BMO) row indices with the chosen algorithm.
 
     ``algorithm="auto"`` asks the plan cost model
-    (:func:`repro.plan.cost.choose_algorithm`) to pick among the in-memory
-    algorithms from the input size and preference dimensionality.
+    (:func:`repro.plan.cost.choose_algorithm`) to pick among the serial
+    in-memory algorithms from the input size and preference
+    dimensionality; ``algorithm="parallel"`` routes to the partitioned
+    executor of :mod:`repro.engine.parallel` (with a transient worker
+    pool — hold a :class:`~repro.engine.parallel.ParallelExecutor` to
+    amortise the pool across calls).
     """
     if algorithm == "auto":
         from repro.plan.cost import choose_algorithm
@@ -191,11 +195,15 @@ def maximal_indices(
         algorithm = choose_algorithm(
             len(vectors), len(list(preference.iter_base()))
         )
+    if algorithm == "parallel":
+        from repro.engine.parallel import parallel_maximal_indices
+
+        return parallel_maximal_indices(preference, vectors)
     try:
         implementation = ALGORITHMS[algorithm]
     except KeyError:
         raise EvaluationError(
             f"unknown skyline algorithm {algorithm!r}; "
-            f"choose from auto, {', '.join(sorted(ALGORITHMS))}"
+            f"choose from auto, parallel, {', '.join(sorted(ALGORITHMS))}"
         )
     return implementation(preference, vectors)

@@ -20,11 +20,14 @@ computed here by the algorithms in :mod:`repro.engine.algorithms`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.errors import EvaluationError, PreferenceConstructionError
 from repro.engine.algorithms import maximal_indices
 from repro.engine.expressions import Evaluator, RowEnvironment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type names
+    from repro.engine.parallel import ParallelExecutor
 from repro.engine.relation import Relation
 from repro.model.builder import build_preference
 from repro.model.preference import Preference, WeakOrderBase
@@ -40,16 +43,36 @@ def bmo_filter(
     group_keys: Sequence[object] | None = None,
     threshold: Callable[[int], bool] | None = None,
     algorithm: str = "bnl",
+    executor: "ParallelExecutor | None" = None,
 ) -> list[int]:
     """Indices of BMO winners among candidate operand vectors.
 
     ``group_keys[i]`` assigns candidate ``i`` to a GROUPING partition;
     ``threshold(i)`` is the BUT ONLY test.  Winners are reported in their
-    original input order.
+    original input order.  ``algorithm="parallel"`` evaluates through the
+    partitioned executor (``executor`` shares a worker pool across
+    queries; without one a transient executor is used).
     """
     indices = list(range(len(vectors)))
     if threshold is not None:
         indices = [i for i in indices if threshold(i)]
+
+    if algorithm == "parallel":
+        from repro.engine.parallel import ParallelExecutor
+
+        transient = executor is None
+        active = ParallelExecutor() if transient else executor
+        try:
+            if group_keys is None:
+                return active.maximal_indices(
+                    preference, vectors, candidates=indices
+                )
+            return active.grouped_maximal_indices(
+                preference, vectors, group_keys, candidates=indices
+            )
+        finally:
+            if transient:
+                active.close()
 
     if group_keys is None:
         groups = {None: indices}
@@ -122,6 +145,8 @@ class PreferenceEngine:
         self,
         relations: dict[str, Relation] | None = None,
         algorithm: str = "bnl",
+        max_workers: int | None = None,
+        executor: "ParallelExecutor | None" = None,
     ):
         self._relations: dict[str, Relation] = {}
         if relations:
@@ -129,6 +154,25 @@ class PreferenceEngine:
                 self.register(name, relation)
         self._algorithm = algorithm
         self._preferences: dict[str, ast.PrefTerm] = {}
+        self._max_workers = max_workers
+        self._executor = executor
+        self._owns_executor = False
+
+    def close(self) -> None:
+        """Release the engine's own worker pool (injected pools are kept)."""
+        if self._owns_executor and self._executor is not None:
+            self._executor.close()
+            self._executor = None
+            self._owns_executor = False
+
+    def _parallel_executor(self) -> "ParallelExecutor":
+        """The shared partitioned executor, created on first parallel query."""
+        if self._executor is None:
+            from repro.engine.parallel import ParallelExecutor
+
+            self._executor = ParallelExecutor(max_workers=self._max_workers)
+            self._owns_executor = True
+        return self._executor
 
     def register(self, name: str, relation: Relation) -> None:
         """Register (or replace) a named relation."""
@@ -289,6 +333,11 @@ class PreferenceEngine:
                 group_keys=group_keys,
                 threshold=threshold,
                 algorithm=self._algorithm,
+                executor=(
+                    self._parallel_executor()
+                    if self._algorithm == "parallel"
+                    else None
+                ),
             )
             bundles = [bundles[i] for i in winners]
             quality_values = [quality_values[i] for i in winners]

@@ -141,6 +141,37 @@ def _make(node) -> tuple[BetterFn, EqualFn]:
     return better, equal
 
 
+def flat_rank_rows(
+    preference: Preference, vectors: Sequence[tuple]
+) -> tuple[list[tuple[float, ...]], str] | None:
+    """Per-row rank tuples for *flat* rank-based trees, or None.
+
+    When the preference is a single rank-based base, or a Pareto/cascade
+    combination of rank-based bases, dominance reduces to tuple arithmetic
+    on one precomputed rank row per input row: componentwise ``<=`` plus
+    inequality for ``mode == "pareto"``, plain lexicographic ``<`` for
+    ``mode == "cascade"`` — the exact comparisons the compiled closures
+    perform, so consumers inherit their semantics (including for NaN
+    ranks, which only custom rank implementations can produce).  The partitioned executor
+    (:mod:`repro.engine.parallel`) computes these rows once globally and
+    shares them across all partitions, instead of re-deriving ranks per
+    partition the way per-group :func:`compile_better` calls would.
+    Nested trees (a Pareto inside a cascade) and EXPLICIT bases return
+    None — callers fall back to :func:`best_better` closures.
+    """
+    built = _collect(preference, vectors, 0)
+    if built is None:
+        return None
+    node, _offset = built
+    kind, payload = node
+    if kind == "leaf":
+        return [(rank,) for rank in payload], "cascade"
+    flat = _all_leaves(payload)
+    if flat is None:
+        return None
+    return list(zip(*flat)), kind
+
+
 def compile_better(
     preference: Preference, vectors: Sequence[tuple]
 ) -> BetterFn | None:

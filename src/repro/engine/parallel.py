@@ -1,0 +1,338 @@
+"""Partitioned parallel skyline execution.
+
+The serial evaluator (:func:`repro.engine.bmo.bmo_filter`) computes one
+skyline per GROUPING partition by slicing out the partition's vectors and
+recompiling a dominance comparator for each slice.  Preference evaluation
+decomposes cleanly over partitions (Chomicki's winnow-operator work makes
+the same observation for relational algebra), so this module turns that
+structure into an execution strategy:
+
+* **grouped queries** — the GROUPING partitions are evaluated as
+  independent tasks on a shared worker pool, one task per batch of groups,
+* **ungrouped queries** — the candidate set is hash-partitioned, a local
+  skyline is computed per partition, and a final *merge filter* over the
+  union of the local skylines yields the global result.
+
+The merge step is justified by the **partition lemma**: for any
+partitioning ``P_1 ∪ ... ∪ P_k`` of a finite candidate set under a strict
+partial order, ``max(∪ max(P_i)) = max(∪ P_i)``.  A globally maximal tuple
+is maximal in its own partition (it faces fewer competitors there) and
+survives the merge (nothing dominates it anywhere); conversely a tuple
+dominated by some ``z`` is, by transitivity and finiteness, dominated by a
+*maximal* tuple of ``z``'s partition, which the merge filter sees.  The
+property test in ``tests/test_parallel.py`` exercises the lemma on random
+vectors and arbitrary partitionings.
+
+Two evaluation cores back the partition tasks, chosen per query:
+
+* the **flat-rank core** — for flat rank-based trees,
+  :func:`repro.engine.compiled.flat_rank_rows` materialises one rank tuple
+  per row *once, globally*; each partition then collapses duplicate rank
+  rows, sorts the distinct ones (C-level tuple comparisons) and runs a
+  sort-filter pass.  This is why the partitioned path wins even at worker
+  degree 1: the serial path recompiles ranks per group and compares
+  through Python closures,
+* the **generic core** — arbitrary trees (EXPLICIT members, nested
+  composites) fall back to a BNL pass per partition over the shared
+  :func:`~repro.engine.compiled.best_better` predicate, which still pays
+  the comparator compilation only once per query.
+
+Rank rows containing NaN cannot occur with the built-in preference types
+(unparseable operand text ranks as ``NULL_RANK``), but custom rank
+implementations may produce them; the flat core detects NaN rows and
+routes them through slower paths that replicate the serial closure
+semantics exactly (see :func:`_flat_local_skyline`).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence
+
+from repro.engine.compiled import best_better, flat_rank_rows
+from repro.errors import EvaluationError
+from repro.model.preference import Preference
+
+#: Below this many candidates a partitioned run costs more than it saves.
+DEFAULT_MIN_PARTITION_ROWS = 64
+
+#: Upper bound on the automatic worker degree; beyond this the per-task
+#: scheduling overhead outgrows what one query can amortise.
+MAX_DEFAULT_WORKERS = 8
+
+
+def default_worker_count() -> int:
+    """The automatic worker degree: CPU count, bounded to a sane range."""
+    return max(1, min(MAX_DEFAULT_WORKERS, os.cpu_count() or 1))
+
+
+def partition_count(
+    candidates: float,
+    workers: int,
+    min_partition_rows: int = DEFAULT_MIN_PARTITION_ROWS,
+) -> int:
+    """Hash-partition fan-out for ``candidates`` rows at a worker degree.
+
+    Two partitions per worker keeps the pool busy when local skylines
+    finish unevenly, but never so many that partitions drop below
+    ``min_partition_rows`` rows each.
+    """
+    if candidates <= 0:
+        return 1
+    by_size = max(1, int(candidates // min_partition_rows))
+    return max(1, min(max(1, workers) * 2, by_size))
+
+
+def hash_partitions(indices: Sequence[int], count: int) -> list[list[int]]:
+    """Deterministically spread indices over ``count`` balanced partitions."""
+    if count <= 1:
+        return [list(indices)]
+    parts: list[list[int]] = [[] for _ in range(count)]
+    for position, index in enumerate(indices):
+        parts[position % count].append(index)
+    return [part for part in parts if part]
+
+
+def local_skyline(
+    better: Callable[[int, int], bool], indices: Sequence[int]
+) -> list[int]:
+    """BNL over a subset of rows, comparing through a *global* predicate.
+
+    ``better`` is indexed by global row position, so partitions share one
+    compiled comparator instead of each recompiling over a vector slice.
+    """
+    window: list[int] = []
+    for i in indices:
+        dominated = False
+        survivors: list[int] = []
+        for j in window:
+            if better(j, i):
+                dominated = True
+                break
+            if not better(i, j):
+                survivors.append(j)
+        if not dominated:
+            survivors.append(i)
+            window = survivors
+    return window
+
+
+def _has_nan(row: tuple) -> bool:
+    return any(value != value for value in row)
+
+
+def _flat_local_skyline(
+    rows, mode: str, indices: Sequence[int]
+) -> list[int]:
+    """Partition skyline over precomputed rank rows.
+
+    ``rows`` maps global row index → rank tuple (a list when every row is
+    a candidate, a dict when a BUT ONLY threshold discarded some).
+
+    Duplicate rank rows are substitutable — they win or lose together — so
+    they collapse into one bucket each before the sort-filter pass.
+
+    Built-in preferences never rank to NaN (unparseable operand text maps
+    to ``NULL_RANK``), but a custom :class:`~repro.model.preference
+    .WeakOrderBase` may; NaN-bearing rank rows make the tuple order
+    partial, so they take slow paths that mirror the serial closure
+    semantics exactly: under Pareto they can neither dominate nor be
+    dominated (any ``<=`` against NaN is false) and are winners outright;
+    under cascade the lexicographic ``<`` is still meaningful on the
+    NaN-free prefix, so the buckets fall back to a BNL pass instead of
+    the single-minimum shortcut.
+    """
+    buckets: dict[tuple, list[int]] = {}
+    winners: list[int] = []
+    nan_rows = False
+    for i in indices:
+        row = rows[i]
+        if _has_nan(row):
+            nan_rows = True
+            if mode != "cascade":
+                winners.append(i)
+                continue
+        buckets.setdefault(row, []).append(i)
+    if not buckets:
+        return winners
+    if mode == "cascade":
+        if nan_rows:
+            # NaN makes ``<`` non-total: BNL over the bucket keys with the
+            # same lexicographic comparator the serial closures use.
+            keys = list(buckets)
+            kept: list[tuple] = []
+            for key in keys:
+                if any(other < key for other in keys if other is not key):
+                    continue
+                kept.append(key)
+            for key in kept:
+                winners.extend(buckets[key])
+            return winners
+        # Total lexicographic order: only the minimal rank row wins.
+        winners.extend(buckets[min(buckets)])
+        return winners
+    order = sorted(buckets)
+    skyline: list[tuple] = []
+    for row in order:
+        dominated = False
+        for kept_row in skyline:
+            # kept_row sorts before row, so it dominates iff componentwise
+            # <= (they are distinct by construction).
+            if all(x <= y for x, y in zip(kept_row, row)):
+                dominated = True
+                break
+        if not dominated:
+            skyline.append(row)
+            winners.extend(buckets[row])
+    return winners
+
+
+class ParallelExecutor:
+    """A partitioned skyline executor over a shared worker pool.
+
+    One executor per connection (or engine) amortises the pool across
+    queries; the pool itself is created lazily, and with ``max_workers=1``
+    every task runs inline so single-core machines never pay for threads.
+    """
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        min_partition_rows: int = DEFAULT_MIN_PARTITION_ROWS,
+    ):
+        if max_workers is not None and max_workers < 1:
+            raise EvaluationError("max_workers must be at least 1")
+        self.max_workers = max_workers or default_worker_count()
+        self.min_partition_rows = min_partition_rows
+        self._pool: ThreadPoolExecutor | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+
+    def close(self) -> None:
+        """Shut the worker pool down; the executor is unusable afterwards."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _run(self, tasks: list[Callable[[], list[int]]]) -> list[list[int]]:
+        """Run partition tasks, on the pool when it can actually help."""
+        if self._closed:
+            raise EvaluationError("parallel executor is closed")
+        if self.max_workers == 1 or len(tasks) == 1:
+            return [task() for task in tasks]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="skyline"
+            )
+        return list(self._pool.map(lambda task: task(), tasks))
+
+    # ------------------------------------------------------------------
+    # Execution
+
+    def maximal_indices(
+        self,
+        preference: Preference,
+        vectors: Sequence[tuple],
+        candidates: Sequence[int] | None = None,
+    ) -> list[int]:
+        """The global BMO set: hash-partition, local skylines, merge filter."""
+        indices = (
+            list(range(len(vectors))) if candidates is None else list(candidates)
+        )
+        evaluate = self._partition_evaluator(preference, vectors, indices)
+        if len(indices) <= self.min_partition_rows:
+            return sorted(evaluate(indices))
+        parts = hash_partitions(
+            indices,
+            partition_count(len(indices), self.max_workers, self.min_partition_rows),
+        )
+        local = self._run([lambda p=p: evaluate(p) for p in parts])
+        if len(local) == 1:
+            # A single partition's skyline is already global: no merge.
+            return sorted(local[0])
+        union: list[int] = sorted(i for winners in local for i in winners)
+        return sorted(evaluate(union))
+
+    def grouped_maximal_indices(
+        self,
+        preference: Preference,
+        vectors: Sequence[tuple],
+        group_keys: Sequence[object],
+        candidates: Sequence[int] | None = None,
+    ) -> list[int]:
+        """Per-group BMO sets, one pool task per batch of groups.
+
+        Groups are natural partitions: no merge filter is needed because
+        the result is, by definition, the union of the per-group skylines.
+        """
+        indices = (
+            list(range(len(vectors))) if candidates is None else list(candidates)
+        )
+        groups: dict[object, list[int]] = {}
+        for i in indices:
+            groups.setdefault(group_keys[i], []).append(i)
+        evaluate = self._partition_evaluator(preference, vectors, indices)
+        batches = hash_partitions(
+            list(range(len(groups))), min(self.max_workers * 2, len(groups) or 1)
+        )
+        members = list(groups.values())
+        tasks = [
+            lambda batch=batch: [
+                i for g in batch for i in evaluate(members[g])
+            ]
+            for batch in batches
+        ]
+        return sorted(i for winners in self._run(tasks) for i in winners)
+
+    def _partition_evaluator(
+        self,
+        preference: Preference,
+        vectors: Sequence[tuple],
+        candidates: Sequence[int],
+    ) -> Callable[[Sequence[int]], list[int]]:
+        """The per-partition skyline core, compiled once per query.
+
+        Only the ``candidates`` rows are ranked — rows a BUT ONLY
+        threshold already discarded never reach a rank() implementation,
+        matching the serial algorithms (which slice survivors first).
+        The returned evaluator still addresses rows by their *global*
+        index, so partitions can be passed around untranslated.
+        """
+        if len(candidates) == len(vectors):
+            subset = vectors
+            remap = None
+        else:
+            subset = [vectors[i] for i in candidates]
+            remap = {index: position for position, index in enumerate(candidates)}
+        flat = flat_rank_rows(preference, subset)
+        if flat is not None:
+            rows, mode = flat
+            if remap is not None:
+                rows = {index: rows[position] for index, position in remap.items()}
+            return lambda indices: _flat_local_skyline(rows, mode, indices)
+        compact = best_better(preference, subset)
+        if remap is None:
+            better = compact
+        else:
+            better = lambda i, j: compact(remap[i], remap[j])
+        return lambda indices: local_skyline(better, indices)
+
+
+def parallel_maximal_indices(
+    preference: Preference,
+    vectors: Sequence[tuple],
+    max_workers: int | None = None,
+) -> list[int]:
+    """One-shot convenience wrapper around :class:`ParallelExecutor`."""
+    with ParallelExecutor(max_workers=max_workers) as executor:
+        return executor.maximal_indices(preference, vectors)

@@ -28,6 +28,7 @@ from repro.plan.cache import CacheStats, PlanCache
 from repro.plan.cost import (
     DEFAULT_COST_MODEL,
     IN_MEMORY_STRATEGIES,
+    SERIAL_IN_MEMORY,
     STRATEGIES,
     CostEstimate,
     CostModel,
@@ -57,6 +58,7 @@ __all__ = [
     "DEFAULT_COST_MODEL",
     "STRATEGIES",
     "IN_MEMORY_STRATEGIES",
+    "SERIAL_IN_MEMORY",
     "estimate_costs",
     "estimate_selectivity",
     "estimate_skyline_size",

@@ -3,10 +3,15 @@
 Under production traffic the same statement texts arrive over and over
 with different parameters.  Parsing and planning (which includes a
 statistics lookup and a full rewrite) are pure functions of the statement
-text and the preference catalog, so the driver caches their outcome keyed
-on ``(statement text, catalog version)``: a ``CREATE/DROP PREFERENCE``
-bumps the catalog version and naturally orphans every plan that might have
-resolved a named preference differently.
+text and the planning environment, so the driver caches their outcome
+keyed on ``(statement text, version)`` where the version is any hashable
+snapshot of that environment — the driver uses ``(catalog version,
+worker degree)``: a ``CREATE/DROP PREFERENCE`` bumps the catalog version
+and naturally orphans every plan that might have resolved a named
+preference differently, and changing ``max_workers`` orphans plans whose
+parallel cost term was priced for the old pool size.  A rolled-back
+catalog change *restores* the previously committed version, so plans
+cached against it become servable again.
 
 The cache is deliberately tiny and dependency-free — an ``OrderedDict``
 in LRU discipline with hit/miss/eviction counters surfaced through
@@ -39,7 +44,7 @@ class CacheStats:
 
 
 class PlanCache(Generic[Entry]):
-    """LRU mapping of ``(statement text, catalog version)`` → cached plan."""
+    """LRU mapping of ``(statement text, version)`` → cached plan."""
 
     def __init__(self, maxsize: int = 256):
         if maxsize < 1:
@@ -50,8 +55,8 @@ class PlanCache(Generic[Entry]):
         self._misses = 0
         self._evictions = 0
 
-    def get(self, text: str, catalog_version: int) -> Entry | None:
-        key = (text, catalog_version)
+    def get(self, text: str, version: Hashable) -> Entry | None:
+        key = (text, version)
         entry = self._entries.get(key)
         if entry is None:
             self._misses += 1
@@ -60,8 +65,8 @@ class PlanCache(Generic[Entry]):
         self._hits += 1
         return entry
 
-    def put(self, text: str, catalog_version: int, entry: Entry) -> None:
-        key = (text, catalog_version)
+    def put(self, text: str, version: Hashable, entry: Entry) -> None:
+        key = (text, version)
         self._entries[key] = entry
         self._entries.move_to_end(key)
         while len(self._entries) > self._maxsize:

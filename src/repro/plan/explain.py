@@ -21,6 +21,7 @@ _STRATEGY_LABELS = {
     "bnl": "in-memory block-nested-loops after hard-condition pushdown",
     "sfs": "in-memory sort-filter-skyline after hard-condition pushdown",
     "dnc": "in-memory divide & conquer after hard-condition pushdown",
+    "parallel": "partitioned parallel skylines after hard-condition pushdown",
 }
 
 
@@ -55,6 +56,10 @@ def plan_relation(
     if plan.strategy != "passthrough":
         add("candidates (est)", f"{plan.candidate_estimate:.0f}")
         add("maximal set (est)", f"{plan.skyline_estimate:.0f}")
+    if plan.partitions:
+        kind = "GROUPING" if plan.group_estimate is not None else "hash"
+        add("parallel partitions (est)", f"{plan.partitions} ({kind})")
+        add("parallel worker degree", plan.workers)
     for name in STRATEGIES:
         estimate = plan.estimates.get(name)
         if estimate is None:

@@ -24,6 +24,7 @@ from typing import Callable, Sequence
 from repro.errors import PlanError
 from repro.model.builder import NameResolver
 from repro.model.quality import QUALITY_FUNCTIONS
+from repro.engine.parallel import default_worker_count
 from repro.plan.cost import (
     DEFAULT_COST_MODEL,
     IN_MEMORY_STRATEGIES,
@@ -34,6 +35,7 @@ from repro.plan.cost import (
     estimate_costs,
     estimate_selectivity,
     estimate_skyline_size,
+    planned_partitions,
 )
 from repro.plan.statistics import TableStatistics
 from repro.rewrite.planner import Schema, pref_expressions, rewrite_statement
@@ -52,7 +54,7 @@ class Plan:
     """One fully-described execution of a preference statement."""
 
     statement: ast.Statement
-    strategy: str  # 'passthrough' | 'rewrite' | 'bnl' | 'sfs' | 'dnc'
+    strategy: str  # 'passthrough' | 'rewrite' | 'bnl' | 'sfs' | 'dnc' | 'parallel'
     rewritten_sql: str | None = None
     pushdown_sql: str | None = None
     residual: ast.Select | None = None
@@ -65,6 +67,13 @@ class Plan:
     preference_sql: str | None = None
     notes: list[str] = field(default_factory=list)
     forced: bool = False
+    #: Parallel-strategy shape: estimated partition count (GROUPING
+    #: partitions for grouped queries, hash partitions otherwise) and the
+    #: worker degree the pool would run at.  Zero when the statement is not
+    #: eligible for in-memory evaluation.
+    partitions: int = 0
+    workers: int = 0
+    group_estimate: float | None = None
 
     @property
     def uses_engine(self) -> bool:
@@ -83,12 +92,15 @@ def plan_statement(
     statistics: StatisticsProvider | None = None,
     model: CostModel = DEFAULT_COST_MODEL,
     force: str | None = None,
+    workers: int | None = None,
 ) -> Plan:
     """Plan one (parameter-bound) statement.
 
     ``force`` pins the strategy (benchmarks and differential tests);
     forcing an in-memory strategy on an ineligible statement raises
-    :class:`~repro.errors.PlanError`.
+    :class:`~repro.errors.PlanError`.  ``workers`` is the worker degree
+    the parallel strategy would run at (the connection's ``max_workers``);
+    None resolves to the hardware default.
     """
     if isinstance(statement, ast.ExplainPreference):
         statement = statement.statement
@@ -136,6 +148,13 @@ def plan_statement(
     ]
     skyline = estimate_skyline_size(candidates, dimensions, distinct_counts)
     include = STRATEGIES if table is not None else ("rewrite",)
+    effective_workers = workers if workers is not None else default_worker_count()
+    groups = _group_estimate(select, candidates, lookup)
+    partitions = (
+        planned_partitions(candidates, effective_workers, groups)
+        if table is not None
+        else 0
+    )
     estimates = estimate_costs(
         candidates,
         dimensions,
@@ -143,6 +162,8 @@ def plan_statement(
         model=model,
         include=include,
         row_width=_row_width(table, schema),
+        workers=effective_workers,
+        groups=groups,
     )
 
     if force is not None:
@@ -171,6 +192,9 @@ def plan_statement(
         preference_sql=to_sql(select.preferring),
         notes=notes,
         forced=force is not None,
+        partitions=partitions,
+        workers=effective_workers if table is not None else 0,
+        group_estimate=groups,
     )
     if plan.uses_engine:
         plan.pushdown_sql, plan.residual = in_memory_parts(select, resolver)
@@ -234,6 +258,32 @@ def inline_named_preferences(
         )
         return type(term)(parts=parts)
     return term
+
+
+def _group_estimate(
+    select: ast.Select,
+    candidates: float,
+    lookup: Callable[[str], int | None],
+) -> float | None:
+    """Estimated GROUPING partition count, or None for ungrouped queries.
+
+    The product of the grouping columns' distinct counts, capped by the
+    candidate count (there cannot be more non-empty groups than rows);
+    computed grouping expressions without statistics guess a small
+    constant, erring low so parallelism is not oversold.
+    """
+    if not select.grouping:
+        return None
+    product = 1.0
+    for expr in select.grouping:
+        if isinstance(expr, ast.Column):
+            count = lookup(expr.name)
+        else:
+            count = None
+        product *= float(count) if count else 8.0
+        if product > 1e12:
+            break
+    return max(1.0, min(candidates if candidates else product, product))
 
 
 def _row_width(table: str | None, schema: Schema | None) -> int | None:
@@ -304,4 +354,7 @@ def _statistics_columns(select: ast.Select, bases: Sequence) -> list[str]:
         for node in ast.walk_expr(select.where):
             if isinstance(node, ast.Column):
                 add(node.name)
+    for expr in select.grouping:
+        if isinstance(expr, ast.Column):
+            add(expr.name)
     return columns

@@ -37,13 +37,14 @@ class TestHarness:
 class TestExperiments:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {
-            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8",
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
         }
 
     def test_plan_alias(self):
         from repro.bench.experiments import ALIASES
 
         assert ALIASES["plan"] == "e8"
+        assert ALIASES["parallel"] == "e9"
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):
@@ -64,6 +65,16 @@ class TestExperiments:
         report = run_experiment("e4", quick=True)
         assert report.data["share_in_1_20"] >= 0.9
         assert report.data["preference_share_of_total"] < 0.2
+
+    def test_e9_quick_identical_and_declines_small(self):
+        report = run_experiment("e9", quick=True)
+        # Identical winner sets are asserted inside the experiment; the
+        # cost model must not parallelize the 60-row probe.
+        assert report.data["small_input_strategy"] != "parallel"
+        assert report.data["driver_rows"] > 0
+        for key, cell in report.data.items():
+            if isinstance(key, tuple):
+                assert cell["bnl"] > 0 and cell["parallel"] > 0
 
     def test_e1_quick_shapes(self):
         report = run_experiment("e1", quick=True)

@@ -1,0 +1,264 @@
+"""The partitioned parallel skyline executor.
+
+Covers the executor against the paper's abstract selection method (the
+semantics oracle), the partition-merge lemma on arbitrary partitionings,
+the worker-pool lifecycle, and the engine/driver integration of
+``algorithm="parallel"``.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+import repro
+from repro.engine.algorithms import maximal_indices, nested_loop_maximal
+from repro.engine.bmo import bmo_filter
+from repro.engine.compiled import best_better, flat_rank_rows
+from repro.engine.parallel import (
+    ParallelExecutor,
+    default_worker_count,
+    hash_partitions,
+    local_skyline,
+    parallel_maximal_indices,
+    partition_count,
+)
+from repro.errors import EvaluationError
+from repro.model.builder import build_preference
+from repro.sql.parser import parse_preferring
+
+PREFERENCES = [
+    "LOWEST(d0) AND HIGHEST(d1)",
+    "LOWEST(d0) CASCADE LOWEST(d1)",
+    "d0 AROUND 5 AND LOWEST(d1)",
+    "(LOWEST(d0) AND LOWEST(d1)) CASCADE HIGHEST(d0)",
+    "EXPLICIT(d0, 'a' > 'b', 'b' > 'c') AND LOWEST(d1)",
+]
+
+vectors_strategy = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(0, 9)), min_size=0, max_size=60
+)
+
+
+def _prepare(clause, vectors):
+    """Expand drawn value pairs to the preference's flat operand arity."""
+    preference = build_preference(parse_preferring(clause))
+    if "EXPLICIT" in clause:
+        letters = "abcd"
+        vectors = [(letters[v[0] % 4], v[1]) for v in vectors]
+    arity = preference.arity
+    vectors = [tuple(v[k % len(v)] for k in range(arity)) for v in vectors]
+    return preference, vectors
+
+
+class TestPartitionMergeLemma:
+    """max(∪ max(P_i)) == max(∪ P_i) for arbitrary partitionings."""
+
+    @given(vectors=vectors_strategy, data=st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_merge_of_local_skylines_is_global_skyline(self, vectors, data):
+        clause = data.draw(st.sampled_from(PREFERENCES))
+        preference, vectors = _prepare(clause, vectors)
+        # An arbitrary partitioning: every row draws its partition id.
+        assignment = [
+            data.draw(st.integers(0, 4), label=f"partition[{i}]")
+            for i in range(len(vectors))
+        ]
+        partitions: dict[int, list[int]] = {}
+        for index, part in enumerate(assignment):
+            partitions.setdefault(part, []).append(index)
+
+        better = best_better(preference, vectors)
+        union = sorted(
+            i
+            for members in partitions.values()
+            for i in local_skyline(better, members)
+        )
+        merged = sorted(local_skyline(better, union))
+        oracle = sorted(nested_loop_maximal(preference, vectors))
+        assert merged == oracle, clause
+
+    @given(vectors=vectors_strategy, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_executor_matches_oracle(self, vectors, data):
+        clause = data.draw(st.sampled_from(PREFERENCES))
+        workers = data.draw(st.sampled_from([1, 2, 4]))
+        preference, vectors = _prepare(clause, vectors)
+        oracle = sorted(nested_loop_maximal(preference, vectors))
+        with ParallelExecutor(max_workers=workers, min_partition_rows=8) as ex:
+            assert ex.maximal_indices(preference, vectors) == oracle
+
+    @given(vectors=vectors_strategy, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_grouped_executor_matches_serial_grouping(self, vectors, data):
+        clause = data.draw(st.sampled_from(PREFERENCES))
+        preference, vectors = _prepare(clause, vectors)
+        keys = [data.draw(st.integers(0, 3), label=f"g[{i}]") for i in range(len(vectors))]
+        serial = bmo_filter(preference, vectors, group_keys=keys, algorithm="bnl")
+        with ParallelExecutor(max_workers=2, min_partition_rows=8) as ex:
+            parallel = ex.grouped_maximal_indices(preference, vectors, keys)
+        assert parallel == serial, clause
+
+
+class TestFlatRankRows:
+    def test_flat_pareto_compiles(self):
+        preference = build_preference(parse_preferring("LOWEST(a) AND HIGHEST(b)"))
+        rows, mode = flat_rank_rows(preference, [(1, 2), (3, 4)])
+        assert mode == "pareto"
+        assert len(rows) == 2 and len(rows[0]) == 2
+
+    def test_single_base_is_cascade(self):
+        preference = build_preference(parse_preferring("LOWEST(a)"))
+        rows, mode = flat_rank_rows(preference, [(5,), (1,)])
+        assert mode == "cascade"
+        assert rows[1] < rows[0]
+
+    def test_nested_tree_returns_none(self):
+        preference = build_preference(
+            parse_preferring("(LOWEST(a) AND LOWEST(b)) CASCADE HIGHEST(a)")
+        )
+        assert flat_rank_rows(preference, [(1, 2, 3), (4, 5, 6)]) is None
+
+    def test_explicit_returns_none(self):
+        preference = build_preference(
+            parse_preferring("EXPLICIT(c, 'x' > 'y')")
+        )
+        assert flat_rank_rows(preference, [("x",), ("y",)]) is None
+
+    def test_unparseable_text_ranks_as_null_rank_on_both_paths(self):
+        # Built-ins never rank to NaN: unparseable text maps to NULL_RANK,
+        # which is totally ordered (worst) — both paths agree.
+        preference = build_preference(parse_preferring("LOWEST(a) AND LOWEST(b)"))
+        vectors = [(1, 1), ("junk", 0), (2, 2)]
+        serial = sorted(nested_loop_maximal(preference, vectors))
+        assert parallel_maximal_indices(preference, vectors) == serial
+        assert serial == [0, 1]  # NULL_RANK loses on a, wins on b
+
+    def test_custom_nan_ranks_match_serial_closures(self):
+        # Only a custom rank() can produce NaN; the flat core must then
+        # reproduce the serial closure semantics in both modes.
+        from repro.model.composite import (
+            ParetoPreference,
+            PrioritizationPreference,
+        )
+        from repro.model.preference import WeakOrderBase
+        from repro.sql import ast
+
+        class NanLowest(WeakOrderBase):
+            kind = "NAN-LOWEST"
+
+            def rank(self, value):
+                return float("nan") if value is None else float(value)
+
+        def bases():
+            return [NanLowest(ast.Column(name=c)) for c in ("a", "b")]
+
+        vectors = [(1, None), (2, 3), (0, 5), (None, None), (2, 3)]
+        for composite in (ParetoPreference(bases()), PrioritizationPreference(bases())):
+            serial = sorted(nested_loop_maximal(composite, vectors))
+            assert parallel_maximal_indices(composite, vectors) == serial, (
+                composite.kind
+            )
+        # Cascade specifically: (1, NaN) lexicographically beats (2, 3) on
+        # the NaN-free prefix, so the NaN row must not be a blanket winner.
+        cascade = PrioritizationPreference(bases())
+        assert parallel_maximal_indices(cascade, vectors) == sorted(
+            nested_loop_maximal(cascade, vectors)
+        )
+        assert 1 not in parallel_maximal_indices(cascade, vectors)
+
+
+class TestPartitioning:
+    def test_partition_count_scales_with_workers(self):
+        assert partition_count(10_000, 1) <= partition_count(10_000, 4)
+        assert partition_count(0, 4) == 1
+        assert partition_count(100, 4, min_partition_rows=64) == 1
+        assert partition_count(10_000, 4, min_partition_rows=64) == 8
+
+    def test_hash_partitions_cover_and_balance(self):
+        parts = hash_partitions(list(range(10)), 3)
+        assert sorted(i for part in parts for i in part) == list(range(10))
+        sizes = [len(part) for part in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_hash_partitions_single(self):
+        assert hash_partitions([1, 2], 1) == [[1, 2]]
+
+
+class TestExecutorLifecycle:
+    def test_worker_degree_validation(self):
+        with pytest.raises(EvaluationError):
+            ParallelExecutor(max_workers=0)
+
+    def test_default_worker_count_positive(self):
+        assert default_worker_count() >= 1
+
+    def test_closed_executor_rejects_work(self):
+        preference = build_preference(parse_preferring("LOWEST(a)"))
+        executor = ParallelExecutor(max_workers=2, min_partition_rows=1)
+        vectors = [(i,) for i in range(16)]
+        assert executor.maximal_indices(preference, vectors) == [0]
+        executor.close()
+        with pytest.raises(EvaluationError):
+            executor.maximal_indices(preference, vectors)
+
+    def test_pool_only_spawns_when_useful(self):
+        executor = ParallelExecutor(max_workers=1)
+        preference = build_preference(parse_preferring("LOWEST(a)"))
+        executor.maximal_indices(preference, [(i,) for i in range(500)])
+        assert executor._pool is None  # inline execution, no threads
+        executor.close()
+
+    def test_threaded_pool_produces_same_result(self):
+        preference = build_preference(
+            parse_preferring("LOWEST(d0) AND HIGHEST(d1)")
+        )
+        vectors = [((i * 13) % 97, (i * 29) % 89) for i in range(800)]
+        oracle = sorted(nested_loop_maximal(preference, vectors))
+        with ParallelExecutor(max_workers=4, min_partition_rows=32) as ex:
+            assert ex.maximal_indices(preference, vectors) == oracle
+            assert ex._pool is not None  # the pool really ran
+
+
+class TestEngineIntegration:
+    def test_maximal_indices_accepts_parallel(self):
+        preference = build_preference(parse_preferring("LOWEST(a)"))
+        vectors = [(3,), (1,), (1,), (2,)]
+        assert maximal_indices(preference, vectors, "parallel") == [1, 2]
+
+    def test_unknown_algorithm_mentions_parallel(self):
+        preference = build_preference(parse_preferring("LOWEST(a)"))
+        with pytest.raises(EvaluationError, match="parallel"):
+            maximal_indices(preference, [(1,)], "quantum")
+
+    def test_engine_parallel_algorithm(self, fixture_engine):
+        sql = (
+            "SELECT * FROM car PREFERRING LOWEST(price) AND HIGHEST(power) "
+            "GROUPING category"
+        )
+        serial = fixture_engine.execute(sql).rows
+        parallel_engine = repro.PreferenceEngine(algorithm="parallel")
+        for name in fixture_engine._relations:
+            parallel_engine.register(name, fixture_engine.relation(name))
+        try:
+            assert parallel_engine.execute(sql).rows == serial
+        finally:
+            parallel_engine.close()
+
+    def test_driver_parallel_with_but_only_and_grouping(self, fixture_connection):
+        sql = (
+            "SELECT * FROM oldtimer "
+            "PREFERRING color = 'white' ELSE color = 'yellow' "
+            "GROUPING age BUT ONLY LEVEL(color) <= 2"
+        )
+        rewrite = fixture_connection.execute(sql, algorithm="rewrite").fetchall()
+        parallel = fixture_connection.execute(sql, algorithm="parallel").fetchall()
+        assert parallel == rewrite
+
+    def test_connection_shares_one_executor(self, fixture_connection):
+        first = fixture_connection.parallel_executor
+        fixture_connection.execute(
+            "SELECT * FROM car PREFERRING LOWEST(price)", algorithm="parallel"
+        ).fetchall()
+        assert fixture_connection.parallel_executor is first
+        fixture_connection.max_workers = 2
+        assert fixture_connection.parallel_executor is not first

@@ -279,6 +279,139 @@ class TestPlanCache:
         with pytest.raises(CatalogError):
             fixture_connection.execute(sql)
 
+    def test_max_workers_change_invalidates_cached_plans(self, connection):
+        connection.execute("CREATE TABLE p (a REAL, b REAL)")
+        connection.cursor().executemany(
+            "INSERT INTO p VALUES (?, ?)",
+            [((i * 7919) % 97 / 97, (i * 104729) % 89 / 89) for i in range(200)],
+        )
+        sql = "SELECT * FROM p PREFERRING LOWEST(a) AND LOWEST(b) GROUPING b"
+        connection.execute(sql).fetchall()
+        hits_before = connection.plan_cache_stats().hits
+        connection.execute(sql).fetchall()
+        assert connection.plan_cache_stats().hits == hits_before + 1
+
+        # A new worker degree re-prices the parallel strategy: the cached
+        # plan must not be served, and the fresh plan carries the degree.
+        connection.max_workers = 4
+        misses_before = connection.plan_cache_stats().misses
+        cursor = connection.execute(sql)
+        cursor.fetchall()
+        assert connection.plan_cache_stats().misses == misses_before + 1
+        assert cursor.plan.workers == 4
+
+        # Setting the same value again is a no-op: the plan stays cached.
+        connection.max_workers = 4
+        hits_before = connection.plan_cache_stats().hits
+        connection.execute(sql).fetchall()
+        assert connection.plan_cache_stats().hits == hits_before + 1
+
+    def test_rollback_of_drop_preference_restores_cached_plans(
+        self, fixture_connection
+    ):
+        fixture_connection.execute(
+            "CREATE PREFERENCE cheap ON trips AS LOWEST(price)"
+        )
+        fixture_connection.commit()
+        sql = "SELECT * FROM trips PREFERRING PREFERENCE cheap"
+        baseline = fixture_connection.execute(sql).fetchall()
+        version = fixture_connection.catalog_version
+
+        fixture_connection.execute("DROP PREFERENCE cheap")
+        assert fixture_connection.catalog_version != version
+        fixture_connection.rollback()
+
+        # The rollback restored the committed catalog, so the committed
+        # catalog version — and with it the cached plan — is restored too.
+        assert fixture_connection.catalog_version == version
+        hits_before = fixture_connection.plan_cache_stats().hits
+        assert fixture_connection.execute(sql).fetchall() == baseline
+        assert fixture_connection.plan_cache_stats().hits == hits_before + 1
+
+    def test_executescript_implicit_commit_prevents_restore(self, connection):
+        # executescript implicitly COMMITs the pending transaction, so a
+        # later rollback() must not restore plans from before the
+        # now-durable catalog change.
+        connection.execute("CREATE TABLE t (price INTEGER)")
+        connection.cursor().executemany(
+            "INSERT INTO t VALUES (?)", [(i,) for i in range(4)]
+        )
+        connection.execute("CREATE PREFERENCE p ON t AS LOWEST(price)")
+        connection.commit()
+        sql = "SELECT * FROM t PREFERRING PREFERENCE p"
+        assert connection.execute(sql).fetchall() == [(0,)]
+        connection.execute("DROP PREFERENCE p")
+        connection.execute("CREATE PREFERENCE p ON t AS HIGHEST(price)")
+        connection.cursor().executescript("CREATE TABLE u (x INTEGER);")
+        connection.rollback()
+        assert connection.execute(sql).fetchall() == [(3,)]
+
+    def test_raw_commit_passthrough_tracked(self, connection):
+        # COMMIT issued as plain SQL makes the catalog durable exactly
+        # like Connection.commit(); rollback() must respect that.
+        connection.execute("CREATE TABLE t (price INTEGER)")
+        connection.cursor().executemany(
+            "INSERT INTO t VALUES (?)", [(i,) for i in range(4)]
+        )
+        connection.execute("CREATE PREFERENCE p ON t AS HIGHEST(price)")
+        connection.execute("COMMIT")
+        sql = "SELECT * FROM t PREFERRING PREFERENCE p"
+        connection.execute("DROP PREFERENCE p")
+        connection.rollback()  # DROP reverted; committed HIGHEST restored
+        assert connection.execute(sql).fetchall() == [(3,)]
+
+    def test_autocommit_rollback_orphans_instead_of_restoring(self):
+        # With isolation_level=None every catalog write commits
+        # immediately: rollback() reverts nothing, so the committed
+        # version must NOT be restored — the pre-change cached plan would
+        # describe the wrong catalog.
+        connection = repro.connect(":memory:", isolation_level=None)
+        try:
+            connection.execute("CREATE TABLE t (price INTEGER)")
+            connection.cursor().executemany(
+                "INSERT INTO t VALUES (?)", [(i,) for i in range(5)]
+            )
+            connection.execute("CREATE PREFERENCE p ON t AS LOWEST(price)")
+            connection.commit()
+            sql = "SELECT * FROM t PREFERRING PREFERENCE p"
+            assert connection.execute(sql).fetchall() == [(0,)]
+            connection.execute("DROP PREFERENCE p")
+            connection.execute("CREATE PREFERENCE p ON t AS HIGHEST(price)")
+            connection.rollback()  # no-op for the autocommitted catalog
+            # The live catalog says HIGHEST; the cached LOWEST plan must
+            # not be served.
+            assert connection.execute(sql).fetchall() == [(4,)]
+        finally:
+            connection.close()
+
+    def test_aborted_catalog_versions_are_never_reissued(
+        self, fixture_connection
+    ):
+        fixture_connection.commit()
+        fixture_connection.execute(
+            "CREATE PREFERENCE fleeting ON trips AS LOWEST(price)"
+        )
+        sql = "SELECT * FROM trips PREFERRING PREFERENCE fleeting"
+        lowest_rows = fixture_connection.execute(sql).fetchall()
+        burnt = fixture_connection.catalog_version
+        fixture_connection.rollback()
+
+        # A different definition under the same name must get a *fresh*
+        # version — serving the rolled-back plan would invert the order.
+        fixture_connection.execute(
+            "CREATE PREFERENCE fleeting ON trips AS HIGHEST(price)"
+        )
+        assert fixture_connection.catalog_version != burnt
+        rows = fixture_connection.execute(sql).fetchall()
+        prices = [row[-1] for row in rows]
+        assert prices and prices != [row[-1] for row in lowest_rows]
+        assert all(
+            price == max(r[-1] for r in fixture_connection.execute(
+                "SELECT * FROM trips"
+            ).fetchall())
+            for price in prices
+        )
+
     def test_unparseable_statement_cached_as_passthrough(self, connection):
         connection.execute("CREATE TABLE prefs (preference TEXT)")
         connection.execute("INSERT INTO prefs VALUES ('blue')")
