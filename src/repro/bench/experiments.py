@@ -648,6 +648,149 @@ def e9_parallel(quick: bool = False) -> Report:
     return report
 
 
+def e10_views(quick: bool = False) -> Report:
+    """The view benchmark: incremental maintenance vs full recompute.
+
+    Creates a materialized preference view over the jobs and shop
+    workloads, then replays an identical insert-heavy mixed DML sequence
+    (80% INSERT / 10% DELETE / 10% UPDATE) through two connections — one
+    maintaining incrementally (``view_maintenance_mode='auto'``), one
+    pinned to full recompute per statement.  Both materializations must
+    equal each other *and* a fresh recompute oracle (a pinned in-memory
+    strategy, which bypasses the view) after the whole sequence; the
+    interesting output is the maintenance-time ratio.
+    """
+    import random
+
+    from repro.sql.printer import format_literal
+    from repro.workloads.fixtures import relation_to_sqlite
+    from repro.workloads.jobs import jobs_relation
+    from repro.workloads.shop import washing_machines_relation
+
+    report = Report(
+        experiment="E10",
+        title="materialized preference views: incremental vs full recompute",
+    )
+
+    jobs_n = 2_500 if quick else 8_000
+    shop_n = 1_200 if quick else 6_000
+    op_count = 60 if quick else 200
+
+    jobs_soft = (
+        "HIGHEST(years_experience) AND HIGHEST(english_skill) "
+        "AND salary_expectation BETWEEN 0, 40000"
+    )
+    cases = [
+        (
+            "jobs",
+            jobs_relation(n=jobs_n),
+            jobs_relation(n=2_000, seed=7001),
+            f"SELECT * FROM jobs PREFERRING {jobs_soft} GROUPING region",
+            "salary_expectation",
+            lambda rng: int(rng.uniform(20_000, 60_000)),
+        ),
+        (
+            "shop",
+            washing_machines_relation(rows=shop_n),
+            washing_machines_relation(rows=max(op_count, 200), seed=97),
+            "SELECT * FROM products PREFERRING LOWEST(price) AND "
+            "LOWEST(powerconsumption) AND LOWEST(waterconsumption) "
+            "GROUPING manufacturer",
+            "price",
+            lambda rng: int(rng.uniform(600, 3200)),
+        ),
+    ]
+
+    table_out = Table(
+        ("workload", "n", "ops", "mode", "maintenance", "view rows", "time [ms]")
+    )
+    raw: dict = {}
+    for name, base, spare, view_sql, update_column, update_value in cases:
+        table = view_sql.split(" FROM ", 1)[1].split()[0].lower()
+        rng = random.Random(4202)
+        statements: list[str] = []
+        spare_rows = list(spare.rows)
+        for i in range(op_count):
+            kind = rng.random()
+            if kind < 0.8 and spare_rows:
+                row = spare_rows.pop()
+                values = ", ".join(format_literal(value) for value in row)
+                statements.append(f"INSERT INTO {table} VALUES ({values})")
+            elif kind < 0.9:
+                statements.append(
+                    f"DELETE FROM {table} WHERE rowid = {rng.randint(1, len(base.rows))}"
+                )
+            else:
+                statements.append(
+                    f"UPDATE {table} SET {update_column} = "
+                    f"{update_value(rng)} WHERE rowid = "
+                    f"{rng.randint(1, len(base.rows))}"
+                )
+
+        results: dict[str, tuple] = {}
+        for mode in ("auto", "recompute"):
+            connection = repro.connect(":memory:")
+            relation_to_sqlite(connection, table, base)
+            connection.execute(
+                f"CREATE PREFERENCE VIEW best_{name} AS {view_sql}"
+            )
+            connection.view_maintenance_mode = mode
+            start = time.perf_counter()
+            for statement in statements:
+                connection.execute(statement)
+            elapsed = time.perf_counter() - start
+            materialized = sorted(
+                connection.execute(f"SELECT * FROM best_{name}").fetchall(),
+                key=repr,
+            )
+            # The oracle bypasses the view: pinned strategies always
+            # recompute from the base table.
+            oracle = sorted(
+                connection.execute(view_sql, algorithm="sfs").fetchall(),
+                key=repr,
+            )
+            if materialized != oracle:
+                raise AssertionError(
+                    f"{name} [{mode}]: materialized view diverged from the "
+                    f"recompute oracle ({len(materialized)} vs {len(oracle)} rows)"
+                )
+            counters = connection.view_maintenance_stats()[f"best_{name}"]
+            summary = ", ".join(
+                f"{strategy}={count}"
+                for strategy, count in sorted(counters.items())
+            )
+            table_out.add(
+                name, len(base.rows), op_count, mode, summary,
+                len(materialized), f"{elapsed * 1000:.1f}",
+            )
+            results[mode] = (elapsed, materialized, counters)
+            connection.close()
+
+        if results["auto"][1] != results["recompute"][1]:
+            raise AssertionError(f"{name}: maintenance modes disagree")
+        speedup = results["recompute"][0] / results["auto"][0]
+        if speedup <= 1.0:
+            raise AssertionError(
+                f"{name}: incremental maintenance did not beat full "
+                f"recompute ({speedup:.2f}x)"
+            )
+        raw[name] = {
+            "auto_seconds": results["auto"][0],
+            "recompute_seconds": results["recompute"][0],
+            "speedup": speedup,
+            "rows": len(results["auto"][1]),
+            "auto_counters": results["auto"][2],
+        }
+    report.add_table("insert-heavy mixed DML maintenance", table_out)
+    report.note(
+        "identical BMO rows are asserted between both maintenance modes and "
+        "against the recompute oracle; incremental maintenance speedup — "
+        + ", ".join(f"{name}: {cell['speedup']:.1f}x" for name, cell in raw.items())
+    )
+    report.data = raw
+    return report
+
+
 EXPERIMENTS = {
     "e1": e1_jobs_benchmark,
     "e2": e2_oldtimer,
@@ -658,10 +801,11 @@ EXPERIMENTS = {
     "e7": e7_rewrite_vs_engine,
     "e8": e8_plan_selection,
     "e9": e9_parallel,
+    "e10": e10_views,
 }
 
 #: Friendly aliases accepted by ``run_experiment`` and the CLI.
-ALIASES = {"plan": "e8", "parallel": "e9"}
+ALIASES = {"plan": "e8", "parallel": "e9", "views": "e10"}
 
 
 def run_experiment(name: str, quick: bool = False) -> Report:

@@ -25,8 +25,16 @@ Behaviour:
 * ``EXPLAIN PREFERENCE <select>`` returns the chosen plan, per-step cost
   estimates and the rewritten SQL as a result relation without executing
   the query,
+* ``CREATE/DROP PREFERENCE VIEW`` materialize a preference query's BMO
+  result into a backing table; INSERT/DELETE/UPDATE on a base table is
+  intercepted (seeing through leading comments and CTE prologues) and the
+  materialization is maintained incrementally where the dominance
+  structure allows it, by flagged full recompute otherwise
+  (:mod:`repro.engine.incremental`); a SELECT that matches a view
+  definition is answered from the backing table,
 * every statement that may change table contents bumps the *data version*,
-  invalidating the per-connection statistics cache.
+  invalidating the per-connection statistics cache (and, per view, the
+  backing table's statistics after maintenance writes).
 """
 
 from __future__ import annotations
@@ -37,10 +45,11 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from repro.engine.bmo import PreferenceEngine
+from repro.engine.incremental import ViewMaintainer
 from repro.engine.parallel import ParallelExecutor, default_worker_count
 from repro.engine.relation import Relation
-from repro.errors import DriverError, PreferenceSQLError
-from repro.pdl.catalog import PreferenceCatalog
+from repro.errors import CatalogError, DriverError, PreferenceSQLError
+from repro.pdl.catalog import PreferenceCatalog, ViewEntry
 from repro.plan.cache import CacheStats, PlanCache
 from repro.plan.explain import plan_relation, plan_text
 from repro.plan.planner import Plan, plan_statement, rebind_plan
@@ -48,6 +57,7 @@ from repro.plan.statistics import StatisticsCache, TableStatistics
 from repro.sql import ast
 from repro.sql.params import bind_parameters
 from repro.sql.parser import parse_statement
+from repro.sql.printer import quote_identifier as _quote
 from repro.sql.printer import to_sql
 
 #: Cheap detector for statements that *may* use Preference SQL constructs.
@@ -80,6 +90,302 @@ _SCRIPT_HINT = re.compile(r"\b(PREFERRING|PREFERENCE)\b", re.IGNORECASE)
 _DML_HINT = re.compile(
     r"\b(INSERT|UPDATE|DELETE|REPLACE|CREATE|DROP|ALTER)\b", re.IGNORECASE
 )
+
+#: Cheap detector for statements that may require preference-view
+#: maintenance (or must be refused while views depend on the table).
+#: Like :data:`_DML_HINT` this may over-match (word inside a string
+#: literal); the :func:`_preference_dml_target` scanner then decides
+#: precisely.  Under-matching is impossible: every maintained operation
+#: starts (possibly after comments or a CTE prologue) with one of these
+#: keywords.
+_PREFERENCE_DML = re.compile(
+    r"\b(INSERT|UPDATE|DELETE|REPLACE|DROP|ALTER)\b", re.IGNORECASE
+)
+
+
+@dataclass(frozen=True)
+class _DmlTarget:
+    """One intercepted statement, resolved to its target table.
+
+    ``select_sql`` is the pre-image SELECT — for DELETE the statement
+    with its DELETE keyword spliced to ``SELECT *`` (parameters
+    untouched), for UPDATE a rowid-targeted ``SELECT rowid, * … WHERE``
+    built from the statement's own top-level WHERE tail (None when the
+    tail cannot be reused, e.g. exotic parameter styles or an UPDATE …
+    FROM); ``param_offset`` counts the ``?`` markers consumed by the SET
+    clause, i.e. how many leading parameters the pre-image SELECT must
+    skip; ``conflict`` marks conflict clauses (``INSERT OR REPLACE`` /
+    ``REPLACE INTO`` / ``UPDATE OR …``), whose side-deletions delta
+    capture cannot see.  ``op`` may also be ``drop_table`` /
+    ``alter_rename`` (refused while views depend on the table) or
+    ``alter`` (full recompute after execution).
+    """
+
+    op: str
+    table: str  # lowercase, unquoted
+    select_sql: str | None = None
+    conflict: bool = False
+    param_offset: int = 0
+
+
+def _skip_trivia(sql: str, pos: int) -> int:
+    """Skip whitespace, ``--`` line comments and ``/* */`` comments."""
+    length = len(sql)
+    while pos < length:
+        char = sql[pos]
+        if char.isspace():
+            pos += 1
+        elif sql.startswith("--", pos):
+            newline = sql.find("\n", pos)
+            pos = length if newline == -1 else newline + 1
+        elif sql.startswith("/*", pos):
+            end = sql.find("*/", pos + 2)
+            pos = length if end == -1 else end + 2
+        else:
+            break
+    return pos
+
+
+def _read_word(sql: str, pos: int) -> tuple[str, int]:
+    start = pos
+    while pos < len(sql) and (sql[pos].isalnum() or sql[pos] == "_"):
+        pos += 1
+    return sql[start:pos], pos
+
+
+def _next_word(sql: str, pos: int) -> tuple[str, int]:
+    return _read_word(sql, _skip_trivia(sql, pos))
+
+
+def _read_table_name(sql: str, pos: int) -> tuple[str, int]:
+    """Read a possibly quoted, possibly schema-qualified table name."""
+    pos = _skip_trivia(sql, pos)
+    if pos < len(sql) and sql[pos] in "\"`[":
+        quote = sql[pos]
+        close = "]" if quote == "[" else quote
+        pos += 1
+        parts: list[str] = []
+        while pos < len(sql):
+            if sql[pos] == close:
+                if close in "\"`" and sql.startswith(close * 2, pos):
+                    parts.append(close)
+                    pos += 2
+                    continue
+                pos += 1
+                break
+            parts.append(sql[pos])
+            pos += 1
+        name = "".join(parts)
+    else:
+        name, pos = _read_word(sql, pos)
+    after = _skip_trivia(sql, pos)
+    if after < len(sql) and sql[after] == ".":
+        # Schema qualification (``main.t``): the table is the last part.
+        return _read_table_name(sql, after + 1)
+    return name, pos
+
+
+def _top_level_keyword(sql: str, pos: int) -> tuple[str | None, int, int]:
+    """First INSERT/DELETE/UPDATE/REPLACE/SELECT at parenthesis depth 0.
+
+    Used to step over a CTE prologue (``WITH ... AS (...), ...``);
+    strings, quoted identifiers and comments are skipped so keywords
+    inside them cannot fool the scan.  Returns (keyword, start, end).
+    """
+    depth = 0
+    length = len(sql)
+    while pos < length:
+        char = sql[pos]
+        if char.isspace():
+            pos += 1
+        elif sql.startswith("--", pos) or sql.startswith("/*", pos):
+            pos = _skip_trivia(sql, pos)
+        elif char == "'":
+            pos += 1
+            while pos < length:
+                if sql[pos] == "'":
+                    if sql.startswith("''", pos):
+                        pos += 2
+                        continue
+                    pos += 1
+                    break
+                pos += 1
+        elif char in "\"`":
+            close = char
+            pos += 1
+            while pos < length and sql[pos] != close:
+                pos += 1
+            pos += 1
+        elif char == "[":
+            end = sql.find("]", pos)
+            pos = length if end == -1 else end + 1
+        elif char == "(":
+            depth += 1
+            pos += 1
+        elif char == ")":
+            depth -= 1
+            pos += 1
+        elif char.isalpha() or char == "_":
+            word, end = _read_word(sql, pos)
+            if depth == 0 and word.upper() in (
+                "INSERT",
+                "DELETE",
+                "UPDATE",
+                "REPLACE",
+                "SELECT",
+            ):
+                return word.upper(), pos, end
+            pos = end
+        else:
+            pos += 1
+    return None, length, length
+
+
+def _scan_update_tail(sql: str, pos: int) -> tuple[int | None, int, bool]:
+    """Scan an UPDATE statement's SET clause for its top-level WHERE.
+
+    Returns ``(where_start, placeholders_before, supported)`` —
+    ``where_start`` is None when the statement has no top-level WHERE,
+    ``placeholders_before`` counts the plain ``?`` markers the SET clause
+    consumes, and ``supported`` turns False when the tail cannot be
+    reused as a pre-image SELECT (numbered/named parameter styles, or an
+    ``UPDATE … FROM`` join whose WHERE references other tables).
+    """
+    depth = 0
+    placeholders = 0
+    length = len(sql)
+    while pos < length:
+        char = sql[pos]
+        if char.isspace():
+            pos += 1
+        elif sql.startswith("--", pos) or sql.startswith("/*", pos):
+            pos = _skip_trivia(sql, pos)
+        elif char == "'":
+            pos += 1
+            while pos < length:
+                if sql[pos] == "'":
+                    if sql.startswith("''", pos):
+                        pos += 2
+                        continue
+                    pos += 1
+                    break
+                pos += 1
+        elif char in "\"`":
+            close = char
+            pos += 1
+            while pos < length and sql[pos] != close:
+                pos += 1
+            pos += 1
+        elif char == "[":
+            end = sql.find("]", pos)
+            pos = length if end == -1 else end + 1
+        elif char == "(":
+            depth += 1
+            pos += 1
+        elif char == ")":
+            depth -= 1
+            pos += 1
+        elif char == "?":
+            if pos + 1 < length and sql[pos + 1].isdigit():
+                return None, 0, False  # ?N numbered style
+            placeholders += 1
+            pos += 1
+        elif char in ":@$":
+            if pos + 1 < length and (sql[pos + 1].isalnum() or sql[pos + 1] == "_"):
+                return None, 0, False  # named parameter style
+            pos += 1
+        elif char.isalpha() or char == "_":
+            word, end = _read_word(sql, pos)
+            if depth == 0:
+                upper = word.upper()
+                if upper == "WHERE":
+                    return pos, placeholders, True
+                if upper == "FROM":
+                    return None, 0, False  # UPDATE … FROM join
+            pos = end
+        else:
+            pos += 1
+    return None, placeholders, True
+
+
+def _preference_dml_target(sql: str) -> _DmlTarget | None:
+    """Resolve one statement to the DML operation and table it targets.
+
+    Robust against the ways a statement's *leading token* can hide the
+    operation: ``--`` and ``/* */`` comments before the keyword, and CTE
+    prologues (``WITH ... INSERT/UPDATE/DELETE``) — either would
+    otherwise silently skip preference-view maintenance.  Returns None
+    for anything that is not INSERT/DELETE/UPDATE (including plain
+    SELECT behind a CTE).
+    """
+    pos = _skip_trivia(sql, 0)
+    word, end = _read_word(sql, pos)
+    keyword = word.upper()
+    if keyword == "WITH":
+        keyword, pos, end = _top_level_keyword(sql, end)
+        if keyword is None or keyword == "SELECT":
+            return None
+    if keyword in ("INSERT", "REPLACE"):
+        conflict = keyword == "REPLACE"
+        word, cursor = _next_word(sql, end)
+        if word.upper() == "OR":
+            conflict = True
+            _action, cursor = _next_word(sql, cursor)
+            word, cursor = _next_word(sql, cursor)
+        if word.upper() != "INTO":
+            return None
+        table, _after = _read_table_name(sql, cursor)
+        return _DmlTarget(op="insert", table=table.lower(), conflict=conflict)
+    if keyword == "DELETE":
+        word, cursor = _next_word(sql, end)
+        if word.upper() != "FROM":
+            return None
+        table, _after = _read_table_name(sql, cursor)
+        # Pre-image query: the same statement with DELETE spliced to
+        # SELECT * — WHERE clause and parameter markers are untouched.
+        select_sql = sql[:pos] + "SELECT *" + sql[end:]
+        return _DmlTarget(op="delete", table=table.lower(), select_sql=select_sql)
+    if keyword == "UPDATE":
+        conflict = False
+        word, cursor = _next_word(sql, end)
+        if word.upper() == "OR":
+            # UPDATE OR REPLACE may delete conflicting rows the snapshot
+            # of the WHERE-matching set cannot see.
+            action, cursor = _next_word(sql, cursor)
+            conflict = action.upper() == "REPLACE"
+        else:
+            cursor = _skip_trivia(sql, end)
+        table, after = _read_table_name(sql, cursor)
+        where_start, placeholders, supported = _scan_update_tail(sql, after)
+        select_sql = None
+        if supported:
+            tail = sql[where_start:] if where_start is not None else ""
+            select_sql = f"SELECT rowid, * FROM {_quote(table)} {tail}".rstrip()
+        return _DmlTarget(
+            op="update",
+            table=table.lower(),
+            select_sql=select_sql,
+            conflict=conflict,
+            param_offset=placeholders if supported else 0,
+        )
+    if keyword == "DROP":
+        word, cursor = _next_word(sql, end)
+        if word.upper() != "TABLE":
+            return None
+        probe, after = _next_word(sql, cursor)
+        if probe.upper() == "IF":
+            _exists, cursor = _next_word(sql, after)
+        table, _after = _read_table_name(sql, cursor)
+        return _DmlTarget(op="drop_table", table=table.lower())
+    if keyword == "ALTER":
+        word, cursor = _next_word(sql, end)
+        if word.upper() != "TABLE":
+            return None
+        table, after = _read_table_name(sql, cursor)
+        action, _after = _next_word(sql, after)
+        op = "alter_rename" if action.upper() == "RENAME" else "alter"
+        return _DmlTarget(op=op, table=table.lower())
+    return None
 
 
 @dataclass
@@ -135,6 +441,7 @@ class Connection:
         self._statistics: StatisticsCache | None = None
         self._plan_cache: PlanCache[_CachedStatement] = PlanCache()
         self._schema_cache: tuple[int, dict[str, list[str]]] | None = None
+        self._maintainer: ViewMaintainer | None = None
 
     @property
     def raw(self) -> sqlite3.Connection:
@@ -259,6 +566,96 @@ class Connection:
     def _note_data_change(self) -> None:
         self._data_version += 1
 
+    # ------------------------------------------------------------------
+    # Materialized preference views
+
+    @property
+    def view_maintainer(self) -> ViewMaintainer:
+        """The connection's view maintenance engine (created on first use)."""
+        if self._maintainer is None:
+            self._maintainer = ViewMaintainer(self)
+        return self._maintainer
+
+    def views(self) -> list[ViewEntry]:
+        """All materialized preference views of this database."""
+        return self.view_maintainer.entries()
+
+    def view_maintenance_stats(self) -> dict[str, dict[str, int]]:
+        """Per-view maintenance counters: name → {strategy: count}."""
+        return {
+            name: dict(counters)
+            for name, counters in self.view_maintainer.stats.items()
+        }
+
+    @property
+    def view_maintenance_mode(self) -> str:
+        """``auto`` (incremental where sound) or ``recompute`` (always full)."""
+        return self.view_maintainer.mode
+
+    @view_maintenance_mode.setter
+    def view_maintenance_mode(self, value: str) -> None:
+        if value not in ("auto", "recompute"):
+            raise DriverError(
+                "view_maintenance_mode must be 'auto' or 'recompute'"
+            )
+        self.view_maintainer.mode = value
+
+    def refresh_preference_view(self, name: str) -> None:
+        """Force a full recompute of one view's materialized rows."""
+        self.view_maintainer.refresh(self.catalog.get_view(name))
+        self._note_data_change()
+
+    def _view_matcher(self):
+        """Planner hook answering matching queries from materialized views."""
+        return self.view_maintainer.match
+
+    def _prepare_maintenance(self, sql: str, params: Sequence[object]):
+        """Pre-DML delta capture for view maintenance (None when inert).
+
+        The :data:`_PREFERENCE_DML` hint is a fast over-approximation;
+        :func:`_preference_dml_target` then resolves the actual operation
+        and target table, seeing through leading comments and CTE
+        prologues so maintenance cannot be silently skipped.
+        """
+        if not _PREFERENCE_DML.search(sql):
+            return None
+        target = _preference_dml_target(sql)
+        if target is None:
+            return None
+        maintainer = self.view_maintainer
+        if target.op in ("drop_table", "alter_rename"):
+            # Dropping or renaming a table out from under a view would
+            # leave the materialization silently orphaned; refuse, like
+            # DROP PREFERENCE refuses while a view references it.
+            affected = sorted(
+                {entry.name for entry in maintainer.views_on(target.table)}
+                | {
+                    entry.name
+                    for entry in maintainer.entries()
+                    if entry.backing_table == target.table
+                }
+            )
+            if affected:
+                raise CatalogError(
+                    f"table {target.table!r} backs materialized preference "
+                    f"view(s) {', '.join(affected)}; drop them first"
+                )
+            return None
+        # The UPDATE pre-image SELECT reuses only the statement's WHERE
+        # tail, so the SET clause's leading parameters are skipped.
+        capture_params = (
+            tuple(params)[target.param_offset :]
+            if target.param_offset
+            else params
+        )
+        return maintainer.prepare(
+            target.op,
+            target.table,
+            target.select_sql,
+            capture_params,
+            conflict=target.conflict,
+        )
+
     def cursor(self) -> "Cursor":
         """Open a cursor."""
         return Cursor(self)
@@ -361,6 +758,10 @@ class Connection:
             statistics=self.statistics.for_table,
             force=force,
             workers=self._effective_workers(),
+            # A parameterized execution must never be answered from a
+            # view: the bound literals can make one binding match the
+            # definition while the cached plan is reused for others.
+            views=self._view_matcher() if not params else None,
         )
 
     def explain(self, sql: str) -> str:
@@ -509,8 +910,30 @@ class Cursor:
             self.was_rewritten = False
             return self
         if isinstance(statement, ast.DropPreference):
+            dependents = connection.view_maintainer.views_using_preference(
+                statement.name
+            )
+            if dependents:
+                raise CatalogError(
+                    f"preference {statement.name!r} is used by materialized "
+                    f"view(s) {', '.join(sorted(dependents))}; drop them first"
+                )
             connection.catalog.drop(statement.name)
             connection._bump_catalog_version()
+            self.executed_sql = None
+            self.was_rewritten = False
+            return self
+        if isinstance(statement, ast.CreatePreferenceView):
+            connection.view_maintainer.create(statement)
+            connection._bump_catalog_version()
+            connection._note_data_change()  # the backing table appeared
+            self.executed_sql = None
+            self.was_rewritten = False
+            return self
+        if isinstance(statement, ast.DropPreferenceView):
+            connection.view_maintainer.drop(statement.name)
+            connection._bump_catalog_version()
+            connection._note_data_change()  # the backing table is gone
             self.executed_sql = None
             self.was_rewritten = False
             return self
@@ -545,6 +968,7 @@ class Cursor:
                 statistics=connection.statistics.for_table,
                 force=algorithm,
                 workers=connection._effective_workers(),
+                views=connection._view_matcher() if not params else None,
             )
             if use_cache:
                 connection._plan_cache.put(
@@ -572,6 +996,11 @@ class Cursor:
         self._connection.trace.append((sql, rewritten_sql))
         self.executed_sql = rewritten_sql
         self.was_rewritten = True
+        pending = None
+        if isinstance(bound, ast.Insert):
+            pending = self._connection.view_maintainer.prepare(
+                "insert", bound.table.lower(), None, ()
+            )
         try:
             self._raw.execute(rewritten_sql)
         except sqlite3.Error as error:
@@ -580,6 +1009,10 @@ class Cursor:
             ) from error
         if isinstance(bound, ast.Insert):
             self._connection._note_data_change()
+            if pending is not None:
+                self._connection.view_maintainer.finish(
+                    pending, rowcount=self._raw.rowcount
+                )
         return self
 
     def _execute_in_memory(self, sql: str, plan: Plan) -> "Cursor":
@@ -626,6 +1059,7 @@ class Cursor:
             statistics=connection.statistics.for_table,
             force=algorithm,
             workers=connection._effective_workers(),
+            views=connection._view_matcher() if not params else None,
         )
         stats = connection.plan_cache_stats()
         cache_note = (
@@ -644,28 +1078,58 @@ class Cursor:
         self.executed_sql = sql
         self.was_rewritten = False
         self._connection.trace.append((sql, sql))
+        pending = (
+            self._connection._prepare_maintenance(sql, params)
+            if _DML_HINT.search(sql)
+            else None
+        )
         try:
             self._raw.execute(sql, tuple(params))
         except sqlite3.Error as error:
             raise DriverError(str(error)) from error
         if _DML_HINT.search(sql):
             self._connection._note_data_change()
+        if pending is not None:
+            self._connection.view_maintainer.finish(
+                pending, rowcount=self._raw.rowcount
+            )
         self._connection._note_transaction_statement(sql)
         return self
 
     def executemany(self, sql: str, rows: Iterable[Sequence[object]]) -> "Cursor":
-        """Bulk execution; preference statements are executed row by row."""
+        """Bulk execution; preference statements are executed row by row.
+
+        Plain INSERT/UPDATE batches against a view base table keep the
+        bulk fast path and maintain the views from one combined delta
+        (rowid high-water mark / snapshot diff); a batched DELETE falls
+        back to a flagged full recompute, since its pre-image SELECT
+        cannot be bound once per batch.
+        """
         if not _PREFERENCE_HINT.search(sql):
             self.executed_sql = sql
             self.was_rewritten = False
             self.plan = None
             self._result = None
+            # The per-statement parameters stay with sqlite's fast path;
+            # captures that need them (a parameterized DELETE pre-image)
+            # fail to bind and degrade to a flagged full recompute inside
+            # prepare(), while INSERT's rowid high-water mark and the
+            # UPDATE snapshot span the whole batch.
+            pending = (
+                self._connection._prepare_maintenance(sql, ())
+                if _DML_HINT.search(sql)
+                else None
+            )
             try:
                 self._raw.executemany(sql, [tuple(row) for row in rows])
             except sqlite3.Error as error:
                 raise DriverError(str(error)) from error
             if _DML_HINT.search(sql):
                 self._connection._note_data_change()
+            if pending is not None:
+                self._connection.view_maintainer.finish(
+                    pending, rowcount=self._raw.rowcount
+                )
             return self
         for row in rows:
             self.execute(sql, row)
@@ -687,6 +1151,9 @@ class Cursor:
         self._connection._committed_catalog_version = (
             self._connection._catalog_version
         )
+        # A script can touch any table in any way; every materialized
+        # view is recomputed rather than trusting a delta.
+        self._connection.view_maintainer.refresh_all()
         return self
 
     # ------------------------------------------------------------------
@@ -738,8 +1205,3 @@ class Cursor:
         if self.description is None:
             return []
         return [entry[0] for entry in self.description]
-
-
-def _quote(name: str) -> str:
-    escaped = name.replace('"', '""')
-    return f'"{escaped}"'

@@ -7,11 +7,14 @@ from dataclasses import dataclass
 
 from repro.errors import CatalogError
 from repro.sql import ast
-from repro.sql.parser import parse_preferring
+from repro.sql.parser import parse_preferring, parse_statement
 from repro.sql.printer import to_sql
 
 #: Name of the catalog table created in the host database.
 CATALOG_TABLE = "prefsql_preferences"
+
+#: Name of the materialized-view catalog table.
+VIEW_CATALOG_TABLE = "prefsql_views"
 
 
 @dataclass(frozen=True)
@@ -21,6 +24,33 @@ class CatalogEntry:
     name: str
     table: str
     definition: str
+
+
+@dataclass(frozen=True)
+class ViewEntry:
+    """One stored materialized preference view.
+
+    ``definition`` is the view's SELECT in Preference SQL text (re-parsed
+    on load, like named preferences); ``backing_table`` holds the
+    materialized BMO rows; ``base_tables`` are the lowercase names of the
+    tables whose DML must trigger maintenance; ``maintainable`` records
+    the CREATE-time analysis of :func:`repro.engine.incremental.analyze_view`
+    and ``reason`` explains a False verdict.
+    """
+
+    name: str
+    definition: str
+    backing_table: str
+    base_tables: tuple[str, ...]
+    maintainable: bool
+    reason: str
+
+    @property
+    def query(self) -> ast.Select:
+        """The parsed view definition."""
+        statement = parse_statement(self.definition)
+        assert isinstance(statement, ast.Select)
+        return statement
 
 
 class PreferenceCatalog:
@@ -40,6 +70,12 @@ class PreferenceCatalog:
             f"CREATE TABLE IF NOT EXISTS {CATALOG_TABLE} ("
             "name TEXT PRIMARY KEY, table_name TEXT NOT NULL, "
             "definition TEXT NOT NULL)"
+        )
+        self._connection.execute(
+            f"CREATE TABLE IF NOT EXISTS {VIEW_CATALOG_TABLE} ("
+            "name TEXT PRIMARY KEY, definition TEXT NOT NULL, "
+            "backing_table TEXT NOT NULL, base_tables TEXT NOT NULL, "
+            "maintainable INTEGER NOT NULL, reason TEXT NOT NULL)"
         )
 
     def create(self, statement: ast.CreatePreference, replace: bool = False) -> None:
@@ -91,3 +127,82 @@ class PreferenceCatalog:
     def resolve(self, name: str) -> ast.PrefTerm:
         """NameResolver interface for the builder/rewriter."""
         return parse_preferring(self.get(name).definition)
+
+    # ------------------------------------------------------------------
+    # Materialized preference views
+
+    def create_view(
+        self,
+        statement: ast.CreatePreferenceView,
+        backing_table: str,
+        base_tables: tuple[str, ...],
+        maintainable: bool,
+        reason: str = "",
+    ) -> ViewEntry:
+        """Store a view definition; re-parse to validate round-trip."""
+        definition = to_sql(statement.query)
+        parsed = parse_statement(definition)  # must round-trip or the catalog rots
+        assert isinstance(parsed, ast.Select)
+        entry = ViewEntry(
+            name=statement.name.lower(),
+            definition=definition,
+            backing_table=backing_table,
+            base_tables=tuple(table.lower() for table in base_tables),
+            maintainable=maintainable,
+            reason=reason,
+        )
+        try:
+            self._connection.execute(
+                f"INSERT INTO {VIEW_CATALOG_TABLE} VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    entry.name,
+                    entry.definition,
+                    entry.backing_table,
+                    ",".join(entry.base_tables),
+                    int(entry.maintainable),
+                    entry.reason,
+                ),
+            )
+        except sqlite3.IntegrityError:
+            raise CatalogError(
+                f"preference view {statement.name!r} already exists"
+            )
+        return entry
+
+    def drop_view(self, name: str) -> ViewEntry:
+        """Remove a stored view, returning its entry (for backing cleanup)."""
+        entry = self.get_view(name)
+        self._connection.execute(
+            f"DELETE FROM {VIEW_CATALOG_TABLE} WHERE name = ?", (name.lower(),)
+        )
+        return entry
+
+    def get_view(self, name: str) -> ViewEntry:
+        """Load one stored view."""
+        row = self._connection.execute(
+            f"SELECT name, definition, backing_table, base_tables, "
+            f"maintainable, reason FROM {VIEW_CATALOG_TABLE} WHERE name = ?",
+            (name.lower(),),
+        ).fetchone()
+        if row is None:
+            raise CatalogError(f"unknown preference view {name!r}")
+        return self._view_entry(row)
+
+    def views(self) -> list[ViewEntry]:
+        """All stored views, alphabetically."""
+        rows = self._connection.execute(
+            f"SELECT name, definition, backing_table, base_tables, "
+            f"maintainable, reason FROM {VIEW_CATALOG_TABLE} ORDER BY name"
+        ).fetchall()
+        return [self._view_entry(row) for row in rows]
+
+    @staticmethod
+    def _view_entry(row: tuple) -> ViewEntry:
+        return ViewEntry(
+            name=row[0],
+            definition=row[1],
+            backing_table=row[2],
+            base_tables=tuple(part for part in row[3].split(",") if part),
+            maintainable=bool(row[4]),
+            reason=row[5],
+        )

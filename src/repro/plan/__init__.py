@@ -39,10 +39,17 @@ from repro.plan.cost import (
     estimate_skyline_size,
 )
 from repro.plan.explain import plan_relation, plan_text
-from repro.plan.planner import Plan, in_memory_parts, plan_statement, rebind_plan
+from repro.plan.planner import (
+    MaterializedView,
+    Plan,
+    in_memory_parts,
+    plan_statement,
+    rebind_plan,
+)
 from repro.plan.statistics import StatisticsCache, TableStatistics
 
 __all__ = [
+    "MaterializedView",
     "Plan",
     "plan_statement",
     "rebind_plan",

@@ -22,6 +22,7 @@ _STRATEGY_LABELS = {
     "sfs": "in-memory sort-filter-skyline after hard-condition pushdown",
     "dnc": "in-memory divide & conquer after hard-condition pushdown",
     "parallel": "partitioned parallel skylines after hard-condition pushdown",
+    "view": "materialized preference view scan",
 }
 
 
@@ -38,6 +39,9 @@ def plan_relation(
         add("statement", source_sql)
     label = _STRATEGY_LABELS.get(plan.strategy, plan.strategy)
     add("strategy", f"{plan.strategy} — {label}" + (" [forced]" if plan.forced else ""))
+    if plan.view_name:
+        add("materialized view", plan.view_name)
+        add("maintenance", plan.view_maintenance)
     if plan.preference_sql:
         add("preference", plan.preference_sql)
         add("dimensions", plan.dimensions)

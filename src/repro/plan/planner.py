@@ -40,13 +40,33 @@ from repro.plan.cost import (
 from repro.plan.statistics import TableStatistics
 from repro.rewrite.planner import Schema, pref_expressions, rewrite_statement
 from repro.sql import ast
-from repro.sql.printer import to_sql
+from repro.sql.printer import quote_identifier, to_sql
 
 #: Provider signature: (table, columns needing distinct counts) → stats.
 StatisticsProvider = Callable[[str, Sequence[str]], TableStatistics]
 
 #: Row-count guess when no statistics provider is available.
 _DEFAULT_ROW_ESTIMATE = 1000
+
+
+@dataclass(frozen=True)
+class MaterializedView:
+    """A materialized preference view the planner may answer from.
+
+    Produced by the driver's view matcher
+    (:meth:`repro.engine.incremental.ViewMaintainer.match`); the planner
+    only needs the backing table to scan and the maintenance verdict for
+    the EXPLAIN PREFERENCE report.
+    """
+
+    name: str
+    backing_table: str
+    maintainable: bool
+    reason: str = ""
+
+
+#: Matcher signature: SELECT statement → matching view, or None.
+ViewMatcher = Callable[[ast.Select], MaterializedView | None]
 
 
 @dataclass
@@ -67,6 +87,11 @@ class Plan:
     preference_sql: str | None = None
     notes: list[str] = field(default_factory=list)
     forced: bool = False
+    #: Set when the query is answered from a materialized preference
+    #: view: the view's name and a human-readable description of how the
+    #: driver keeps the materialization fresh under DML.
+    view_name: str | None = None
+    view_maintenance: str | None = None
     #: Parallel-strategy shape: estimated partition count (GROUPING
     #: partitions for grouped queries, hash partitions otherwise) and the
     #: worker degree the pool would run at.  Zero when the statement is not
@@ -93,6 +118,7 @@ def plan_statement(
     model: CostModel = DEFAULT_COST_MODEL,
     force: str | None = None,
     workers: int | None = None,
+    views: ViewMatcher | None = None,
 ) -> Plan:
     """Plan one (parameter-bound) statement.
 
@@ -100,10 +126,23 @@ def plan_statement(
     forcing an in-memory strategy on an ineligible statement raises
     :class:`~repro.errors.PlanError`.  ``workers`` is the worker degree
     the parallel strategy would run at (the connection's ``max_workers``);
-    None resolves to the hardware default.
+    None resolves to the hardware default.  ``views`` lets the planner
+    answer a matching preference query from a materialized view's
+    backing table (skipped whenever a strategy is forced, so pinned
+    executions always compute from the base tables).
     """
     if isinstance(statement, ast.ExplainPreference):
         statement = statement.statement
+
+    if (
+        views is not None
+        and force is None
+        and isinstance(statement, ast.Select)
+        and statement.preferring is not None
+    ):
+        hit = views(statement)
+        if hit is not None:
+            return _view_plan(statement, hit, statistics)
 
     result = rewrite_statement(statement, schema=schema, resolver=resolver)
     if not result.rewritten:
@@ -201,6 +240,42 @@ def plan_statement(
     return plan
 
 
+def _view_plan(
+    statement: ast.Select,
+    hit: MaterializedView,
+    statistics: StatisticsProvider | None,
+) -> Plan:
+    """A plan that scans a materialized view's backing table."""
+    stats: TableStatistics | None = None
+    row_count = 0.0
+    if statistics is not None:
+        try:
+            stats = statistics(hit.backing_table, ())
+            row_count = float(stats.row_count)
+        except PlanError:  # pragma: no cover - backing table just created
+            stats = None
+    maintenance = (
+        "incremental (insert dominance test, bounded re-derivation on "
+        "member deletes)"
+        if hit.maintainable
+        else f"full recompute ({hit.reason})"
+    )
+    return Plan(
+        statement=statement,
+        strategy="view",
+        rewritten_sql=f"SELECT * FROM {quote_identifier(hit.backing_table)}",
+        statistics=stats,
+        table=hit.backing_table,
+        candidate_estimate=row_count,
+        skyline_estimate=row_count,
+        dimensions=len(ast.base_terms(statement.preferring)),
+        preference_sql=to_sql(statement.preferring),
+        notes=[f"answered from materialized preference view {hit.name!r}"],
+        view_name=hit.name,
+        view_maintenance=maintenance,
+    )
+
+
 def rebind_plan(
     plan: Plan,
     statement: ast.Statement,
@@ -212,6 +287,10 @@ def rebind_plan(
     bound literals, so they are per-execution)."""
     if plan.strategy == "passthrough":
         return plan
+    if plan.strategy == "view":
+        # View scans carry no bound parameters (a parameterized text can
+        # never equal a stored definition); keep the scan as-is.
+        return replace(plan, statement=statement)
     if plan.uses_engine:
         select = statement.query if isinstance(statement, ast.Insert) else statement
         pushdown_sql, residual = in_memory_parts(select, resolver)

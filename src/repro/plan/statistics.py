@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
 from repro.errors import PlanError
+from repro.sql.printer import quote_identifier as _quote
 
 
 @dataclass(frozen=True)
@@ -102,8 +103,3 @@ class StatisticsCache:
         except sqlite3.Error as error:
             raise PlanError(f"cannot gather statistics: {error}") from error
         return int(row[0])
-
-
-def _quote(name: str) -> str:
-    escaped = name.replace('"', '""')
-    return f'"{escaped}"'

@@ -423,6 +423,28 @@ class DropPreference(Statement):
 
 
 @dataclass(frozen=True)
+class CreatePreferenceView(Statement):
+    """PDL: ``CREATE PREFERENCE VIEW name AS <select>``.
+
+    The view's BMO result is materialized into a backing table (named
+    after the view) and maintained by the driver when DML touches the
+    base tables — incrementally where the dominance structure allows it,
+    by flagged full recompute otherwise (see
+    :mod:`repro.engine.incremental`).
+    """
+
+    name: str
+    query: "Select"
+
+
+@dataclass(frozen=True)
+class DropPreferenceView(Statement):
+    """PDL: ``DROP PREFERENCE VIEW name`` — drops view and backing table."""
+
+    name: str
+
+
+@dataclass(frozen=True)
 class ExplainPreference(Statement):
     """``EXPLAIN PREFERENCE <select|insert>`` — plan inspection.
 

@@ -210,9 +210,15 @@ class Parser:
         self._expect_operator(")")
         return tuple(values)
 
-    def _parse_create_preference(self) -> ast.CreatePreference:
+    def _parse_create_preference(self) -> ast.Statement:
         self._expect_keyword("CREATE")
         self._expect_keyword("PREFERENCE")
+        if self._accept_keyword("VIEW"):
+            name = self._identifier("view name")
+            self._expect_keyword("AS")
+            if not self._peek().is_keyword("SELECT"):
+                raise self._error("expected SELECT after CREATE PREFERENCE VIEW ... AS")
+            return ast.CreatePreferenceView(name=name, query=self.parse_select())
         name = self._identifier("preference name")
         self._expect_keyword("ON")
         table = self._identifier("table name")
@@ -220,9 +226,11 @@ class Parser:
         term = self.parse_preferring()
         return ast.CreatePreference(name=name, table=table, term=term)
 
-    def _parse_drop_preference(self) -> ast.DropPreference:
+    def _parse_drop_preference(self) -> ast.Statement:
         self._expect_keyword("DROP")
         self._expect_keyword("PREFERENCE")
+        if self._accept_keyword("VIEW"):
+            return ast.DropPreferenceView(name=self._identifier("view name"))
         return ast.DropPreference(name=self._identifier("preference name"))
 
     def _parse_explain_preference(self) -> ast.ExplainPreference:
@@ -675,6 +683,8 @@ def _validate_restrictions(statement: ast.Statement) -> None:
     """Enforce the release 1.3 restriction from paper section 2.2.5."""
     if isinstance(statement, ast.ExplainPreference):
         _validate_restrictions(statement.statement)
+    elif isinstance(statement, ast.CreatePreferenceView):
+        _check_where_subqueries(statement.query)
     elif isinstance(statement, ast.Select):
         _check_where_subqueries(statement)
     elif isinstance(statement, ast.Insert) and statement.query is not None:

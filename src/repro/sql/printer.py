@@ -18,6 +18,12 @@ def quote_string(value: str) -> str:
     return f"'{escaped}'"
 
 
+def quote_identifier(name: str) -> str:
+    """Double-quote an SQL identifier, doubling embedded quotes."""
+    escaped = name.replace('"', '""')
+    return f'"{escaped}"'
+
+
 def format_literal(value: object) -> str:
     """Render a Python literal value as a SQL literal."""
     if value is None:
@@ -45,6 +51,10 @@ def to_sql(node: ast.Node) -> str:
         return f"CREATE PREFERENCE {node.name} ON {node.table} AS {_pref(node.term)}"
     if isinstance(node, ast.DropPreference):
         return f"DROP PREFERENCE {node.name}"
+    if isinstance(node, ast.CreatePreferenceView):
+        return f"CREATE PREFERENCE VIEW {node.name} AS {_select(node.query)}"
+    if isinstance(node, ast.DropPreferenceView):
+        return f"DROP PREFERENCE VIEW {node.name}"
     if isinstance(node, ast.ExplainPreference):
         return f"EXPLAIN PREFERENCE {to_sql(node.statement)}"
     if isinstance(node, ast.PrefTerm):

@@ -37,7 +37,7 @@ class TestHarness:
 class TestExperiments:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {
-            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
+            "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
         }
 
     def test_plan_alias(self):
@@ -45,6 +45,7 @@ class TestExperiments:
 
         assert ALIASES["plan"] == "e8"
         assert ALIASES["parallel"] == "e9"
+        assert ALIASES["views"] == "e10"
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):

@@ -163,6 +163,137 @@ def test_random_trees_with_but_only(rows, tree, data):
     assert_identical(all_paths(rows, query), query)
 
 
+# ----------------------------------------------------------------------
+# DML-interleaving view maintenance fuzzing
+#
+# A materialized preference view must equal a fresh recompute after
+# *every* DML statement, across every planner strategy.  The ops below
+# deliberately mix plain INSERT/DELETE/UPDATE with comment-prefixed and
+# CTE-prefixed spellings, so the driver's interception scanner is fuzzed
+# alongside the maintenance engine.
+
+
+def _literal(value):
+    if value is None:
+        return "NULL"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return str(value)
+
+
+_INSERT_PREFIXES = st.sampled_from(["", "-- load\n", "/* batch */ "])
+
+_insert_ops = st.builds(
+    lambda row, prefix: prefix
+    + "INSERT INTO items VALUES ("
+    + ", ".join(_literal(value) for value in row)
+    + ")",
+    rows_strategy.map(lambda rows: rows[0] if rows else (1, 1, "x", "p", 0, 1)),
+    _INSERT_PREFIXES,
+)
+
+_DELETE_PREDICATES = st.sampled_from(
+    ["a > 8", "b <= 3", "c = 'x'", "g = 'p'", "s IS NULL", "a = 5", "t >= 2"]
+)
+
+_delete_ops = st.builds(
+    lambda predicate, cte: (
+        f"WITH doomed AS (SELECT 1 AS one) DELETE FROM items WHERE {predicate}"
+        if cte
+        else f"DELETE FROM items WHERE {predicate}"
+    ),
+    _DELETE_PREDICATES,
+    st.booleans(),
+)
+
+_update_ops = st.builds(
+    lambda assignment, predicate: f"UPDATE items SET {assignment} WHERE {predicate}",
+    st.sampled_from(
+        ["a = 0", "b = 12", "c = 'z'", "s = NULL", "a = a + 3", "g = 'q'"]
+    ),
+    st.sampled_from(["a < 4", "g = 'q'", "c = 'y'", "b > 6", "t = 3"]),
+)
+
+dml_ops_strategy = st.lists(
+    st.one_of(_insert_ops, _delete_ops, _update_ops), min_size=1, max_size=5
+)
+
+
+def _view_connection(rows, view_query):
+    # Explicit column types: an empty initial relation must not leave
+    # the table with TEXT affinity everywhere, or later DML would store
+    # numbers as strings and leave the comparison semantics undefined.
+    connection = repro.connect(":memory:")
+    connection.execute(
+        "CREATE TABLE items (a INTEGER, b INTEGER, c TEXT, g TEXT, "
+        "s INTEGER, t INTEGER)"
+    )
+    if rows:
+        connection.cursor().executemany(
+            "INSERT INTO items VALUES (?, ?, ?, ?, ?, ?)", rows
+        )
+    connection.execute(f"CREATE PREFERENCE VIEW fuzzview AS {view_query}")
+    return connection
+
+
+def _assert_view_fresh(connection, view_query, context):
+    materialized = sorted(
+        connection.raw.execute("SELECT * FROM fuzzview").fetchall(), key=repr
+    )
+    for strategy in STRATEGIES:
+        fresh = sorted(
+            connection.execute(view_query, algorithm=strategy).fetchall(),
+            key=repr,
+        )
+        assert materialized == fresh, (
+            f"view diverges from {strategy} recompute after: {context}"
+        )
+    # The planner must answer the matching query from the (fresh) view.
+    cursor = connection.execute(view_query)
+    assert cursor.plan is not None and cursor.plan.strategy == "view", context
+    assert sorted(cursor.fetchall(), key=repr) == materialized, context
+
+
+@given(rows=rows_strategy, tree=trees_strategy, ops=dml_ops_strategy, data=st.data())
+@settings(max_examples=120, deadline=None)
+def test_view_maintenance_tracks_random_dml(rows, tree, ops, data):
+    where = data.draw(st.sampled_from(["", " WHERE a <= 10", " WHERE c IS NOT NULL"]))
+    grouping = data.draw(st.sampled_from(["", " GROUPING g", " GROUPING g, c"]))
+    view_query = f"SELECT * FROM items{where} PREFERRING {tree}{grouping}"
+    connection = _view_connection(rows, view_query)
+    try:
+        _assert_view_fresh(connection, view_query, "CREATE PREFERENCE VIEW")
+        for op in ops:
+            connection.execute(op)
+            _assert_view_fresh(connection, view_query, op)
+    finally:
+        connection.close()
+
+
+@given(rows=rows_strategy, tree=trees_strategy, ops=dml_ops_strategy, data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_recompute_fallback_views_track_random_dml(rows, tree, ops, data):
+    # BUT ONLY thresholds make the view unmaintainable: every DML must
+    # trigger the flagged full recompute and still match the oracle.
+    threshold = data.draw(st.sampled_from(["DISTANCE(t) <= 2", "TOP(t) = 1"]))
+    view_query = (
+        f"SELECT * FROM items PREFERRING t AROUND 3 AND ({tree}) "
+        f"BUT ONLY {threshold}"
+    )
+    connection = _view_connection(rows, view_query)
+    try:
+        entry = connection.views()[0]
+        assert not entry.maintainable
+        for op in ops:
+            connection.execute(op)
+            _assert_view_fresh(connection, view_query, op)
+        stats = connection.view_maintenance_stats()["fuzzview"]
+        assert "incremental" not in stats and "re-derive" not in stats
+    finally:
+        connection.close()
+
+
 @given(rows=rows_strategy, tree=trees_strategy, data=st.data())
 @settings(max_examples=30, deadline=None)
 def test_named_preferences_agree_on_all_paths(rows, tree, data):

@@ -1,0 +1,93 @@
+"""Golden-corpus round-trip: parse → print → parse over every production.
+
+``grammar_corpus.sql`` holds one exemplar statement per line.  Each line
+must survive ``parse(to_sql(parse(line)))`` with a structurally equal
+AST (the printer/parser fixpoint the repo guarantees), and — so the
+corpus cannot silently rot as the grammar grows — the statements
+together must exercise **every concrete AST node class**, i.e. every
+grammar production, including the preference-view statements.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+from pathlib import Path
+
+import pytest
+
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+from repro.sql.printer import to_sql
+
+CORPUS_PATH = Path(__file__).parent / "grammar_corpus.sql"
+
+
+def corpus_statements() -> list[str]:
+    lines = CORPUS_PATH.read_text(encoding="utf-8").splitlines()
+    return [
+        line.strip()
+        for line in lines
+        if line.strip() and not line.strip().startswith("--")
+    ]
+
+
+def walk_all_nodes(node: ast.Node):
+    """Every AST node beneath ``node``, via generic dataclass traversal."""
+    yield node
+    for field in dataclasses.fields(node):
+        yield from _walk_value(getattr(node, field.name))
+
+
+def _walk_value(value):
+    if isinstance(value, ast.Node):
+        yield from walk_all_nodes(value)
+    elif isinstance(value, (tuple, list)):
+        for item in value:
+            yield from _walk_value(item)
+
+
+def concrete_node_classes() -> set[type]:
+    """All dataclass AST node types (markers like Expr are excluded)."""
+    return {
+        member
+        for _name, member in inspect.getmembers(ast, inspect.isclass)
+        if issubclass(member, ast.Node) and dataclasses.is_dataclass(member)
+    }
+
+
+@pytest.mark.parametrize(
+    "statement_sql",
+    corpus_statements(),
+    ids=lambda sql: sql[:48],
+)
+def test_corpus_round_trips(statement_sql):
+    first = parse_statement(statement_sql)
+    printed = to_sql(first)
+    second = parse_statement(printed)
+    assert second == first, f"round-trip changed the AST for: {statement_sql}"
+    # And the printer itself is a fixpoint on its own output.
+    assert to_sql(second) == printed
+
+
+def test_corpus_covers_every_grammar_production():
+    seen: set[type] = set()
+    for statement_sql in corpus_statements():
+        for node in walk_all_nodes(parse_statement(statement_sql)):
+            seen.add(type(node))
+    missing = {cls.__name__ for cls in concrete_node_classes()} - {
+        cls.__name__ for cls in seen
+    }
+    assert not missing, (
+        "grammar productions without a corpus exemplar: "
+        + ", ".join(sorted(missing))
+    )
+
+
+def test_corpus_covers_every_base_preference_operator():
+    # Belt and braces beyond node classes: the POS/NEG single-value forms
+    # (`=`/`<>`) and set forms (`IN`/`NOT IN`) print differently, so both
+    # spellings must round-trip through the corpus.
+    text = " ".join(corpus_statements())
+    for fragment in ("PREFERRING", "AROUND", "CASCADE", "ELSE", "BUT ONLY"):
+        assert fragment in text
