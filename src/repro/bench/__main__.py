@@ -1,11 +1,13 @@
-"""CLI: ``python -m repro.bench [e1 e2 ... | plan] [--quick]``."""
+"""CLI: ``python -m repro.bench [e1 e2 ... | plan] [--quick] [--json PATH]``."""
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.bench.experiments import ALIASES, EXPERIMENTS, run_experiment
+from repro.bench.harness import report_payload
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -25,12 +27,29 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quick", action="store_true", help="smaller data sizes for smoke runs"
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help=(
+            "write the raw report data as JSON: the payload of a single "
+            "experiment, or a list of payloads when several ran (CI "
+            "uploads this as an artifact to record the perf trajectory)"
+        ),
+    )
     args = parser.parse_args(argv)
 
+    payloads = []
     for name in args.experiments:
         report = run_experiment(name, quick=args.quick)
         print(report.render())
         print()
+        payloads.append(report_payload(report))
+    if args.json:
+        document = payloads[0] if len(payloads) == 1 else payloads
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
     return 0
 
 

@@ -93,3 +93,29 @@ class Report:
             parts.append("")
             parts.extend(f"* {note}" for note in self.notes)
         return "\n".join(parts)
+
+
+def report_payload(report: Report) -> dict:
+    """A JSON-serialisable view of one report (for the ``--json`` emitter).
+
+    ``data`` keys become strings (several experiments key their raw cells
+    by tuples) and unknown value types fall back to ``str``; the payload
+    is what CI uploads as an artifact so the perf trajectory of every
+    benchmark run is recorded.
+    """
+
+    def jsonable(value):
+        if isinstance(value, dict):
+            return {str(key): jsonable(item) for key, item in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [jsonable(item) for item in value]
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            return value
+        return str(value)
+
+    return {
+        "experiment": report.experiment,
+        "title": report.title,
+        "notes": list(report.notes),
+        "data": jsonable(report.data),
+    }

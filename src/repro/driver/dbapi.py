@@ -44,7 +44,7 @@ import sqlite3
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.engine.bmo import PreferenceEngine
+from repro.engine.bmo import PreferenceEngine, run_in_memory_plan
 from repro.engine.incremental import ViewMaintainer
 from repro.engine.parallel import ParallelExecutor, default_worker_count
 from repro.engine.relation import Relation
@@ -1018,23 +1018,19 @@ class Cursor:
     def _execute_in_memory(self, sql: str, plan: Plan) -> "Cursor":
         connection = self._connection
         try:
-            raw_cursor = connection.raw.execute(plan.pushdown_sql)
+            result = run_in_memory_plan(
+                connection.raw.execute,
+                plan,
+                executor=(
+                    connection.parallel_executor
+                    if plan.strategy == "parallel"
+                    else None
+                ),
+            )
         except sqlite3.Error as error:
             raise DriverError(
                 f"host database rejected pushdown SQL: {error}\n{plan.pushdown_sql}"
             ) from error
-        columns = [entry[0] for entry in raw_cursor.description]
-        candidates = Relation(columns=columns, rows=raw_cursor.fetchall())
-        engine = PreferenceEngine(
-            {plan.table: candidates},
-            algorithm=plan.strategy,
-            executor=(
-                connection.parallel_executor
-                if plan.strategy == "parallel"
-                else None
-            ),
-        )
-        result = engine.execute_select(plan.residual)
         self._result = _LocalResult(result)
         self.executed_sql = plan.pushdown_sql
         self.was_rewritten = True

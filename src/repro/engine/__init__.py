@@ -16,6 +16,14 @@ over in-memory relations.  It serves as
 
 from repro.engine.relation import Relation, column_index_map
 from repro.engine.expressions import Evaluator, RowEnvironment
+from repro.engine.columns import (
+    RankColumns,
+    columnar_skyline,
+    compute_rank_columns,
+    rank_columns_from_values,
+    rank_row_skyline,
+    rank_shape,
+)
 from repro.engine.algorithms import (
     ALGORITHMS,
     block_nested_loops,
@@ -24,12 +32,18 @@ from repro.engine.algorithms import (
     nested_loop_maximal,
     sort_filter_skyline,
 )
-from repro.engine.bmo import BmoResult, PreferenceEngine, bmo_filter
+from repro.engine.bmo import (
+    BmoResult,
+    PreferenceEngine,
+    bmo_filter,
+    run_in_memory_plan,
+)
 from repro.engine.parallel import (
     ParallelExecutor,
     default_worker_count,
     parallel_maximal_indices,
     partition_count,
+    shared_executor,
 )
 
 __all__ = [
@@ -37,10 +51,17 @@ __all__ = [
     "parallel_maximal_indices",
     "partition_count",
     "default_worker_count",
+    "shared_executor",
     "Relation",
     "column_index_map",
     "Evaluator",
     "RowEnvironment",
+    "RankColumns",
+    "columnar_skyline",
+    "compute_rank_columns",
+    "rank_columns_from_values",
+    "rank_row_skyline",
+    "rank_shape",
     "ALGORITHMS",
     "maximal_indices",
     "nested_loop_maximal",
@@ -50,4 +71,5 @@ __all__ = [
     "PreferenceEngine",
     "BmoResult",
     "bmo_filter",
+    "run_in_memory_plan",
 ]

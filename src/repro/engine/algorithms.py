@@ -18,6 +18,26 @@ All algorithms take the list of per-row operand vectors (one flat vector
 per tuple, see :class:`~repro.model.preference.Preference`) and return the
 *indices* of maximal rows in their original order, so ties and duplicates
 are preserved exactly the way the NOT EXISTS rewrite preserves them.
+
+Execution cores, fastest first:
+
+* **columnar** — rank-based trees with a flat comparison structure
+  compare precomputed rank tuples directly through the shared kernel
+  (:func:`repro.engine.columns.rank_row_skyline`): duplicate rows
+  collapse into buckets, dominance is C-level tuple arithmetic with
+  short-circuits, and each algorithm keeps its own loop shape (window /
+  sort-filter / cross-filter),
+* **compiled closures** — mixed-nested rank trees compare through
+  closures over the same shared rank columns
+  (:func:`repro.engine.compiled.compile_better`) — ranks are still
+  computed once per query,
+* **generic closures** — EXPLICIT members and custom partial orders fall
+  back to :meth:`~repro.model.preference.Preference.is_better` per pair.
+
+Callers that already hold the query's rank columns (the BMO evaluator,
+the SQL rank pushdown path) pass them via ``ranks``; ``use_columns=False``
+disables the columnar kernels and reproduces the seed's row-at-a-time
+closure loops — the benchmarks use it as the speedup baseline.
 """
 
 from __future__ import annotations
@@ -25,6 +45,11 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.errors import EvaluationError
+from repro.engine.columns import (
+    RankColumns,
+    columnar_skyline,
+    compute_rank_columns,
+)
 from repro.engine.compiled import best_better
 from repro.model.categorical import ExplicitPreference, LayeredPreference
 from repro.model.composite import _Composite
@@ -33,17 +58,36 @@ from repro.model.preference import Preference, WeakOrderBase
 Vector = tuple
 
 
+def _resolve_ranks(
+    preference: Preference,
+    vectors: Sequence[Vector] | None,
+    ranks: RankColumns | None,
+) -> RankColumns | None:
+    if ranks is not None:
+        return ranks
+    if vectors is None:
+        raise EvaluationError(
+            "skyline algorithms need operand vectors or precomputed rank "
+            "columns"
+        )
+    return compute_rank_columns(preference, vectors)
+
+
 def nested_loop_maximal(
-    preference: Preference, vectors: Sequence[Vector]
+    preference: Preference,
+    vectors: Sequence[Vector],
+    ranks: RankColumns | None = None,
 ) -> list[int]:
     """The paper's abstract selection method (section 3.2), verbatim:
 
     (1) start with an empty Max set; (2) select a tuple t1; (3) insert t1
     into Max if there is no tuple t2 better than t1; (4) repeat for all
     tuples.  Quadratic, but the exact semantics every other algorithm must
-    match.
+    match — it deliberately stays on the per-pair comparator (``ranks``
+    only saves recomputing them) so it remains an independent oracle for
+    the columnar kernels.
     """
-    better = best_better(preference, vectors)
+    better = best_better(preference, vectors, ranks=ranks)
     result = []
     count = len(vectors)
     for i in range(count):
@@ -54,17 +98,26 @@ def nested_loop_maximal(
 
 
 def block_nested_loops(
-    preference: Preference, vectors: Sequence[Vector]
+    preference: Preference,
+    vectors: Sequence[Vector] | None,
+    ranks: RankColumns | None = None,
+    use_columns: bool = True,
 ) -> list[int]:
     """Block-Nested-Loops [BKS01] with an unbounded in-memory window.
 
     Each incoming tuple is compared against the window: dominated tuples
     are dropped, and window members dominated by the newcomer are evicted.
-    With the window fully in memory there is a single pass.
+    With the window fully in memory there is a single pass.  Flat rank
+    trees run the same window discipline over distinct rank tuples in the
+    columnar kernel instead of per-pair closure calls.
     """
-    better = best_better(preference, vectors)
+    ranks = _resolve_ranks(preference, vectors, ranks)
+    if use_columns and ranks is not None and ranks.mode is not None:
+        return sorted(columnar_skyline(ranks, range(len(ranks)), "bnl"))
+    better = best_better(preference, vectors, ranks=ranks)
+    count = len(vectors) if vectors is not None else len(ranks)
     window: list[int] = []
-    for i in range(len(vectors)):
+    for i in range(count):
         dominated = False
         survivors: list[int] = []
         for j in window:
@@ -90,6 +143,9 @@ def dominance_key(preference: Preference, vector: Vector) -> tuple[float, ...]:
     layered bases their level.  Compatibility holds because substitutable
     values share the same proxy and strictly better values a strictly
     smaller one, for every constructor (see tests/test_algorithms.py).
+    For rank-based trees this key *is* the per-row rank tuple, so
+    :func:`sort_filter_skyline` reads it from the shared rank columns
+    instead of re-deriving ranks per row.
     """
     key: list[float] = []
     _append_key(preference, vector, key)
@@ -115,17 +171,32 @@ def _append_key(preference: Preference, vector: Sequence, key: list[float]) -> N
 
 
 def sort_filter_skyline(
-    preference: Preference, vectors: Sequence[Vector]
+    preference: Preference,
+    vectors: Sequence[Vector] | None,
+    ranks: RankColumns | None = None,
+    use_columns: bool = True,
 ) -> list[int]:
     """Sort-Filter-Skyline: presort by :func:`dominance_key`, then filter.
 
     After sorting, no tuple can be dominated by a later one, so a single
-    forward pass comparing against the skyline-so-far suffices.
+    forward pass comparing against the skyline-so-far suffices.  Rank
+    trees sort by the shared rank rows (one C-level tuple sort) — the
+    seed recomputed a ``dominance_key`` per row on top of the comparator's
+    own rank lists; flat trees run the whole filter in the columnar
+    kernel.
     """
-    better = best_better(preference, vectors)
-    order = sorted(
-        range(len(vectors)), key=lambda i: dominance_key(preference, vectors[i])
-    )
+    ranks = _resolve_ranks(preference, vectors, ranks)
+    if use_columns and ranks is not None and ranks.mode is not None:
+        return sorted(columnar_skyline(ranks, range(len(ranks)), "sfs"))
+    better = best_better(preference, vectors, ranks=ranks)
+    if ranks is not None:
+        rows = ranks.rows
+        order = sorted(range(len(rows)), key=rows.__getitem__)
+    else:
+        order = sorted(
+            range(len(vectors)),
+            key=lambda i: dominance_key(preference, vectors[i]),
+        )
     skyline: list[int] = []
     for i in order:
         if not any(better(j, i) for j in skyline):
@@ -134,16 +205,24 @@ def sort_filter_skyline(
 
 
 def divide_and_conquer(
-    preference: Preference, vectors: Sequence[Vector]
+    preference: Preference,
+    vectors: Sequence[Vector] | None,
+    ranks: RankColumns | None = None,
+    use_columns: bool = True,
 ) -> list[int]:
     """Divide & conquer: split, recurse, then cross-filter the halves.
 
     A tuple dominated by anything in the other half is dominated by a
     *maximal* tuple of that half (finite strict orders have maximal
     dominators), so filtering against the other half's skyline is enough.
+    Flat rank trees recurse over distinct rank tuples in the columnar
+    kernel.
     """
-
-    better = best_better(preference, vectors)
+    ranks = _resolve_ranks(preference, vectors, ranks)
+    if use_columns and ranks is not None and ranks.mode is not None:
+        return sorted(columnar_skyline(ranks, range(len(ranks)), "dnc"))
+    better = best_better(preference, vectors, ranks=ranks)
+    count = len(vectors) if vectors is not None else len(ranks)
 
     def recurse(indices: list[int]) -> list[int]:
         if len(indices) <= 16:
@@ -163,7 +242,7 @@ def divide_and_conquer(
         ]
         return surviving_left + surviving_right
 
-    return sorted(recurse(list(range(len(vectors)))))
+    return sorted(recurse(list(range(count))))
 
 
 ALGORITHMS = {
@@ -176,29 +255,40 @@ ALGORITHMS = {
 
 def maximal_indices(
     preference: Preference,
-    vectors: Sequence[Vector],
+    vectors: Sequence[Vector] | None,
     algorithm: str = "bnl",
+    ranks: RankColumns | None = None,
 ) -> list[int]:
     """Compute the maximal (BMO) row indices with the chosen algorithm.
 
+    ``ranks`` passes precomputed rank columns (the BMO evaluator computes
+    them once per query and shares them across GROUPING partitions; the
+    SQL rank pushdown path adopts them from the host database).
     ``algorithm="auto"`` asks the plan cost model
     (:func:`repro.plan.cost.choose_algorithm`) to pick among the serial
     in-memory algorithms from the input size and preference
     dimensionality; ``algorithm="parallel"`` routes to the partitioned
-    executor of :mod:`repro.engine.parallel` (with a transient worker
-    pool — hold a :class:`~repro.engine.parallel.ParallelExecutor` to
-    amortise the pool across calls).
+    executor of :mod:`repro.engine.parallel` on the process-wide shared
+    worker pool (hold a :class:`~repro.engine.parallel.ParallelExecutor`
+    to control the worker degree per connection).
     """
+    count = len(vectors) if vectors is not None else len(ranks or ())
     if algorithm == "auto":
         from repro.plan.cost import choose_algorithm
 
         algorithm = choose_algorithm(
-            len(vectors), len(list(preference.iter_base()))
+            count, len(list(preference.iter_base()))
         )
     if algorithm == "parallel":
         from repro.engine.parallel import parallel_maximal_indices
 
-        return parallel_maximal_indices(preference, vectors)
+        return parallel_maximal_indices(preference, vectors, ranks=ranks)
+    if algorithm == "nested_loop":
+        if vectors is None:
+            raise EvaluationError(
+                "the nested-loop oracle needs operand vectors"
+            )
+        return nested_loop_maximal(preference, vectors, ranks=ranks)
     try:
         implementation = ALGORITHMS[algorithm]
     except KeyError:
@@ -206,4 +296,4 @@ def maximal_indices(
             f"unknown skyline algorithm {algorithm!r}; "
             f"choose from auto, parallel, {', '.join(sorted(ALGORITHMS))}"
         )
-    return implementation(preference, vectors)
+    return implementation(preference, vectors, ranks=ranks)

@@ -24,6 +24,11 @@ from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.errors import EvaluationError, PreferenceConstructionError
 from repro.engine.algorithms import maximal_indices
+from repro.engine.columns import (
+    RankColumns,
+    columnar_skyline,
+    compute_rank_columns,
+)
 from repro.engine.expressions import Evaluator, RowEnvironment
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type names
@@ -39,40 +44,61 @@ from repro.sql.printer import to_sql
 
 def bmo_filter(
     preference: Preference,
-    vectors: Sequence[tuple],
+    vectors: Sequence[tuple] | None,
     group_keys: Sequence[object] | None = None,
     threshold: Callable[[int], bool] | None = None,
     algorithm: str = "bnl",
     executor: "ParallelExecutor | None" = None,
+    ranks: RankColumns | None = None,
 ) -> list[int]:
     """Indices of BMO winners among candidate operand vectors.
 
     ``group_keys[i]`` assigns candidate ``i`` to a GROUPING partition;
     ``threshold(i)`` is the BUT ONLY test.  Winners are reported in their
-    original input order.  ``algorithm="parallel"`` evaluates through the
-    partitioned executor (``executor`` shares a worker pool across
-    queries; without one a transient executor is used).
+    original input order.  ``ranks`` supplies precomputed rank columns
+    (the SQL rank pushdown path); ``vectors`` may then be None for
+    rank-based trees.  Without them, the ranks are computed here **once**
+    and shared across every GROUPING partition — the seed recompiled a
+    comparator (and re-derived every rank) per group.
+    ``algorithm="parallel"`` evaluates through the partitioned executor
+    (``executor`` shares a worker pool across queries; without one the
+    process-wide shared executor of
+    :func:`repro.engine.parallel.shared_executor` is reused).
     """
-    indices = list(range(len(vectors)))
+    count = len(vectors) if vectors is not None else len(ranks or ())
+    indices = list(range(count))
     if threshold is not None:
         indices = [i for i in indices if threshold(i)]
 
     if algorithm == "parallel":
-        from repro.engine.parallel import ParallelExecutor
+        from repro.engine.parallel import shared_executor
 
-        transient = executor is None
-        active = ParallelExecutor() if transient else executor
-        try:
-            if group_keys is None:
-                return active.maximal_indices(
-                    preference, vectors, candidates=indices
-                )
-            return active.grouped_maximal_indices(
-                preference, vectors, group_keys, candidates=indices
+        active = shared_executor() if executor is None else executor
+        if group_keys is None:
+            return active.maximal_indices(
+                preference, vectors, candidates=indices, ranks=ranks
             )
-        finally:
-            if transient:
-                active.close()
+        return active.grouped_maximal_indices(
+            preference, vectors, group_keys, candidates=indices, ranks=ranks
+        )
+
+    # Shared rank columns: caller-provided ones are indexed by global row
+    # position; ones computed here cover only the threshold survivors (a
+    # BUT ONLY-discarded row must never reach a rank() implementation),
+    # with `rank_position` translating global index -> column position.
+    shared_ranks = ranks
+    rank_position: dict[int, int] | None = None
+    if shared_ranks is None and vectors is not None and algorithm != "nested_loop":
+        if len(indices) == count:
+            shared_ranks = compute_rank_columns(preference, vectors)
+        else:
+            shared_ranks = compute_rank_columns(
+                preference, [vectors[i] for i in indices]
+            )
+            if shared_ranks is not None:
+                rank_position = {
+                    index: pos for pos, index in enumerate(indices)
+                }
 
     if group_keys is None:
         groups = {None: indices}
@@ -81,12 +107,90 @@ def bmo_filter(
         for i in indices:
             groups.setdefault(group_keys[i], []).append(i)
 
+    if (
+        shared_ranks is not None
+        and shared_ranks.mode is not None
+        and algorithm in ("bnl", "sfs", "dnc", "auto")
+    ):
+        # Flat rank tree: every partition indexes the *global* rank
+        # columns directly — no per-group slicing, no recompilation.
+        flavor = "sfs" if algorithm == "auto" else algorithm
+        winners = []
+        for members in groups.values():
+            winners.extend(
+                columnar_skyline(
+                    shared_ranks, members, flavor, position=rank_position
+                )
+            )
+        return sorted(winners)
+
     winners: list[int] = []
     for members in groups.values():
-        local_vectors = [vectors[i] for i in members]
-        for local in maximal_indices(preference, local_vectors, algorithm):
+        local_vectors = (
+            [vectors[i] for i in members] if vectors is not None else None
+        )
+        if shared_ranks is None:
+            local_ranks = None
+        elif rank_position is not None:
+            local_ranks = (
+                shared_ranks
+                if members is indices
+                else shared_ranks.select(
+                    [rank_position[i] for i in members]
+                )
+            )
+        elif len(members) == count:
+            local_ranks = shared_ranks
+        else:
+            local_ranks = shared_ranks.select(members)
+        for local in maximal_indices(
+            preference, local_vectors, algorithm, ranks=local_ranks
+        ):
             winners.append(members[local])
     return sorted(winners)
+
+
+def run_in_memory_plan(
+    execute,
+    plan,
+    executor: "ParallelExecutor | None" = None,
+) -> Relation:
+    """Execute an in-memory :class:`~repro.plan.planner.Plan` end to end.
+
+    ``execute`` runs SQL on the host database and returns a cursor
+    (``sqlite3.Connection.execute``-shaped).  Shared by the driver and
+    the view maintainer so both honour the plan's SQL rank pushdown:
+    when the scan SELECT appended rank columns (``plan.rank_width``),
+    they are split off the fetched rows and adopted as precomputed
+    rank columns — the expression evaluator never touches a candidate
+    row.  If any rank cell comes back non-numeric (host-affinity
+    corner), the adoption is dropped and the engine recomputes the
+    ranks in Python, so winner sets never depend on host coercion.
+    """
+    from repro.engine.columns import rank_columns_from_values
+
+    cursor = execute(plan.pushdown_sql)
+    columns = [description[0] for description in cursor.description]
+    rows = cursor.fetchall()
+    ranks = None
+    width = plan.rank_width
+    if width:
+        split = len(columns) - width
+        rank_values = [
+            [row[split + k] for row in rows] for k in range(width)
+        ]
+        columns = columns[:split]
+        rows = [row[:split] for row in rows]
+        preference = build_preference(plan.residual.preferring)
+        ranks = rank_columns_from_values(preference, rank_values)
+    candidates = Relation(columns=columns, rows=rows)
+    engine = PreferenceEngine(
+        {plan.table: candidates},
+        algorithm=plan.strategy,
+        executor=executor,
+        rank_columns=ranks,
+    )
+    return engine.execute_select(plan.residual)
 
 
 @dataclass
@@ -103,7 +207,7 @@ class BmoResult:
 # Row bundles: rows of the FROM clause with their binding structure
 
 
-@dataclass
+@dataclass(slots=True)
 class _Bundle:
     """One joined row: parallel (binding, columns, values) segments."""
 
@@ -132,6 +236,53 @@ class _Bundle:
         return pairs
 
 
+class _TableBundles:
+    """Lazy bundles over a single base table: rows wrap on demand.
+
+    A pushdown scan hands the engine tens of thousands of candidate rows
+    of which only the BMO winners ever need an environment or a
+    projection; materialising a :class:`_Bundle` per candidate up front
+    was the single biggest constant of the hot path.  This sequence
+    carries the raw row tuples and builds a bundle only when one is
+    actually indexed; the group-key and ``SELECT *`` fast paths read
+    ``rows`` directly and never wrap at all.
+    """
+
+    __slots__ = ("binding", "columns", "rows")
+
+    def __init__(
+        self,
+        binding: str,
+        columns: tuple[str, ...],
+        rows: Sequence[tuple],
+    ):
+        self.binding = binding
+        self.columns = columns
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [
+                _Bundle(segments=((self.binding, self.columns, row),))
+                for row in self.rows[index]
+            ]
+        return _Bundle(
+            segments=((self.binding, self.columns, self.rows[index]),)
+        )
+
+    def __iter__(self):
+        binding = self.binding
+        columns = self.columns
+        for row in self.rows:
+            yield _Bundle(segments=((binding, columns, row),))
+
+
 class PreferenceEngine:
     """Executes Preference SQL directly over in-memory relations.
 
@@ -147,6 +298,7 @@ class PreferenceEngine:
         algorithm: str = "bnl",
         max_workers: int | None = None,
         executor: "ParallelExecutor | None" = None,
+        rank_columns: RankColumns | None = None,
     ):
         self._relations: dict[str, Relation] = {}
         if relations:
@@ -157,6 +309,11 @@ class PreferenceEngine:
         self._max_workers = max_workers
         self._executor = executor
         self._owns_executor = False
+        #: Host-database-computed rank columns for the next preference
+        #: SELECT (the SQL rank pushdown path, see the driver).  Consumed
+        #: only when the query shape guarantees row alignment; otherwise
+        #: the engine silently recomputes the ranks itself.
+        self._rank_columns = rank_columns
 
     def close(self) -> None:
         """Release the engine's own worker pool (injected pools are kept)."""
@@ -283,30 +440,56 @@ class PreferenceEngine:
         group_count = 1
 
         quality_columns: dict[ast.Expr, ast.Expr] = {}
-        quality_values: list[dict[str, object]] = [dict() for _ in bundles]
+        quality_values: list[dict[str, object]] = [
+            dict() for _ in range(len(bundles))
+        ]
 
         if select.preferring is not None:
             preference = build_preference(
                 select.preferring, resolver=self.resolve_preference
             )
-            environments = [bundle.environment(outer) for bundle in bundles]
-            vectors = [
-                tuple(evaluator.evaluate(op, env) for op in preference.operands)
-                for env in environments
-            ]
+            environments: list[RowEnvironment] | None = None
+
+            def row_environments() -> list[RowEnvironment]:
+                nonlocal environments
+                if environments is None:
+                    environments = [
+                        bundle.environment(outer) for bundle in bundles
+                    ]
+                return environments
+
+            quality_calls = self._collect_quality_calls(select)
+            ranks = (
+                self._adopted_rank_columns(select, len(bundles), preference)
+                if not quality_calls
+                else None
+            )
+            vectors: list[tuple] | None = None
+            if ranks is None or quality_calls:
+                vectors = [
+                    tuple(
+                        evaluator.evaluate(op, env)
+                        for op in preference.operands
+                    )
+                    for env in row_environments()
+                ]
 
             group_keys = None
             if select.grouping:
-                group_keys = [
-                    tuple(evaluator.evaluate(col, env) for col in select.grouping)
-                    for env in environments
-                ]
+                group_keys = self._fast_group_keys(select, bundles, outer)
+                if group_keys is None:
+                    group_keys = [
+                        tuple(
+                            evaluator.evaluate(col, env)
+                            for col in select.grouping
+                        )
+                        for env in row_environments()
+                    ]
                 group_count = len(set(group_keys))
 
             resolver = QualityResolver(preference)
-            quality_calls = self._collect_quality_calls(select)
             optima = self._candidate_optima(
-                resolver, quality_calls, vectors, group_keys
+                resolver, quality_calls, vectors or (), group_keys
             )
             for call in quality_calls:
                 column = ast.Column(name=f"q{len(quality_columns)}", table="#quality")
@@ -322,9 +505,12 @@ class PreferenceEngine:
             threshold = None
             if select.but_only is not None:
                 but_only = ast.substitute(select.but_only, quality_columns)
+                threshold_environments = row_environments()
 
                 def threshold(i: int) -> bool:
-                    env = self._with_quality(environments[i], quality_values[i])
+                    env = self._with_quality(
+                        threshold_environments[i], quality_values[i]
+                    )
                     return evaluator.is_true(but_only, env)
 
             winners = bmo_filter(
@@ -338,6 +524,7 @@ class PreferenceEngine:
                     if self._algorithm == "parallel"
                     else None
                 ),
+                ranks=ranks,
             )
             bundles = [bundles[i] for i in winners]
             quality_values = [quality_values[i] for i in winners]
@@ -376,6 +563,101 @@ class PreferenceEngine:
             group_count=group_count,
         )
 
+    @staticmethod
+    def _fast_group_keys(
+        select: ast.Select, bundles: Sequence["_Bundle"], outer
+    ) -> list[tuple] | None:
+        """GROUPING keys read directly from the rows, or None.
+
+        When every grouping expression is a plain column of a single
+        base-table FROM, building one RowEnvironment per candidate just
+        to look the values up again is the hot path's biggest constant —
+        read the slots straight out of the row tuples instead.  Any
+        other shape falls back to full expression evaluation.
+        """
+        if (
+            outer is not None
+            or len(select.sources) != 1
+            or not isinstance(select.sources[0], ast.TableRef)
+            or not bundles
+        ):
+            return None
+        if isinstance(bundles, _TableBundles):
+            binding, columns = bundles.binding, bundles.columns
+        else:
+            binding, columns, _values = bundles[0].segments[0]
+        # Duplicate names resolve to the last occurrence, matching the
+        # RowEnvironment scope dict built from the same zip.
+        positions = {name.lower(): k for k, name in enumerate(columns)}
+        slots: list[int] = []
+        for expr in select.grouping:
+            if not isinstance(expr, ast.Column):
+                return None
+            if expr.table is not None and expr.table.lower() != binding.lower():
+                return None
+            slot = positions.get(expr.name.lower())
+            if slot is None:
+                return None
+            slots.append(slot)
+        if isinstance(bundles, _TableBundles):
+            rows = bundles.rows
+            if len(slots) == 1:
+                slot = slots[0]
+                return [(row[slot],) for row in rows]
+            return [tuple(row[slot] for slot in slots) for row in rows]
+        if len(slots) == 1:
+            slot = slots[0]
+            return [(bundle.segments[0][2][slot],) for bundle in bundles]
+        return [
+            tuple(bundle.segments[0][2][slot] for slot in slots)
+            for bundle in bundles
+        ]
+
+    def _adopted_rank_columns(
+        self, select: ast.Select, row_count: int, preference: Preference
+    ) -> RankColumns | None:
+        """Host-computed rank columns, when they provably align with rows.
+
+        The SQL rank pushdown hands the engine one rank column per base
+        preference, indexed by scan order.  They are adopted only when
+        this SELECT's candidate rows *are* the scan rows in order — a
+        single base-table FROM, no residual WHERE, a matching row count —
+        and the columns' shape matches the preference this SELECT
+        actually evaluates (tree structure, leaf types and operand
+        expressions), so injected columns built for a different
+        PREFERRING clause are refused rather than silently misread.
+        Adoption consumes the columns: a second SELECT on the same
+        engine recomputes.  ``nested_loop`` stays on operand vectors so
+        the oracle remains independent of the pushdown.  Any mismatch
+        silently degrades to the in-Python rank computation.
+        """
+        ranks = self._rank_columns
+        if (
+            ranks is None
+            or self._algorithm == "nested_loop"
+            or select.where is not None
+            or len(select.sources) != 1
+            or not isinstance(select.sources[0], ast.TableRef)
+            or len(ranks) != row_count
+        ):
+            return None
+        from repro.engine.columns import rank_shape
+
+        expected = rank_shape(preference)
+        if (
+            expected is None
+            or expected.tree != ranks.shape.tree
+            or len(expected.leaves) != len(ranks.shape.leaves)
+            or any(
+                type(mine) is not type(theirs)
+                or mine.operands != theirs.operands
+                for mine, theirs in zip(expected.leaves, ranks.shape.leaves)
+            )
+        ):
+            return None
+        self._rank_columns = None  # consume once
+        return ranks
+
     # ------------------------------------------------------------------
     # FROM clause
 
@@ -404,10 +686,9 @@ class PreferenceEngine:
     ) -> list[_Bundle]:
         if isinstance(source, ast.TableRef):
             relation = self.relation(source.name)
-            return [
-                _Bundle(segments=((source.binding, relation.columns, row),))
-                for row in relation.rows
-            ]
+            return _TableBundles(
+                source.binding, relation.columns, relation.rows
+            )
         if isinstance(source, ast.SubquerySource):
             relation = self.execute_select(source.query, params=params, outer=outer)
             return [
@@ -524,9 +805,30 @@ class PreferenceEngine:
         evaluator: Evaluator,
         outer: RowEnvironment | None,
     ) -> tuple[list[tuple], list[str]]:
+        plain_star = (
+            len(select.items) == 1
+            and isinstance(select.items[0], ast.Star)
+            and select.items[0].table is None
+        )
+        if plain_star and isinstance(bundles, _TableBundles):
+            return list(bundles.rows), list(bundles.columns)
+        first_bundle = bundles[0] if bundles else None
+        if (
+            plain_star
+            and first_bundle is not None
+            and len(first_bundle.segments) == 1
+        ):
+            # ``SELECT *`` over a single source: the winner rows *are*
+            # the output rows — skip per-winner environment construction
+            # and star expansion (the hot path of every pushdown query).
+            _binding, names, _values = first_bundle.segments[0]
+            return (
+                [bundle.segments[0][2] for bundle in bundles],
+                list(names),
+            )
+
         columns: list[str] = []
         evaluators: list[ast.Expr | ast.Star] = []
-        first_bundle = bundles[0] if bundles else None
 
         for item in select.items:
             if isinstance(item, ast.Star):

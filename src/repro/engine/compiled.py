@@ -1,16 +1,20 @@
-"""Compiled dominance comparators: precomputed ranks for fast skylines.
+"""Compiled dominance comparators over shared rank columns.
 
 The generic :meth:`Preference.is_better` re-evaluates base-preference
 ranks on every comparison.  Skyline algorithms perform O(n·s) comparisons,
 so for rank-based preference trees (every built-in except EXPLICIT) it
-pays to precompute one rank per base preference per row and compare plain
-floats afterwards — the same idea as the rewrite's materialised level
-columns (paper section 3.2), applied to the in-memory path.
+pays to precompute one rank column per base preference
+(:mod:`repro.engine.columns`) and compare plain floats afterwards — the
+same idea as the rewrite's materialised level columns (paper section 3.2),
+applied to the in-memory path.
 
 :func:`compile_better` returns an index-based ``better(i, j)`` predicate
 equivalent to ``preference.is_better(vectors[i], vectors[j])``, or
 ``None`` when the tree contains an EXPLICIT preference (a genuine partial
 order without a rank) — callers then fall back to the generic path.
+Callers that already hold a :class:`~repro.engine.columns.RankColumns`
+(the skyline algorithms, the partitioned executor, the SQL rank pushdown
+path) pass it in so the ranks are computed exactly once per query.
 Equivalence with the generic semantics is property-tested in
 ``tests/test_compiled.py``.
 """
@@ -19,76 +23,34 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
-from repro.model.categorical import ExplicitPreference, LayeredPreference
-from repro.model.composite import ParetoPreference, PrioritizationPreference
-from repro.model.preference import Preference, WeakOrderBase
+from repro.engine.columns import RankColumns, compute_rank_columns
+from repro.model.preference import Preference
 
 BetterFn = Callable[[int, int], bool]
 EqualFn = Callable[[int, int], bool]
 
 
-def _leaf_ranks(
-    leaf: Preference, vectors: Sequence[tuple], offset: int
-) -> list[float] | None:
-    """Per-row ranks of one base preference, or None if not rank-based."""
-    if isinstance(leaf, LayeredPreference):
-        end = offset + leaf.arity
-        return [float(leaf.level(v[offset:end])) for v in vectors]
-    if isinstance(leaf, WeakOrderBase):
-        return [leaf.rank(v[offset]) for v in vectors]
-    return None  # EXPLICIT (or a custom preference): no total rank
-
-
-def _collect(
-    node: Preference, vectors: Sequence[tuple], offset: int
-) -> tuple[object, int] | None:
-    """Build a comparison tree of ('leaf', ranks) / (op, children) nodes."""
-    kids = node.children()
-    if not kids:
-        ranks = _leaf_ranks(node, vectors, offset)
-        if ranks is None:
-            return None
-        return ("leaf", ranks), offset + node.arity
-    children = []
-    for child in kids:
-        built = _collect(child, vectors, offset)
-        if built is None:
-            return None
-        child_node, offset = built
-        children.append(child_node)
-    if isinstance(node, ParetoPreference):
-        return ("pareto", children), offset
-    if isinstance(node, PrioritizationPreference):
-        return ("cascade", children), offset
-    return None  # unknown composite
-
-
-def _all_leaves(children: list) -> list[list[float]] | None:
-    ranks = []
-    for child in children:
-        if child[0] != "leaf":
-            return None
-        ranks.append(child[1])
-    return ranks
-
-
-def _make(node) -> tuple[BetterFn, EqualFn]:
+def _make(node: tuple, ranks: RankColumns) -> tuple[BetterFn, EqualFn]:
+    """Closures for one shape node, indexing into the shared columns."""
     kind = node[0]
     if kind == "leaf":
-        ranks = node[1]
+        column = ranks.columns[node[1]]
         return (
-            lambda i, j: ranks[i] < ranks[j],
-            lambda i, j: ranks[i] == ranks[j],
+            lambda i, j: column[i] < column[j],
+            lambda i, j: column[i] == column[j],
         )
 
     children = node[1]
-    flat = _all_leaves(children)
-    if kind == "pareto":
-        if flat is not None:
+    if all(child[0] == "leaf" for child in children):
+        if len(children) == ranks.width:
+            rows = ranks.rows  # the whole tree is flat: reuse the cache
+        else:
+            rows = list(
+                zip(*(ranks.columns[child[1]] for child in children))
+            )
+        if kind == "pareto":
             # Flat Pareto of rank leaves: one tuple per row; dominance is
             # componentwise <= plus inequality.
-            rows = list(zip(*flat))
-
             def better(i: int, j: int) -> bool:
                 a, b = rows[i], rows[j]
                 if a == b:
@@ -99,8 +61,14 @@ def _make(node) -> tuple[BetterFn, EqualFn]:
                 return rows[i] == rows[j]
 
             return better, equal
+        # Flat cascade of rank leaves: plain lexicographic tuple order.
+        return (
+            lambda i, j: rows[i] < rows[j],
+            lambda i, j: rows[i] == rows[j],
+        )
 
-        parts = [_make(child) for child in children]
+    parts = [_make(child, ranks) for child in children]
+    if kind == "pareto":
 
         def better(i: int, j: int) -> bool:
             strict = False
@@ -117,16 +85,6 @@ def _make(node) -> tuple[BetterFn, EqualFn]:
         return better, equal
 
     # cascade
-    if flat is not None:
-        # Flat cascade of rank leaves: plain lexicographic tuple order.
-        rows = list(zip(*flat))
-        return (
-            lambda i, j: rows[i] < rows[j],
-            lambda i, j: rows[i] == rows[j],
-        )
-
-    parts = [_make(child) for child in children]
-
     def better(i: int, j: int) -> bool:
         for child_better, child_equal in parts:
             if child_better(i, j):
@@ -142,45 +100,43 @@ def _make(node) -> tuple[BetterFn, EqualFn]:
 
 
 def flat_rank_rows(
-    preference: Preference, vectors: Sequence[tuple]
+    preference: Preference,
+    vectors: Sequence[tuple],
+    ranks: RankColumns | None = None,
 ) -> tuple[list[tuple[float, ...]], str] | None:
     """Per-row rank tuples for *flat* rank-based trees, or None.
 
     When the preference is a single rank-based base, or a Pareto/cascade
-    combination of rank-based bases, dominance reduces to tuple arithmetic
-    on one precomputed rank row per input row: componentwise ``<=`` plus
-    inequality for ``mode == "pareto"``, plain lexicographic ``<`` for
+    combination of rank-based bases (after the associativity flattening
+    of :func:`~repro.engine.columns.rank_shape`, which turns
+    same-constructor nesting like ``(P1 AND P2) AND P3`` into a flat
+    tree), dominance reduces to tuple arithmetic on one precomputed rank
+    row per input row: componentwise ``<=`` plus inequality for
+    ``mode == "pareto"``, plain lexicographic ``<`` for
     ``mode == "cascade"`` — the exact comparisons the compiled closures
     perform, so consumers inherit their semantics (including for NaN
-    ranks, which only custom rank implementations can produce).  The partitioned executor
-    (:mod:`repro.engine.parallel`) computes these rows once globally and
-    shares them across all partitions, instead of re-deriving ranks per
-    partition the way per-group :func:`compile_better` calls would.
-    Nested trees (a Pareto inside a cascade) and EXPLICIT bases return
-    None — callers fall back to :func:`best_better` closures.
+    ranks, which only custom rank implementations can produce).  Mixed
+    nesting (a Pareto inside a cascade) and EXPLICIT bases return None —
+    callers fall back to :func:`best_better` closures.
     """
-    built = _collect(preference, vectors, 0)
-    if built is None:
+    if ranks is None:
+        ranks = compute_rank_columns(preference, vectors)
+    if ranks is None or ranks.mode is None:
         return None
-    node, _offset = built
-    kind, payload = node
-    if kind == "leaf":
-        return [(rank,) for rank in payload], "cascade"
-    flat = _all_leaves(payload)
-    if flat is None:
-        return None
-    return list(zip(*flat)), kind
+    return ranks.rows, ranks.mode
 
 
 def compile_better(
-    preference: Preference, vectors: Sequence[tuple]
+    preference: Preference,
+    vectors: Sequence[tuple],
+    ranks: RankColumns | None = None,
 ) -> BetterFn | None:
     """An index-based fast ``better(i, j)``, or None if unsupported."""
-    built = _collect(preference, vectors, 0)
-    if built is None:
+    if ranks is None:
+        ranks = compute_rank_columns(preference, vectors)
+    if ranks is None:
         return None
-    node, _offset = built
-    better, _equal = _make(node)
+    better, _equal = _make(ranks.shape.tree, ranks)
     return better
 
 
@@ -195,9 +151,13 @@ def generic_better(
     return better
 
 
-def best_better(preference: Preference, vectors: Sequence[tuple]) -> BetterFn:
+def best_better(
+    preference: Preference,
+    vectors: Sequence[tuple],
+    ranks: RankColumns | None = None,
+) -> BetterFn:
     """The fastest available dominance predicate for this input."""
-    compiled = compile_better(preference, vectors)
+    compiled = compile_better(preference, vectors, ranks=ranks)
     if compiled is not None:
         return compiled
     return generic_better(preference, vectors)

@@ -43,7 +43,7 @@ import sqlite3
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
-from repro.engine.bmo import PreferenceEngine
+from repro.engine.bmo import PreferenceEngine, run_in_memory_plan
 from repro.engine.relation import Relation
 from repro.errors import CatalogError, DriverError, EvaluationError
 from repro.pdl.catalog import ViewEntry
@@ -713,19 +713,15 @@ class ViewMaintainer:
             workers=connection._effective_workers(),
         )
         if plan.uses_engine:
-            cursor = self._raw.execute(plan.pushdown_sql)
-            columns = [description[0] for description in cursor.description]
-            candidates = Relation(columns=columns, rows=cursor.fetchall())
-            engine = PreferenceEngine(
-                {plan.table: candidates},
-                algorithm=plan.strategy,
+            return run_in_memory_plan(
+                self._raw.execute,
+                plan,
                 executor=(
                     connection.parallel_executor
                     if plan.strategy == "parallel"
                     else None
                 ),
             )
-            return engine.execute_select(plan.residual)
         cursor = self._raw.execute(plan.rewritten_sql)
         columns = [description[0] for description in cursor.description]
         return Relation(columns=columns, rows=cursor.fetchall())

@@ -25,32 +25,40 @@ vectors and arbitrary partitionings.
 
 Two evaluation cores back the partition tasks, chosen per query:
 
-* the **flat-rank core** — for flat rank-based trees,
-  :func:`repro.engine.compiled.flat_rank_rows` materialises one rank tuple
-  per row *once, globally*; each partition then collapses duplicate rank
-  rows, sorts the distinct ones (C-level tuple comparisons) and runs a
-  sort-filter pass.  This is why the partitioned path wins even at worker
-  degree 1: the serial path recompiles ranks per group and compares
-  through Python closures,
-* the **generic core** — arbitrary trees (EXPLICIT members, nested
-  composites) fall back to a BNL pass per partition over the shared
+* the **columnar core** — for rank-based trees with a flat comparison
+  structure, :class:`~repro.engine.columns.RankColumns` materialises one
+  rank tuple per row *once, globally* (or adopts the ones the SQL rank
+  pushdown already fetched from the host database); each partition then
+  runs the shared skyline kernel
+  (:func:`repro.engine.columns.rank_row_skyline`) — duplicate rank rows
+  collapse, distinct ones compare at C level.  This is why the
+  partitioned path wins even at worker degree 1: the seed's serial path
+  recompiled ranks per group and compared through Python closures,
+* the **closure core** — EXPLICIT members and mixed-nested composites
+  fall back to a BNL pass per partition over the shared
   :func:`~repro.engine.compiled.best_better` predicate, which still pays
   the comparator compilation only once per query.
 
 Rank rows containing NaN cannot occur with the built-in preference types
 (unparseable operand text ranks as ``NULL_RANK``), but custom rank
-implementations may produce them; the flat core detects NaN rows and
-routes them through slower paths that replicate the serial closure
-semantics exactly (see :func:`_flat_local_skyline`).
+implementations may produce them; the kernel detects NaN rows and routes
+them through slower paths that replicate the serial closure semantics
+exactly (see :func:`~repro.engine.columns.rank_row_skyline`).
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
-from repro.engine.compiled import best_better, flat_rank_rows
+from repro.engine.columns import (
+    RankColumns,
+    columnar_skyline,
+    compute_rank_columns,
+)
+from repro.engine.compiled import best_better
 from repro.errors import EvaluationError
 from repro.model.preference import Preference
 
@@ -118,74 +126,21 @@ def local_skyline(
     return window
 
 
-def _has_nan(row: tuple) -> bool:
-    return any(value != value for value in row)
+#: Process-wide shared executor for callers that pass none — repeated
+#: :func:`repro.engine.bmo.bmo_filter` calls on the same connection used
+#: to spin up (and tear down) a transient pool each.  Created lazily,
+#: never closed; per-connection executors still control their own degree.
+_shared_executor: "ParallelExecutor | None" = None
+_shared_lock = threading.Lock()
 
 
-def _flat_local_skyline(
-    rows, mode: str, indices: Sequence[int]
-) -> list[int]:
-    """Partition skyline over precomputed rank rows.
-
-    ``rows`` maps global row index → rank tuple (a list when every row is
-    a candidate, a dict when a BUT ONLY threshold discarded some).
-
-    Duplicate rank rows are substitutable — they win or lose together — so
-    they collapse into one bucket each before the sort-filter pass.
-
-    Built-in preferences never rank to NaN (unparseable operand text maps
-    to ``NULL_RANK``), but a custom :class:`~repro.model.preference
-    .WeakOrderBase` may; NaN-bearing rank rows make the tuple order
-    partial, so they take slow paths that mirror the serial closure
-    semantics exactly: under Pareto they can neither dominate nor be
-    dominated (any ``<=`` against NaN is false) and are winners outright;
-    under cascade the lexicographic ``<`` is still meaningful on the
-    NaN-free prefix, so the buckets fall back to a BNL pass instead of
-    the single-minimum shortcut.
-    """
-    buckets: dict[tuple, list[int]] = {}
-    winners: list[int] = []
-    nan_rows = False
-    for i in indices:
-        row = rows[i]
-        if _has_nan(row):
-            nan_rows = True
-            if mode != "cascade":
-                winners.append(i)
-                continue
-        buckets.setdefault(row, []).append(i)
-    if not buckets:
-        return winners
-    if mode == "cascade":
-        if nan_rows:
-            # NaN makes ``<`` non-total: BNL over the bucket keys with the
-            # same lexicographic comparator the serial closures use.
-            keys = list(buckets)
-            kept: list[tuple] = []
-            for key in keys:
-                if any(other < key for other in keys if other is not key):
-                    continue
-                kept.append(key)
-            for key in kept:
-                winners.extend(buckets[key])
-            return winners
-        # Total lexicographic order: only the minimal rank row wins.
-        winners.extend(buckets[min(buckets)])
-        return winners
-    order = sorted(buckets)
-    skyline: list[tuple] = []
-    for row in order:
-        dominated = False
-        for kept_row in skyline:
-            # kept_row sorts before row, so it dominates iff componentwise
-            # <= (they are distinct by construction).
-            if all(x <= y for x, y in zip(kept_row, row)):
-                dominated = True
-                break
-        if not dominated:
-            skyline.append(row)
-            winners.extend(buckets[row])
-    return winners
+def shared_executor() -> "ParallelExecutor":
+    """The lazily-created process-wide default executor."""
+    global _shared_executor
+    with _shared_lock:
+        if _shared_executor is None or _shared_executor._closed:
+            _shared_executor = ParallelExecutor()
+        return _shared_executor
 
 
 class ParallelExecutor:
@@ -242,14 +197,22 @@ class ParallelExecutor:
     def maximal_indices(
         self,
         preference: Preference,
-        vectors: Sequence[tuple],
+        vectors: Sequence[tuple] | None,
         candidates: Sequence[int] | None = None,
+        ranks: RankColumns | None = None,
     ) -> list[int]:
-        """The global BMO set: hash-partition, local skylines, merge filter."""
+        """The global BMO set: hash-partition, local skylines, merge filter.
+
+        ``ranks`` supplies globally-indexed precomputed rank columns (the
+        SQL rank pushdown path); without them the executor ranks the
+        candidate rows itself, once.
+        """
         indices = (
-            list(range(len(vectors))) if candidates is None else list(candidates)
+            list(range(len(vectors) if vectors is not None else len(ranks)))
+            if candidates is None
+            else list(candidates)
         )
-        evaluate = self._partition_evaluator(preference, vectors, indices)
+        evaluate = self._partition_evaluator(preference, vectors, indices, ranks)
         if len(indices) <= self.min_partition_rows:
             return sorted(evaluate(indices))
         parts = hash_partitions(
@@ -266,9 +229,10 @@ class ParallelExecutor:
     def grouped_maximal_indices(
         self,
         preference: Preference,
-        vectors: Sequence[tuple],
+        vectors: Sequence[tuple] | None,
         group_keys: Sequence[object],
         candidates: Sequence[int] | None = None,
+        ranks: RankColumns | None = None,
     ) -> list[int]:
         """Per-group BMO sets, one pool task per batch of groups.
 
@@ -276,12 +240,14 @@ class ParallelExecutor:
         the result is, by definition, the union of the per-group skylines.
         """
         indices = (
-            list(range(len(vectors))) if candidates is None else list(candidates)
+            list(range(len(vectors) if vectors is not None else len(ranks)))
+            if candidates is None
+            else list(candidates)
         )
         groups: dict[object, list[int]] = {}
         for i in indices:
             groups.setdefault(group_keys[i], []).append(i)
-        evaluate = self._partition_evaluator(preference, vectors, indices)
+        evaluate = self._partition_evaluator(preference, vectors, indices, ranks)
         batches = hash_partitions(
             list(range(len(groups))), min(self.max_workers * 2, len(groups) or 1)
         )
@@ -297,30 +263,38 @@ class ParallelExecutor:
     def _partition_evaluator(
         self,
         preference: Preference,
-        vectors: Sequence[tuple],
+        vectors: Sequence[tuple] | None,
         candidates: Sequence[int],
+        ranks: RankColumns | None = None,
     ) -> Callable[[Sequence[int]], list[int]]:
         """The per-partition skyline core, compiled once per query.
 
-        Only the ``candidates`` rows are ranked — rows a BUT ONLY
-        threshold already discarded never reach a rank() implementation,
-        matching the serial algorithms (which slice survivors first).
-        The returned evaluator still addresses rows by their *global*
-        index, so partitions can be passed around untranslated.
+        When the caller supplies globally-indexed ``ranks`` (the SQL rank
+        pushdown path), the host database already ranked every row, so
+        they are adopted as-is.  Otherwise only the ``candidates`` rows
+        are ranked — rows a BUT ONLY threshold already discarded never
+        reach a rank() implementation, matching the serial algorithms
+        (which slice survivors first).  The returned evaluator always
+        addresses rows by their *global* index, so partitions can be
+        passed around untranslated.
         """
+        if ranks is not None:
+            if ranks.mode is not None:
+                return lambda indices: columnar_skyline(ranks, indices)
+            better = best_better(preference, vectors, ranks=ranks)
+            return lambda indices: local_skyline(better, indices)
         if len(candidates) == len(vectors):
             subset = vectors
             remap = None
         else:
             subset = [vectors[i] for i in candidates]
             remap = {index: position for position, index in enumerate(candidates)}
-        flat = flat_rank_rows(preference, subset)
-        if flat is not None:
-            rows, mode = flat
-            if remap is not None:
-                rows = {index: rows[position] for index, position in remap.items()}
-            return lambda indices: _flat_local_skyline(rows, mode, indices)
-        compact = best_better(preference, subset)
+        local = compute_rank_columns(preference, subset)
+        if local is not None and local.mode is not None:
+            return lambda indices: columnar_skyline(
+                local, indices, position=remap
+            )
+        compact = best_better(preference, subset, ranks=local)
         if remap is None:
             better = compact
         else:
@@ -330,9 +304,17 @@ class ParallelExecutor:
 
 def parallel_maximal_indices(
     preference: Preference,
-    vectors: Sequence[tuple],
+    vectors: Sequence[tuple] | None,
     max_workers: int | None = None,
+    ranks: RankColumns | None = None,
 ) -> list[int]:
-    """One-shot convenience wrapper around :class:`ParallelExecutor`."""
-    with ParallelExecutor(max_workers=max_workers) as executor:
-        return executor.maximal_indices(preference, vectors)
+    """One-shot convenience around the process-wide shared executor.
+
+    An explicit ``max_workers`` still gets a private (transient) pool;
+    without one the shared executor is reused, so repeated calls stop
+    paying pool spin-up and tear-down.
+    """
+    if max_workers is not None:
+        with ParallelExecutor(max_workers=max_workers) as executor:
+            return executor.maximal_indices(preference, vectors, ranks=ranks)
+    return shared_executor().maximal_indices(preference, vectors, ranks=ranks)

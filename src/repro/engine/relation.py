@@ -29,9 +29,18 @@ class Relation:
     def __init__(self, columns: Sequence[str], rows: Iterable[Sequence[object]] = ()):
         self.columns: tuple[str, ...] = tuple(columns)
         self._index = column_index_map(self.columns)
-        self.rows: list[tuple[object, ...]] = []
+        # Bulk load without per-row method dispatch; same width check.
+        width = len(self.columns)
+        loaded: list[tuple[object, ...]] = []
         for row in rows:
-            self.append(row)
+            values = tuple(row)
+            if len(values) != width:
+                raise EvaluationError(
+                    f"row width {len(values)} does not match schema width "
+                    f"{width}"
+                )
+            loaded.append(values)
+        self.rows: list[tuple[object, ...]] = loaded
 
     def append(self, row: Sequence[object]) -> None:
         """Add one row, checking its width against the schema."""

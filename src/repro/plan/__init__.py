@@ -33,10 +33,12 @@ from repro.plan.cost import (
     CostEstimate,
     CostModel,
     choose_algorithm,
+    choose_rank_source,
     choose_strategy,
     estimate_costs,
     estimate_selectivity,
     estimate_skyline_size,
+    rank_source_costs,
 )
 from repro.plan.explain import plan_relation, plan_text
 from repro.plan.planner import (
@@ -66,6 +68,8 @@ __all__ = [
     "STRATEGIES",
     "IN_MEMORY_STRATEGIES",
     "SERIAL_IN_MEMORY",
+    "choose_rank_source",
+    "rank_source_costs",
     "estimate_costs",
     "estimate_selectivity",
     "estimate_skyline_size",

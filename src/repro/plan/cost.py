@@ -81,10 +81,19 @@ class CostModel:
     #: Raise this only for a runtime whose workers genuinely overlap
     #: (free-threaded builds, a future process pool).
     parallel_efficiency: float = 0.0
-    #: Rank-tuple comparison in the partitioned executor's flat sort-filter
-    #: core — C-level tuple arithmetic, cheaper than a compiled-closure
-    #: dominance test (calibrated against E9: ~3x under py_dominance).
+    #: Rank-tuple comparison in the columnar skyline kernels (serial and
+    #: partitioned) — C-level tuple arithmetic, cheaper than a
+    #: compiled-closure dominance test (calibrated against E9/E11: ~3x
+    #: under py_dominance).
     flat_dominance: float = 0.08e-6
+    #: Filling one rank-column cell in Python (one ``rank()``/``level()``
+    #: call inside a tight loop), per row and base preference.
+    py_rank: float = 0.9e-6
+    #: Evaluating one rank CASE/arithmetic expression in the host VM, per
+    #: row and base preference (SQL rank pushdown).
+    sql_rank: float = 0.12e-6
+    #: Shipping one extra (rank) column across the sqlite→Python boundary.
+    rank_fetch: float = 0.35e-6
 
 
 DEFAULT_COST_MODEL = CostModel()
@@ -215,6 +224,48 @@ def planned_partitions(
     return partition_count(candidates, workers)
 
 
+def rank_source_costs(
+    candidates: float,
+    dimensions: int,
+    model: CostModel = DEFAULT_COST_MODEL,
+) -> dict[str, float]:
+    """Seconds to materialise the rank columns, per source.
+
+    ``sql`` prices the pushdown: the host VM evaluates one rank
+    expression per base per row, and the extra columns ride the existing
+    row transfer; ``python`` prices the engine filling the same columns
+    with ``rank()`` calls.
+    """
+    n = max(1.0, float(candidates))
+    d = max(1, dimensions)
+    return {
+        "sql": (model.sql_rank + model.rank_fetch) * n * d,
+        "python": model.py_rank * n * d,
+    }
+
+
+def choose_rank_source(
+    candidates: float,
+    dimensions: int,
+    columnar: bool,
+    sql_available: bool,
+    model: CostModel = DEFAULT_COST_MODEL,
+) -> str:
+    """Pick how an in-memory strategy obtains its rank columns.
+
+    ``"sql"`` — rank expressions pushed into the scan SELECT,
+    ``"python"`` — shared rank columns filled by the engine,
+    ``"closure"`` — no rank columns (EXPLICIT or custom preference):
+    per-pair compiled/generic closures.
+    """
+    if not columnar:
+        return "closure"
+    if not sql_available:
+        return "python"
+    costs = rank_source_costs(candidates, dimensions, model)
+    return "sql" if costs["sql"] <= costs["python"] else "python"
+
+
 def estimate_costs(
     candidates: float,
     dimensions: int,
@@ -224,6 +275,8 @@ def estimate_costs(
     row_width: int | None = None,
     workers: int = 1,
     groups: float | None = None,
+    columnar: bool = False,
+    rank_source: str | None = None,
 ) -> dict[str, CostEstimate]:
     """Price every strategy in ``include`` for the given input shape.
 
@@ -243,12 +296,27 @@ def estimate_costs(
     ``model.parallel_efficiency``, which defaults to zero because CPython
     threads cannot overlap the pure-Python comparison work (GIL); the
     strategy's modelled advantage is the cheaper flat-rank comparisons.
+
+    ``columnar`` marks a rank-based preference tree: the in-memory
+    strategies then price their comparisons at the columnar kernels'
+    C-level tuple rate (``flat_dominance``) instead of per-pair closure
+    calls, plus one explicit "rank columns" step whose cost depends on
+    ``rank_source`` (``"sql"`` pushdown vs ``"python"``, see
+    :func:`choose_rank_source`).
     """
     n = max(1.0, float(candidates))
     s = max(1.0, estimate_skyline_size(n, dimensions, distinct_counts))
     log_n = math.log2(n) if n > 1.0 else 1.0
     width_factor = max(1.0, (row_width or 8) / 8.0)
     row_fetch = model.row_fetch * width_factor
+    dominance = model.flat_dominance if columnar else model.py_dominance
+    rank_step: tuple[str, float] | None = None
+    if columnar:
+        source_costs = rank_source_costs(n, dimensions, model)
+        if rank_source == "sql":
+            rank_step = ("rank columns (sql pushdown)", source_costs["sql"])
+        else:
+            rank_step = ("rank columns (python)", source_costs["python"])
     estimates: dict[str, CostEstimate] = {}
 
     for strategy in include:
@@ -267,23 +335,34 @@ def estimate_costs(
             steps = (
                 ("engine setup", model.py_setup),
                 ("fetch candidates", row_fetch * n),
-                ("window scan", model.py_dominance * n * s * 0.35),
+                *((rank_step,) if rank_step else ()),
+                ("window scan", dominance * n * s * 0.35),
             )
         elif strategy == "sfs":
             # The presort guarantees no later tuple dominates an earlier
             # one, so the filter pass compares less than BNL's window scan
             # — SFS overtakes BNL once the skyline outgrows the sort cost.
+            sort_cost = (
+                model.flat_dominance if columnar else model.sort_key
+            ) * n * log_n
             steps = (
                 ("engine setup", model.py_setup),
                 ("fetch candidates", row_fetch * n),
-                ("presort by dominance key", model.sort_key * n * log_n),
-                ("filter pass", model.py_dominance * n * s * 0.2),
+                *((rank_step,) if rank_step else ()),
+                (
+                    "presort by rank rows"
+                    if columnar
+                    else "presort by dominance key",
+                    sort_cost,
+                ),
+                ("filter pass", dominance * n * s * 0.2),
             )
         elif strategy == "dnc":
             steps = (
                 ("engine setup", model.py_setup),
                 ("fetch candidates", row_fetch * n),
-                ("recursive cross-filter", model.py_dominance * n * (log_n + s) * 0.35),
+                *((rank_step,) if rank_step else ()),
+                ("recursive cross-filter", dominance * n * (log_n + s) * 0.35),
             )
         elif strategy == "parallel":
             partitions = float(planned_partitions(n, workers, groups))
@@ -300,11 +379,12 @@ def estimate_costs(
                     "pool spin-up + task dispatch",
                     model.pool_setup + model.partition_overhead * partitions,
                 ),
-                # Rank rows materialise once globally (Python-level rank()
-                # calls, ~the cost of one SFS dominance key per row); the
-                # per-partition sort is C-level tuple comparison, priced
-                # like a flat dominance test per n·log n step.
-                ("rank rows", model.sort_key * n),
+                # Rank rows materialise once globally — via the chosen
+                # rank source for columnar trees, Python-level rank()
+                # calls otherwise; the per-partition sort is C-level
+                # tuple comparison, priced like a flat dominance test per
+                # n·log n step.
+                rank_step if rank_step else ("rank rows", model.sort_key * n),
                 (
                     "partition sort",
                     model.flat_dominance * n * log_n / degree,

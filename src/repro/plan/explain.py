@@ -15,6 +15,12 @@ from repro.plan.planner import Plan
 #: Column names of the EXPLAIN PREFERENCE result relation.
 REPORT_COLUMNS = ("item", "detail")
 
+_RANK_SOURCE_LABELS = {
+    "sql": "sql — rank expressions pushed into the scan SELECT",
+    "python": "python — engine fills shared rank columns once per query",
+    "closure": "closure — per-pair comparisons (EXPLICIT/custom preference)",
+}
+
 _STRATEGY_LABELS = {
     "passthrough": "pass-through (no PREFERRING clause)",
     "rewrite": "NOT EXISTS rewrite on the host database",
@@ -60,6 +66,12 @@ def plan_relation(
     if plan.strategy != "passthrough":
         add("candidates (est)", f"{plan.candidate_estimate:.0f}")
         add("maximal set (est)", f"{plan.skyline_estimate:.0f}")
+    if plan.rank_source is not None and plan.uses_engine:
+        label = _RANK_SOURCE_LABELS.get(plan.rank_source, plan.rank_source)
+        if plan.rank_width:
+            label += f" ({plan.rank_width} rank columns)"
+        add("rank source", label)
+        add("columnar", plan.columnar or "no")
     if plan.partitions:
         kind = "GROUPING" if plan.group_estimate is not None else "hash"
         add("parallel partitions (est)", f"{plan.partitions} ({kind})")

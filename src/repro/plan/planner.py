@@ -21,16 +21,19 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
-from repro.errors import PlanError
-from repro.model.builder import NameResolver
-from repro.model.quality import QUALITY_FUNCTIONS
+from repro.errors import PlanError, PreferenceConstructionError
+from repro.engine.columns import rank_shape
 from repro.engine.parallel import default_worker_count
+from repro.model.builder import NameResolver, build_preference
+from repro.model.preference import Preference
+from repro.model.quality import QUALITY_FUNCTIONS
 from repro.plan.cost import (
     DEFAULT_COST_MODEL,
     IN_MEMORY_STRATEGIES,
     STRATEGIES,
     CostEstimate,
     CostModel,
+    choose_rank_source,
     choose_strategy,
     estimate_costs,
     estimate_selectivity,
@@ -38,9 +41,14 @@ from repro.plan.cost import (
     planned_partitions,
 )
 from repro.plan.statistics import TableStatistics
+from repro.rewrite.levels import pushdown_rank_expressions
 from repro.rewrite.planner import Schema, pref_expressions, rewrite_statement
 from repro.sql import ast
 from repro.sql.printer import quote_identifier, to_sql
+
+#: Alias prefix of the rank columns the SQL pushdown appends to the scan
+#: SELECT; the driver splits them off the fetched rows by position.
+RANK_COLUMN_PREFIX = "__pref_rank_"
 
 #: Provider signature: (table, columns needing distinct counts) → stats.
 StatisticsProvider = Callable[[str, Sequence[str]], TableStatistics]
@@ -99,6 +107,14 @@ class Plan:
     partitions: int = 0
     workers: int = 0
     group_estimate: float | None = None
+    #: Columnar execution shape of the in-memory strategies: how the rank
+    #: columns are obtained (``'sql'`` pushdown / ``'python'`` /
+    #: ``'closure'`` fallback, None for host-only plans), how many rank
+    #: columns the pushdown scan appends, and the kernel the comparisons
+    #: run through (a human-readable label for EXPLAIN PREFERENCE).
+    rank_source: str | None = None
+    rank_width: int = 0
+    columnar: str | None = None
 
     @property
     def uses_engine(self) -> bool:
@@ -194,6 +210,18 @@ def plan_statement(
         if table is not None
         else 0
     )
+    probe = _probe_ranks(select, resolver) if table is not None else None
+    rank_source = (
+        choose_rank_source(
+            candidates,
+            dimensions,
+            probe.columnar,
+            probe.sql_exprs is not None,
+            model=model,
+        )
+        if probe is not None
+        else None
+    )
     estimates = estimate_costs(
         candidates,
         dimensions,
@@ -203,6 +231,8 @@ def plan_statement(
         row_width=_row_width(table, schema),
         workers=effective_workers,
         groups=groups,
+        columnar=probe.columnar if probe is not None else False,
+        rank_source=rank_source,
     )
 
     if force is not None:
@@ -234,9 +264,18 @@ def plan_statement(
         partitions=partitions,
         workers=effective_workers if table is not None else 0,
         group_estimate=groups,
+        rank_source=rank_source,
+        columnar=probe.label if probe is not None else None,
     )
     if plan.uses_engine:
-        plan.pushdown_sql, plan.residual = in_memory_parts(select, resolver)
+        rank_exprs = (
+            probe.sql_exprs
+            if probe is not None and rank_source == "sql"
+            else None
+        )
+        plan.pushdown_sql, plan.residual, plan.rank_width = in_memory_parts(
+            select, resolver, rank_exprs=rank_exprs
+        )
     return plan
 
 
@@ -293,33 +332,110 @@ def rebind_plan(
         return replace(plan, statement=statement)
     if plan.uses_engine:
         select = statement.query if isinstance(statement, ast.Insert) else statement
-        pushdown_sql, residual = in_memory_parts(select, resolver)
+        rank_exprs = None
+        if plan.rank_width:
+            # The rank expressions embed bound literals (AROUND targets,
+            # bucket values), so they are re-derived per execution.
+            rank_exprs = _probe_ranks(select, resolver).sql_exprs
+        pushdown_sql, residual, rank_width = in_memory_parts(
+            select, resolver, rank_exprs=rank_exprs
+        )
         return replace(
-            plan, statement=statement, pushdown_sql=pushdown_sql, residual=residual
+            plan,
+            statement=statement,
+            pushdown_sql=pushdown_sql,
+            residual=residual,
+            rank_width=rank_width,
         )
     result = rewrite_statement(statement, schema=schema, resolver=resolver)
     return replace(plan, statement=statement, rewritten_sql=to_sql(result.statement))
 
 
+@dataclass(frozen=True)
+class _RankProbe:
+    """Columnar/pushdown eligibility of one query's preference tree.
+
+    ``columnar`` — every base is rank-based, so the engine can run the
+    columnar kernels (or compiled closures over shared rank columns for
+    mixed nesting); ``sql_exprs`` — the per-base rank expressions the
+    pushdown would append to the scan SELECT, None when any base has no
+    SQL rank form; ``label`` — the kernel description for EXPLAIN.
+    """
+
+    preference: Preference | None
+    columnar: bool
+    mode: str | None
+    sql_exprs: tuple[ast.Expr, ...] | None
+
+    @property
+    def label(self) -> str:
+        if not self.columnar:
+            return "no — per-pair closures (EXPLICIT/custom preference)"
+        if self.mode == "pareto":
+            return "pareto rank tuples"
+        if self.mode == "cascade":
+            return "cascade rank tuples"
+        return "compiled closures over shared rank columns"
+
+
+def _probe_ranks(
+    select: ast.Select, resolver: NameResolver | None
+) -> _RankProbe:
+    """Inspect the preference the in-memory engine would evaluate.
+
+    Builds the *residual* preference (named references inlined, no
+    normalisation — exactly what the engine builds), so the emitted rank
+    expressions line up one-to-one with the engine's base preferences.
+    """
+    term = select.preferring
+    if term is None:
+        return _RankProbe(None, False, None, None)
+    try:
+        if resolver is not None:
+            term = inline_named_preferences(term, resolver)
+        preference = build_preference(term)
+    except (PlanError, PreferenceConstructionError):
+        return _RankProbe(None, False, None, None)
+    shape = rank_shape(preference)
+    if shape is None:
+        return _RankProbe(preference, False, None, None)
+    return _RankProbe(
+        preference, True, shape.mode, pushdown_rank_expressions(preference)
+    )
+
+
 def in_memory_parts(
-    select: ast.Select, resolver: NameResolver | None = None
-) -> tuple[str, ast.Select]:
-    """Split one SELECT into (pushdown SQL, residual preference block).
+    select: ast.Select,
+    resolver: NameResolver | None = None,
+    rank_exprs: Sequence[ast.Expr] | None = None,
+) -> tuple[str, ast.Select, int]:
+    """Split one SELECT into (pushdown SQL, residual block, rank width).
 
     The pushdown ships the hard conditions to the host database —
     ``SELECT * FROM <source> WHERE <original WHERE>`` — and the residual is
     the same query block with the WHERE consumed, evaluated by the
     in-memory engine over the fetched candidates.  Named preferences are
     inlined so the engine never needs catalog access.
+
+    ``rank_exprs`` (the SQL rank pushdown) appends one aliased rank
+    expression per base preference to the scan's select list, so the host
+    database returns ready-made rank columns; the returned width counts
+    them (0 without pushdown).
     """
+    items: tuple = (ast.Star(),)
+    if rank_exprs:
+        items = items + tuple(
+            ast.SelectItem(expr=expr, alias=f"{RANK_COLUMN_PREFIX}{index}")
+            for index, expr in enumerate(rank_exprs)
+        )
     pushdown = ast.Select(
-        items=(ast.Star(),), sources=select.sources, where=select.where
+        items=items, sources=select.sources, where=select.where
     )
     term = select.preferring
     if term is not None and resolver is not None:
         term = inline_named_preferences(term, resolver)
     residual = replace(select, where=None, preferring=term)
-    return to_sql(pushdown), residual
+    return to_sql(pushdown), residual, len(rank_exprs or ())
 
 
 def inline_named_preferences(

@@ -166,6 +166,32 @@ def rank_expression(preference: Preference, qualify: Qualifier) -> ast.Expr:
     )
 
 
+def pushdown_rank_expressions(
+    preference: Preference,
+) -> tuple[ast.Expr, ...] | None:
+    """One SQL rank expression per base preference in tree order, or None.
+
+    The SQL rank pushdown appends these to the driver's scan SELECT so
+    the host database returns ready-made rank columns — the same level
+    columns the ``NOT EXISTS`` rewrite inlines into its dominance
+    conditions (paper section 3.2), surfaced once per row instead of per
+    comparison.  Returns None when any base lacks a rank expression
+    (EXPLICIT, or a custom preference type): the plan then computes rank
+    columns in Python, or falls back to per-pair closures.
+
+    Operands are emitted unqualified (identity qualifier): the scan runs
+    over the query's own FROM source, so the original column references
+    resolve unchanged.
+    """
+    expressions: list[ast.Expr] = []
+    for leaf in preference.iter_base():
+        try:
+            expressions.append(rank_expression(leaf, lambda expr: expr))
+        except RewriteError:
+            return None
+    return tuple(expressions)
+
+
 def explicit_level_expression(
     preference: ExplicitPreference, qualify: Qualifier
 ) -> ast.Expr:

@@ -38,6 +38,7 @@ class TestExperiments:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
+            "e11",
         }
 
     def test_plan_alias(self):
@@ -46,10 +47,27 @@ class TestExperiments:
         assert ALIASES["plan"] == "e8"
         assert ALIASES["parallel"] == "e9"
         assert ALIASES["views"] == "e10"
+        assert ALIASES["columnar"] == "e11"
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):
             run_experiment("e99")
+
+    def test_json_emitter(self, tmp_path):
+        import json
+
+        from repro.bench.__main__ import main
+        from repro.bench.harness import report_payload
+
+        payload = report_payload(e2_oldtimer())
+        json.dumps(payload)  # tuple keys and row values must serialise
+        assert payload["experiment"] == "E2"
+        assert payload["data"]["exact_match"] is True
+
+        out = tmp_path / "bench.json"
+        assert main(["e2", "--json", str(out)]) == 0
+        document = json.loads(out.read_text())
+        assert document["experiment"] == "E2"
 
     def test_e2_exact_match(self):
         report = e2_oldtimer()
