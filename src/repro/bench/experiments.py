@@ -1264,6 +1264,158 @@ def e11_columnar(quick: bool = False) -> Report:
     return report
 
 
+def e12_joins(quick: bool = False) -> Report:
+    """The join benchmark: rewrite vs in-memory vs winnow pushdown.
+
+    Runs representative multi-table preference queries over the
+    car/dealer star schema (key–FK joins, a selective dimension filter,
+    GROUPING, and a cross-table Pareto) through every applicable
+    execution path: the NOT EXISTS rewrite on sqlite, the generic join
+    scan + in-memory skyline (serial and partitioned), and the
+    winnow-over-join pushdown (BMO before the join) where Chomicki's
+    commute conditions hold.  All paths must return identical rows; the
+    acceptance gate requires the best join-aware path to beat
+    always-rewrite by ≥2x on the selective join.
+    """
+    from repro.errors import PlanError
+    from repro.plan import PREJOIN_STRATEGY
+    from repro.workloads.cardealer import load_car_dealer
+
+    report = Report(
+        experiment="E12",
+        title="join-aware preference planning: rewrite vs in-memory vs "
+        "winnow pushdown",
+    )
+    cars_n = 4_000 if quick else 16_000
+    dealers_n = 120 if quick else 400
+    repeats = 1 if quick else 2
+
+    cases = [
+        (
+            # The gated case: a selective one-to-many join whose joined
+            # candidate set is a multiple of the preference table — the
+            # rewrite anti-joins the multiplied set, the winnow pushdown
+            # computes BMO over the cars alone and joins 2-10 winners.
+            "selective listings join (1:n)",
+            "SELECT * FROM cars c, listings l "
+            "WHERE c.car_id = l.car_id AND l.active = 1 "
+            "PREFERRING LOWEST(c.price) AND HIGHEST(c.power)",
+        ),
+        (
+            "key-FK dimension join (n:1)",
+            "SELECT * FROM cars c, dealers d "
+            "WHERE c.dealer_id = d.dealer_id AND d.region = 'south' "
+            "AND d.certified = 1 "
+            "PREFERRING LOWEST(c.price) AND HIGHEST(c.power)",
+        ),
+        (
+            "grouped join",
+            "SELECT * FROM cars c, dealers d "
+            "WHERE c.dealer_id = d.dealer_id AND d.rating >= 4 "
+            "PREFERRING LOWEST(c.price) AND LOWEST(c.mileage) "
+            "GROUPING c.make",
+        ),
+        (
+            "cross-table pareto",
+            "SELECT * FROM cars c, dealers d "
+            "WHERE c.dealer_id = d.dealer_id AND d.region = 'north' "
+            "PREFERRING LOWEST(c.price) AND HIGHEST(d.rating)",
+        ),
+    ]
+
+    connection = repro.connect(":memory:")
+    load_car_dealer(connection, cars=cars_n, dealers=dealers_n)
+
+    table = Table(("case", "strategy", "rows", "time [ms]"))
+    raw: dict = {"quick": quick, "cars": cars_n, "dealers": dealers_n, "cases": {}}
+    for name, query in cases:
+        cell: dict = {}
+        baseline: list | None = None
+        strategies = ["rewrite", "sfs", "parallel", PREJOIN_STRATEGY, None]
+        for strategy in strategies:
+            chosen: dict = {}
+
+            def run(strategy=strategy):
+                cursor = connection.execute(query, algorithm=strategy)
+                chosen["plan"] = cursor.plan
+                return sorted(cursor.fetchall(), key=repr)
+
+            try:
+                rows, timing = time_call(run, repeats=repeats)
+            except PlanError:
+                if strategy != PREJOIN_STRATEGY:
+                    raise
+                # The winnow pushdown only exists where winnow commutes
+                # with the join; record the refusal instead of a number.
+                cell[PREJOIN_STRATEGY] = None
+                table.add(name, f"{PREJOIN_STRATEGY} (ineligible)", "-", "-")
+                continue
+            if baseline is None:
+                baseline = rows
+            elif rows != baseline:
+                raise AssertionError(
+                    f"{strategy or 'auto'} disagrees on {name!r}: "
+                    f"{len(rows)} vs {len(baseline)} rows"
+                )
+            label = strategy or f"auto -> {chosen['plan'].strategy}"
+            table.add(name, label, len(rows), timing.ms())
+            cell[strategy or "auto"] = timing.best
+            if strategy is None:
+                cell["auto_chose"] = chosen["plan"].strategy
+        cell["rows"] = len(baseline)
+        raw["cases"][name] = cell
+    report.add_table("join queries: every execution path", table)
+
+    # EXPLAIN must surface the join-aware decision rows.
+    explain = dict(
+        connection.execute(
+            "EXPLAIN PREFERENCE " + cases[0][1]
+        ).fetchall()
+    )
+    for required in ("join tables", "join cardinality (est)", "winnow pushdown"):
+        if required not in explain:
+            raise AssertionError(f"EXPLAIN PREFERENCE lacks the {required!r} row")
+    raw["explain"] = {
+        key: explain[key]
+        for key in ("join tables", "join cardinality (est)", "winnow pushdown")
+    }
+    connection.close()
+
+    selective = raw["cases"]["selective listings join (1:n)"]
+    best_join_aware = min(
+        seconds
+        for key, seconds in selective.items()
+        if key in ("sfs", "parallel", PREJOIN_STRATEGY)
+        and isinstance(seconds, float)
+    )
+    speedup = selective["rewrite"] / best_join_aware
+    raw["selective_speedup_vs_rewrite"] = speedup
+    raw["speedup_floor"] = 2.0
+    if speedup < 2.0:
+        raise AssertionError(
+            f"join-aware execution below the 2x floor on the selective "
+            f"join: {speedup:.2f}x"
+        )
+    prejoin_speedup = (
+        selective["rewrite"] / selective[PREJOIN_STRATEGY]
+        if isinstance(selective.get(PREJOIN_STRATEGY), float)
+        else None
+    )
+    report.note(
+        "identical rows asserted across rewrite, generic join scan "
+        "(serial + partitioned), winnow pushdown and auto; best join-aware "
+        f"path beats always-rewrite {speedup:.1f}x on the selective join"
+        + (
+            f" (winnow pushdown alone: {prejoin_speedup:.1f}x)"
+            if prejoin_speedup
+            else ""
+        )
+        + f"; auto chose {selective.get('auto_chose')!r}."
+    )
+    report.data = raw
+    return report
+
+
 def _leaf_offsets(preference):
     """(base preference, operand offset) pairs in tree order."""
     offset = 0
@@ -1294,10 +1446,17 @@ EXPERIMENTS = {
     "e9": e9_parallel,
     "e10": e10_views,
     "e11": e11_columnar,
+    "e12": e12_joins,
 }
 
 #: Friendly aliases accepted by ``run_experiment`` and the CLI.
-ALIASES = {"plan": "e8", "parallel": "e9", "views": "e10", "columnar": "e11"}
+ALIASES = {
+    "plan": "e8",
+    "parallel": "e9",
+    "views": "e10",
+    "columnar": "e11",
+    "joins": "e12",
+}
 
 
 def run_experiment(name: str, quick: bool = False) -> Report:

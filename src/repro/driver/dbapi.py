@@ -44,7 +44,7 @@ import sqlite3
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-from repro.engine.bmo import PreferenceEngine, run_in_memory_plan
+from repro.engine.bmo import PreferenceEngine, run_in_memory_plan, run_prejoin_plan
 from repro.engine.incremental import ViewMaintainer
 from repro.engine.parallel import ParallelExecutor, default_worker_count
 from repro.engine.relation import Relation
@@ -987,6 +987,8 @@ class Cursor:
         self.plan = plan
         if plan.uses_engine:
             return self._execute_in_memory(sql, plan)
+        if plan.is_prejoin:
+            return self._execute_prejoin(sql, plan)
         return self._execute_rewrite(sql, bound, plan)
 
     def _execute_rewrite(
@@ -1039,6 +1041,37 @@ class Cursor:
         )
         return self
 
+    def _execute_prejoin(self, sql: str, plan: Plan) -> "Cursor":
+        """The winnow-over-join pushdown: BMO first, then join winners."""
+        connection = self._connection
+        fallback: dict = {}
+        try:
+            result = run_prejoin_plan(
+                connection.raw.execute,
+                plan,
+                on_fallback=lambda: fallback.setdefault("rewrite", True),
+            )
+        except sqlite3.Error as error:
+            raise DriverError(
+                f"host database rejected winnow pushdown SQL: {error}\n"
+                f"{plan.prejoin_scan_sql}"
+            ) from error
+        self._result = _LocalResult(result)
+        self.was_rewritten = True
+        if fallback:
+            # The preference table had no rowid to scan; the rewrite ran
+            # instead, and the trace must say so.
+            self.executed_sql = plan.rewritten_sql
+            connection.trace.append(
+                (sql, f"{plan.rewritten_sql} /* winnow scan lacked rowid */")
+            )
+        else:
+            self.executed_sql = plan.prejoin_scan_sql
+            connection.trace.append(
+                (sql, f"{plan.prejoin_scan_sql} /* + winnow pushdown join-back */")
+            )
+        return self
+
     def _execute_explain(
         self,
         statement: ast.ExplainPreference,
@@ -1082,7 +1115,21 @@ class Cursor:
         try:
             self._raw.execute(sql, tuple(params))
         except sqlite3.Error as error:
-            raise DriverError(str(error)) from error
+            message = str(error)
+            if _PREFERENCE_HINT.search(sql):
+                # The statement failed the dialect parse *and* the host
+                # database: the dialect's diagnosis (e.g. the targeted
+                # missing-parenthesis message for ``PREFERRING LOWEST
+                # price``) is almost always the actionable one — surface
+                # it instead of burying it under sqlite's syntax error.
+                try:
+                    parse_statement(sql)
+                except PreferenceSQLError as dialect_error:
+                    message = (
+                        f"{error} (not parseable as Preference SQL "
+                        f"either: {dialect_error})"
+                    )
+            raise DriverError(message) from error
         if _DML_HINT.search(sql):
             self._connection._note_data_change()
         if pending is not None:

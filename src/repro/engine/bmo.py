@@ -150,6 +150,35 @@ def bmo_filter(
     return sorted(winners)
 
 
+def _fetch_with_ranks(execute, scan_sql: str, residual, rank_width: int):
+    """Run one pushdown scan, splitting appended rank columns off.
+
+    Returns ``(relation, ranks)`` — when the scan SELECT appended rank
+    columns (``rank_width``), they are split off the fetched rows and
+    adopted as precomputed rank columns so the expression evaluator
+    never touches a candidate row.  If any rank cell comes back
+    non-numeric (host-affinity corner), the adoption is dropped and the
+    engine recomputes the ranks in Python, so winner sets never depend
+    on host coercion.
+    """
+    from repro.engine.columns import rank_columns_from_values
+
+    cursor = execute(scan_sql)
+    columns = [description[0] for description in cursor.description]
+    rows = cursor.fetchall()
+    ranks = None
+    if rank_width:
+        split = len(columns) - rank_width
+        rank_values = [
+            [row[split + k] for row in rows] for k in range(rank_width)
+        ]
+        columns = columns[:split]
+        rows = [row[:split] for row in rows]
+        preference = build_preference(residual.preferring)
+        ranks = rank_columns_from_values(preference, rank_values)
+    return Relation(columns=columns, rows=rows), ranks
+
+
 def run_in_memory_plan(
     execute,
     plan,
@@ -159,38 +188,96 @@ def run_in_memory_plan(
 
     ``execute`` runs SQL on the host database and returns a cursor
     (``sqlite3.Connection.execute``-shaped).  Shared by the driver and
-    the view maintainer so both honour the plan's SQL rank pushdown:
-    when the scan SELECT appended rank columns (``plan.rank_width``),
-    they are split off the fetched rows and adopted as precomputed
-    rank columns — the expression evaluator never touches a candidate
-    row.  If any rank cell comes back non-numeric (host-affinity
-    corner), the adoption is dropped and the engine recomputes the
-    ranks in Python, so winner sets never depend on host coercion.
+    the view maintainer so both honour the plan's SQL rank pushdown.
+    The candidate relation registers under the residual's FROM name —
+    the base table for single-table plans, the synthetic
+    :data:`~repro.plan.joins.JOIN_RELATION` when the scan executed a
+    multi-table join on the host database.
     """
-    from repro.engine.columns import rank_columns_from_values
-
-    cursor = execute(plan.pushdown_sql)
-    columns = [description[0] for description in cursor.description]
-    rows = cursor.fetchall()
-    ranks = None
-    width = plan.rank_width
-    if width:
-        split = len(columns) - width
-        rank_values = [
-            [row[split + k] for row in rows] for k in range(width)
-        ]
-        columns = columns[:split]
-        rows = [row[:split] for row in rows]
-        preference = build_preference(plan.residual.preferring)
-        ranks = rank_columns_from_values(preference, rank_values)
-    candidates = Relation(columns=columns, rows=rows)
+    candidates, ranks = _fetch_with_ranks(
+        execute, plan.pushdown_sql, plan.residual, plan.rank_width
+    )
     engine = PreferenceEngine(
-        {plan.table: candidates},
+        {plan.residual.sources[0].name: candidates},
         algorithm=plan.strategy,
         executor=executor,
         rank_columns=ranks,
     )
     return engine.execute_select(plan.residual)
+
+
+def run_prejoin_plan(execute, plan, on_fallback=None) -> Relation:
+    """Execute a winnow-over-join :class:`~repro.plan.planner.Plan`.
+
+    Three phases (see :mod:`repro.plan.joins`): the host database scans
+    the semijoin-reduced preference table (rowids, columns and any
+    pushed rank expressions), the engine computes the BMO set of those
+    rows and projects the winners' rowids, and one final host query —
+    the original join restricted to ``rowid IN (winners)`` — produces
+    the result with exact host semantics for projection, ORDER BY,
+    LIMIT and DISTINCT.
+
+    If the preference table has no ``rowid`` to scan (a WITHOUT ROWID
+    table or a view in the preference position), execution falls back
+    to the plan's NOT EXISTS rewrite — correctness never depends on the
+    rowid shortcut; ``on_fallback`` (when given) is called so the
+    caller can report what actually executed.  Every other host error
+    propagates unchanged.
+    """
+    import sqlite3
+
+    from repro.plan.joins import join_back_sql
+
+    try:
+        candidates, ranks = _fetch_with_ranks(
+            execute, plan.prejoin_scan_sql, plan.prejoin_residual, plan.rank_width
+        )
+    except sqlite3.OperationalError as error:
+        message = str(error).lower()
+        if not ("no such column" in message and "rowid" in message):
+            raise
+        if on_fallback is not None:
+            on_fallback()
+        cursor = execute(plan.rewritten_sql)
+        columns = [description[0] for description in cursor.description]
+        return Relation(
+            columns=columns, rows=cursor.fetchall(), allow_duplicates=True
+        )
+    engine = PreferenceEngine(
+        {plan.prejoin_residual.sources[0].name: candidates},
+        algorithm="auto",
+        rank_columns=ranks,
+    )
+    winners = engine.execute_select(plan.prejoin_residual)
+    rowids = [row[0] for row in winners.rows]
+    final_sql = join_back_sql(plan.prejoin_join, plan.prejoin_binding, rowids)
+    cursor = execute(final_sql)
+    columns = [description[0] for description in cursor.description]
+    return Relation(
+        columns=columns, rows=cursor.fetchall(), allow_duplicates=True
+    )
+
+
+def run_plan(
+    execute,
+    plan,
+    executor: "ParallelExecutor | None" = None,
+) -> Relation:
+    """Execute any SELECT plan the way the driver would.
+
+    Dispatches to the in-memory pushdown, the winnow-over-join
+    pushdown, or the host-side rewrite; shared by the view maintainer
+    so every full recompute honours the planner's choice.
+    """
+    if plan.is_prejoin:
+        return run_prejoin_plan(execute, plan)
+    if plan.uses_engine:
+        return run_in_memory_plan(execute, plan, executor=executor)
+    cursor = execute(plan.rewritten_sql)
+    columns = [description[0] for description in cursor.description]
+    return Relation(
+        columns=columns, rows=cursor.fetchall(), allow_duplicates=True
+    )
 
 
 @dataclass

@@ -43,7 +43,7 @@ import sqlite3
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
-from repro.engine.bmo import PreferenceEngine, run_in_memory_plan
+from repro.engine.bmo import PreferenceEngine, run_plan
 from repro.engine.relation import Relation
 from repro.errors import CatalogError, DriverError, EvaluationError
 from repro.pdl.catalog import ViewEntry
@@ -712,19 +712,15 @@ class ViewMaintainer:
             statistics=connection.statistics.for_table,
             workers=connection._effective_workers(),
         )
-        if plan.uses_engine:
-            return run_in_memory_plan(
-                self._raw.execute,
-                plan,
-                executor=(
-                    connection.parallel_executor
-                    if plan.strategy == "parallel"
-                    else None
-                ),
-            )
-        cursor = self._raw.execute(plan.rewritten_sql)
-        columns = [description[0] for description in cursor.description]
-        return Relation(columns=columns, rows=cursor.fetchall())
+        return run_plan(
+            self._raw.execute,
+            plan,
+            executor=(
+                connection.parallel_executor
+                if plan.strategy == "parallel"
+                else None
+            ),
+        )
 
     def _create_backing(self, backing_table: str, relation: Relation) -> None:
         # Columns are declared without a type on purpose: sqlite's "none"

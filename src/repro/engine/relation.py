@@ -12,12 +12,22 @@ from typing import Iterable, Sequence
 from repro.errors import EvaluationError
 
 
-def column_index_map(columns: Sequence[str]) -> dict[str, int]:
-    """Map lowercase column names to positions, rejecting duplicates."""
+def column_index_map(
+    columns: Sequence[str], allow_duplicates: bool = False
+) -> dict[str, int]:
+    """Map lowercase column names to positions, rejecting duplicates.
+
+    ``allow_duplicates`` resolves a repeated name to its first position
+    instead — for relations that merely *carry* a host result (e.g. a
+    ``SELECT *`` over a join, where sqlite reports the same column name
+    once per table) and are never evaluated against by name.
+    """
     mapping: dict[str, int] = {}
     for index, name in enumerate(columns):
         key = name.lower()
         if key in mapping:
+            if allow_duplicates:
+                continue
             raise EvaluationError(f"duplicate column name {name!r}")
         mapping[key] = index
     return mapping
@@ -26,9 +36,14 @@ def column_index_map(columns: Sequence[str]) -> dict[str, int]:
 class Relation:
     """An ordered bag of rows with a named schema."""
 
-    def __init__(self, columns: Sequence[str], rows: Iterable[Sequence[object]] = ()):
+    def __init__(
+        self,
+        columns: Sequence[str],
+        rows: Iterable[Sequence[object]] = (),
+        allow_duplicates: bool = False,
+    ):
         self.columns: tuple[str, ...] = tuple(columns)
-        self._index = column_index_map(self.columns)
+        self._index = column_index_map(self.columns, allow_duplicates)
         # Bulk load without per-row method dispatch; same width check.
         width = len(self.columns)
         loaded: list[tuple[object, ...]] = []

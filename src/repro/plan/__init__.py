@@ -28,10 +28,12 @@ from repro.plan.cache import CacheStats, PlanCache
 from repro.plan.cost import (
     DEFAULT_COST_MODEL,
     IN_MEMORY_STRATEGIES,
+    PREJOIN_STRATEGY,
     SERIAL_IN_MEMORY,
     STRATEGIES,
     CostEstimate,
     CostModel,
+    PrejoinShape,
     choose_algorithm,
     choose_rank_source,
     choose_strategy,
@@ -41,6 +43,13 @@ from repro.plan.cost import (
     rank_source_costs,
 )
 from repro.plan.explain import plan_relation, plan_text
+from repro.plan.joins import (
+    JOIN_RELATION,
+    JoinScan,
+    analyze_prejoin,
+    build_join_scan,
+    estimation_predicate,
+)
 from repro.plan.planner import (
     MaterializedView,
     Plan,
@@ -68,6 +77,13 @@ __all__ = [
     "STRATEGIES",
     "IN_MEMORY_STRATEGIES",
     "SERIAL_IN_MEMORY",
+    "PREJOIN_STRATEGY",
+    "PrejoinShape",
+    "JOIN_RELATION",
+    "JoinScan",
+    "analyze_prejoin",
+    "build_join_scan",
+    "estimation_predicate",
     "choose_rank_source",
     "rank_source_costs",
     "estimate_costs",

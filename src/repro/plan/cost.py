@@ -43,6 +43,17 @@ IN_MEMORY_STRATEGIES: tuple[str, ...] = SERIAL_IN_MEMORY + ("parallel",)
 #: All selectable execution strategies, in tie-breaking order.
 STRATEGIES: tuple[str, ...] = ("rewrite",) + IN_MEMORY_STRATEGIES
 
+#: The winnow-over-join pushdown: BMO on the preference-bearing table's
+#: semijoin-reduced rows, then join only the winners.  Kept out of
+#: :data:`STRATEGIES` on purpose — it only exists for multi-table FROM
+#: clauses that satisfy Chomicki's commute conditions, so generic
+#: "every strategy" loops (fuzzers, benchmarks) must not force it on
+#: single-table queries.
+PREJOIN_STRATEGY: str = "prejoin"
+
+#: Deterministic tie-breaking order across every priceable strategy.
+_TIE_ORDER: tuple[str, ...] = ("rewrite", PREJOIN_STRATEGY) + IN_MEMORY_STRATEGIES
+
 #: Assumed distinct count for preference dimensions whose operand is a
 #: computed expression (no column statistics available).
 _DEFAULT_DISTINCT = 64
@@ -94,9 +105,32 @@ class CostModel:
     sql_rank: float = 0.12e-6
     #: Shipping one extra (rank) column across the sqlite→Python boundary.
     rank_fetch: float = 0.35e-6
+    #: One correlated EXISTS evaluation during the winnow pushdown's
+    #: semijoin-reduced scan, per preference-table row (calibrated on
+    #: the E12 car/dealer workload with an indexed join key — the
+    #: subquery machinery costs ~10x a plain anti-join probe).
+    semijoin_probe: float = 0.6e-6
 
 
 DEFAULT_COST_MODEL = CostModel()
+
+
+@dataclass(frozen=True)
+class PrejoinShape:
+    """Input shape of the winnow-over-join pushdown.
+
+    ``pref_rows`` — estimated semijoin-surviving rows of the
+    preference-bearing table (the winnow input), ``pref_table_rows`` —
+    its total row count (every row pays one correlated EXISTS probe in
+    the semijoin scan), ``pref_width`` — its column count (scales the
+    fetch), ``other_rows`` — product of the remaining tables' row
+    counts (scales the join-back probes).
+    """
+
+    pref_rows: float
+    pref_table_rows: float
+    pref_width: int | None
+    other_rows: float
 
 
 @dataclass(frozen=True)
@@ -152,7 +186,12 @@ def estimate_selectivity(
     """System-R-style selectivity guess for a WHERE expression in [0, 1].
 
     Equality against a column uses ``1/distinct`` when statistics are
-    available; everything else falls back to the textbook magic constants.
+    available; column-to-column equality (the join-predicate shape) uses
+    ``1/max`` of both distinct counts; everything else falls back to the
+    textbook magic constants.  ``distinct_count`` receives the column's
+    *qualified* display form (``binding.column`` when the reference is
+    qualified, the bare name otherwise) so join-aware providers can
+    attribute each side to its table.
     """
     if expr is None:
         return 1.0
@@ -171,6 +210,23 @@ def _selectivity(expr: ast.Expr, distinct_count) -> float:
             right = _selectivity(expr.right, distinct_count)
             return left + right - left * right
         if expr.op in ("=", "<>"):
+            if isinstance(expr.left, ast.Column) and isinstance(
+                expr.right, ast.Column
+            ):
+                # Join predicate (or same-table column equality): the
+                # System-R estimate 1/max(d_left, d_right).  The lookup
+                # receives the *qualified* display form so a join-aware
+                # provider can attribute each side to its table.
+                counts = [
+                    count
+                    for count in (
+                        distinct_count(expr.left.qualified),
+                        distinct_count(expr.right.qualified),
+                    )
+                    if count
+                ]
+                equal = 1.0 / max(counts) if counts else 0.1
+                return equal if expr.op == "=" else 1.0 - equal
             column = _column_operand(expr.left, expr.right)
             count = distinct_count(column) if column else None
             equal = 1.0 / count if count else 0.1
@@ -183,7 +239,9 @@ def _selectivity(expr: ast.Expr, distinct_count) -> float:
     if isinstance(expr, ast.Unary) and expr.op == "NOT":
         return 1.0 - _selectivity(expr.operand, distinct_count)
     if isinstance(expr, ast.InList):
-        column = expr.operand.name if isinstance(expr.operand, ast.Column) else None
+        column = (
+            expr.operand.qualified if isinstance(expr.operand, ast.Column) else None
+        )
         count = distinct_count(column) if column else None
         inside = (
             min(1.0, len(expr.items) / count)
@@ -205,7 +263,7 @@ def _selectivity(expr: ast.Expr, distinct_count) -> float:
 def _column_operand(*operands: ast.Expr) -> str | None:
     for operand in operands:
         if isinstance(operand, ast.Column):
-            return operand.name
+            return operand.qualified
     return None
 
 
@@ -277,6 +335,7 @@ def estimate_costs(
     groups: float | None = None,
     columnar: bool = False,
     rank_source: str | None = None,
+    prejoin: PrejoinShape | None = None,
 ) -> dict[str, CostEstimate]:
     """Price every strategy in ``include`` for the given input shape.
 
@@ -400,6 +459,52 @@ def estimate_costs(
                     else model.flat_dominance * union * s,
                 ),
             )
+        elif strategy == PREJOIN_STRATEGY:
+            if prejoin is None:
+                raise PlanError(
+                    "the prejoin strategy needs a PrejoinShape to price"
+                )
+            # Winnow the semijoin-reduced preference table (SFS-shaped),
+            # then one host query joins the few winners back: rowid
+            # lookups on the preference table, a scan of the other
+            # tables per winner, and the surviving joined rows shipped.
+            pn = max(1.0, float(prejoin.pref_rows))
+            ps = max(1.0, estimate_skyline_size(pn, dimensions, distinct_counts))
+            p_log = math.log2(pn) if pn > 1.0 else 1.0
+            p_fetch = model.row_fetch * max(1.0, (prejoin.pref_width or 8) / 8.0)
+            out_rows = min(n, max(1.0, n * ps / pn))
+            if columnar:
+                source_costs = rank_source_costs(pn, dimensions, model)
+                if rank_source == "sql":
+                    p_rank = ("rank columns (sql pushdown)", source_costs["sql"])
+                else:
+                    p_rank = ("rank columns (python)", source_costs["python"])
+                sort_cost = model.flat_dominance * pn * p_log
+            else:
+                p_rank = None
+                sort_cost = model.sort_key * pn * p_log
+            steps = (
+                ("engine setup", model.py_setup),
+                (
+                    "semijoin scan",
+                    model.sql_setup
+                    + model.semijoin_probe
+                    * max(pn, float(prejoin.pref_table_rows)),
+                ),
+                ("fetch preference-table candidates", p_fetch * pn),
+                *((p_rank,) if p_rank else ()),
+                (
+                    "presort by rank rows" if columnar else "presort by dominance key",
+                    sort_cost,
+                ),
+                ("filter pass", dominance * pn * ps * 0.2),
+                (
+                    "join winners back",
+                    model.sql_setup
+                    + model.sql_probe * ps * max(1.0, prejoin.other_rows)
+                    + model.row_fetch * out_rows,
+                ),
+            )
         else:
             raise PlanError(f"unknown strategy {strategy!r}")
         estimates[strategy] = CostEstimate(
@@ -411,12 +516,12 @@ def estimate_costs(
 
 
 def choose_strategy(estimates: Mapping[str, CostEstimate]) -> str:
-    """The cheapest strategy; ties break in :data:`STRATEGIES` order."""
+    """The cheapest strategy; ties break in :data:`_TIE_ORDER` order."""
     if not estimates:
         raise PlanError("no cost estimates to choose from")
     return min(
         estimates,
-        key=lambda name: (estimates[name].seconds, STRATEGIES.index(name)),
+        key=lambda name: (estimates[name].seconds, _TIE_ORDER.index(name)),
     )
 
 

@@ -9,7 +9,7 @@ an indented text block, used by :meth:`repro.driver.Connection.explain`.
 from __future__ import annotations
 
 from repro.engine.relation import Relation
-from repro.plan.cost import STRATEGIES
+from repro.plan.cost import PREJOIN_STRATEGY, STRATEGIES
 from repro.plan.planner import Plan
 
 #: Column names of the EXPLAIN PREFERENCE result relation.
@@ -29,7 +29,13 @@ _STRATEGY_LABELS = {
     "dnc": "in-memory divide & conquer after hard-condition pushdown",
     "parallel": "partitioned parallel skylines after hard-condition pushdown",
     "view": "materialized preference view scan",
+    "prejoin": "winnow pushdown — BMO on the preference table, then join "
+    "only the winners",
 }
+
+#: Cost-row order: rewrite first, then the join pushdown, then the
+#: in-memory strategies (mirrors the tie-breaking order of the model).
+_COST_ORDER = (STRATEGIES[0], PREJOIN_STRATEGY) + STRATEGIES[1:]
 
 
 def plan_relation(
@@ -53,6 +59,11 @@ def plan_relation(
         add("dimensions", plan.dimensions)
     if plan.table:
         add("table", plan.table)
+    if plan.join_tables:
+        add("join tables", ", ".join(plan.join_tables))
+        add("join cardinality (est)", f"{plan.candidate_estimate:.0f}")
+    if plan.winnow_pushdown:
+        add("winnow pushdown", plan.winnow_pushdown)
     if plan.statistics is not None:
         add("table rows", plan.statistics.row_count)
         if plan.statistics.distinct:
@@ -66,7 +77,7 @@ def plan_relation(
     if plan.strategy != "passthrough":
         add("candidates (est)", f"{plan.candidate_estimate:.0f}")
         add("maximal set (est)", f"{plan.skyline_estimate:.0f}")
-    if plan.rank_source is not None and plan.uses_engine:
+    if plan.rank_source is not None and (plan.uses_engine or plan.is_prejoin):
         label = _RANK_SOURCE_LABELS.get(plan.rank_source, plan.rank_source)
         if plan.rank_width:
             label += f" ({plan.rank_width} rank columns)"
@@ -76,7 +87,7 @@ def plan_relation(
         kind = "GROUPING" if plan.group_estimate is not None else "hash"
         add("parallel partitions (est)", f"{plan.partitions} ({kind})")
         add("parallel worker degree", plan.workers)
-    for name in STRATEGIES:
+    for name in _COST_ORDER:
         estimate = plan.estimates.get(name)
         if estimate is None:
             continue
@@ -90,6 +101,8 @@ def plan_relation(
         add("rewritten SQL", plan.rewritten_sql)
     if plan.pushdown_sql:
         add("pushdown SQL", plan.pushdown_sql)
+    if plan.prejoin_scan_sql:
+        add("winnow scan SQL", plan.prejoin_scan_sql)
     for note in plan.notes:
         add("note", note)
     if cache_note is not None:

@@ -30,15 +30,25 @@ from repro.model.quality import QUALITY_FUNCTIONS
 from repro.plan.cost import (
     DEFAULT_COST_MODEL,
     IN_MEMORY_STRATEGIES,
+    PREJOIN_STRATEGY,
     STRATEGIES,
     CostEstimate,
     CostModel,
+    PrejoinShape,
     choose_rank_source,
     choose_strategy,
     estimate_costs,
     estimate_selectivity,
     estimate_skyline_size,
     planned_partitions,
+)
+from repro.plan.joins import (
+    JoinScan,
+    analyze_prejoin,
+    build_join_scan,
+    estimation_predicate,
+    join_memory_parts,
+    prejoin_parts,
 )
 from repro.plan.statistics import TableStatistics
 from repro.rewrite.levels import pushdown_rank_expressions
@@ -115,11 +125,31 @@ class Plan:
     rank_source: str | None = None
     rank_width: int = 0
     columnar: str | None = None
+    #: Join-aware plan shape: the joined base tables in FROM order
+    #: (display form ``table AS binding``, empty for single-table
+    #: plans), and the winnow-over-join pushdown decision — either
+    #: ``yes — …`` naming the preference-bearing table or ``no — …``
+    #: with the Chomicki condition the query fails.
+    join_tables: tuple[str, ...] = ()
+    winnow_pushdown: str | None = None
+    #: Execution pieces of the ``prejoin`` strategy (None otherwise):
+    #: the semijoin-reduced winnow scan, the BMO residual projecting the
+    #: winners' rowids, the join-back query block the executor restricts
+    #: with ``rowid IN (…)``, and the rowid-bearing table binding.
+    prejoin_scan_sql: str | None = None
+    prejoin_residual: ast.Select | None = None
+    prejoin_join: ast.Select | None = None
+    prejoin_binding: str | None = None
 
     @property
     def uses_engine(self) -> bool:
         """True when the strategy evaluates in-memory after a pushdown."""
         return self.strategy in IN_MEMORY_STRATEGIES
+
+    @property
+    def is_prejoin(self) -> bool:
+        """True when the strategy is the winnow-over-join pushdown."""
+        return self.strategy == PREJOIN_STRATEGY
 
     @property
     def chosen_cost(self) -> CostEstimate | None:
@@ -171,46 +201,80 @@ def plan_statement(
     notes = list(result.notes)
     rewritten_sql = to_sql(result.statement)
 
-    table, ineligible_reason = _in_memory_table(statement, select)
-    if table is None:
+    table, join_scan, ineligible_reason = _scan_shape(statement, select, schema)
+    in_memory = table is not None or join_scan is not None
+    if not in_memory:
         notes.append(f"host-only: {ineligible_reason}")
 
+    prejoin_binding: str | None = None
+    prejoin_reason = "winnow pushdown needs a multi-table FROM"
+    if join_scan is not None:
+        prejoin_binding, prejoin_reason = analyze_prejoin(
+            select, join_scan, resolver
+        )
+
+    # Comma-join lists carry the join predicate in WHERE, JOIN syntax in
+    # the ON clause; estimation folds both into one conjunction so the
+    # two spellings of the same query price identically.
+    predicate = estimation_predicate(select)
+
     stats: TableStatistics | None = None
-    if table is not None and statistics is not None:
-        try:
-            stats = statistics(table, _statistics_columns(select, bases))
-        except PlanError as error:
-            notes.append(f"statistics unavailable: {error}")
+    join_stats: dict[str, TableStatistics] = {}
+    if statistics is not None:
+        if table is not None:
+            try:
+                stats = statistics(
+                    table, _statistics_columns(select, bases, predicate)
+                )
+            except PlanError as error:
+                notes.append(f"statistics unavailable: {error}")
+        elif join_scan is not None:
+            wanted = _join_statistics_columns(join_scan, select, bases, predicate)
+            try:
+                for source in join_scan.sources:
+                    join_stats[source.binding.lower()] = statistics(
+                        source.table, wanted.get(source.binding.lower(), ())
+                    )
+            except PlanError as error:
+                join_stats = {}
+                notes.append(f"statistics unavailable: {error}")
 
     if stats is not None:
-        row_count = stats.row_count
-        lookup = stats.distinct_count
+        row_count = float(stats.row_count)
+        lookup = _binding_lookup(stats, _single_binding(select))
+    elif join_stats:
+        # Join cardinality composes from per-table statistics: the
+        # cross-product of the base row counts, cut down below by the
+        # selectivity of the combined join/WHERE predicate.
+        row_count = 1.0
+        for source in join_scan.sources:
+            row_count *= float(join_stats[source.binding.lower()].row_count)
+        lookup = _join_lookup(join_scan, join_stats)
     else:
-        row_count = _DEFAULT_ROW_ESTIMATE
+        row_count = float(_DEFAULT_ROW_ESTIMATE)
         lookup = lambda _name: None  # noqa: E731 - trivial fallback
-        if table is not None:
-            notes.append(
-                f"no statistics; assuming {_DEFAULT_ROW_ESTIMATE} rows"
-            )
+        notes.append(f"no statistics; assuming {_DEFAULT_ROW_ESTIMATE} rows")
 
-    selectivity = estimate_selectivity(select.where, lookup)
+    selectivity = estimate_selectivity(predicate, lookup)
     candidates = max(1.0, row_count * selectivity) if row_count else 0.0
     distinct_counts = [
-        lookup(base.operands[0].name)
+        lookup(base.operands[0].qualified)
         if base.operands and isinstance(base.operands[0], ast.Column)
         else None
         for base in bases
     ]
     skyline = estimate_skyline_size(candidates, dimensions, distinct_counts)
-    include = STRATEGIES if table is not None else ("rewrite",)
+    include = STRATEGIES if in_memory else ("rewrite",)
+    if prejoin_binding is not None:
+        include = include + (PREJOIN_STRATEGY,)
     effective_workers = workers if workers is not None else default_worker_count()
     groups = _group_estimate(select, candidates, lookup)
     partitions = (
         planned_partitions(candidates, effective_workers, groups)
-        if table is not None
+        if in_memory
         else 0
     )
-    probe = _probe_ranks(select, resolver) if table is not None else None
+    probe = _probe_ranks(select, resolver) if in_memory else None
     rank_source = (
         choose_rank_source(
             candidates,
@@ -222,31 +286,62 @@ def plan_statement(
         if probe is not None
         else None
     )
+    prejoin_shape = None
+    if prejoin_binding is not None:
+        prejoin_shape = _prejoin_shape(
+            join_scan, join_stats, prejoin_binding, candidates
+        )
     estimates = estimate_costs(
         candidates,
         dimensions,
         distinct_counts,
         model=model,
         include=include,
-        row_width=_row_width(table, schema),
+        row_width=(
+            sum(len(source.columns) for source in join_scan.sources)
+            if join_scan is not None
+            else _row_width(table, schema)
+        ),
         workers=effective_workers,
         groups=groups,
         columnar=probe.columnar if probe is not None else False,
         rank_source=rank_source,
+        prejoin=prejoin_shape,
     )
 
     if force is not None:
-        if force not in STRATEGIES:
+        if force not in STRATEGIES + (PREJOIN_STRATEGY,):
             raise PlanError(
-                f"unknown strategy {force!r}; choose from {', '.join(STRATEGIES)}"
+                f"unknown strategy {force!r}; choose from "
+                f"{', '.join(STRATEGIES + (PREJOIN_STRATEGY,))}"
             )
-        if force in IN_MEMORY_STRATEGIES and table is None:
+        if force == PREJOIN_STRATEGY and prejoin_binding is None:
+            raise PlanError(
+                f"cannot force winnow pushdown: "
+                f"{prejoin_reason if join_scan is not None else ineligible_reason}"
+            )
+        if force in IN_MEMORY_STRATEGIES and not in_memory:
             raise PlanError(
                 f"cannot force in-memory strategy {force!r}: {ineligible_reason}"
             )
         strategy = force
     else:
         strategy = choose_strategy(estimates)
+
+    winnow_pushdown = None
+    join_tables: tuple[str, ...] = ()
+    if join_scan is not None:
+        join_tables = tuple(
+            _join_table_display(source, join_stats) for source in join_scan.sources
+        )
+        if prejoin_binding is not None:
+            winnow_pushdown = (
+                f"yes — every preference attribute resolves to "
+                f"{prejoin_binding!r}; the BMO set can be computed before "
+                "the join"
+            )
+        else:
+            winnow_pushdown = f"no — {prejoin_reason}"
 
     plan = Plan(
         statement=statement,
@@ -262,20 +357,46 @@ def plan_statement(
         notes=notes,
         forced=force is not None,
         partitions=partitions,
-        workers=effective_workers if table is not None else 0,
+        workers=effective_workers if in_memory else 0,
         group_estimate=groups,
         rank_source=rank_source,
         columnar=probe.label if probe is not None else None,
+        join_tables=join_tables,
+        winnow_pushdown=winnow_pushdown,
+    )
+    rank_exprs = (
+        probe.sql_exprs
+        if probe is not None and rank_source == "sql"
+        else None
     )
     if plan.uses_engine:
-        rank_exprs = (
-            probe.sql_exprs
-            if probe is not None and rank_source == "sql"
-            else None
+        if join_scan is not None:
+            plan.pushdown_sql, plan.residual, plan.rank_width = join_memory_parts(
+                select,
+                join_scan,
+                resolver,
+                rank_exprs=rank_exprs,
+                rank_prefix=RANK_COLUMN_PREFIX,
+            )
+        else:
+            plan.pushdown_sql, plan.residual, plan.rank_width = in_memory_parts(
+                select, resolver, rank_exprs=rank_exprs
+            )
+    elif plan.is_prejoin:
+        (
+            plan.prejoin_scan_sql,
+            plan.prejoin_residual,
+            plan.prejoin_join,
+            plan.rank_width,
+        ) = prejoin_parts(
+            select,
+            join_scan,
+            prejoin_binding,
+            resolver,
+            rank_exprs=rank_exprs,
+            rank_prefix=RANK_COLUMN_PREFIX,
         )
-        plan.pushdown_sql, plan.residual, plan.rank_width = in_memory_parts(
-            select, resolver, rank_exprs=rank_exprs
-        )
+        plan.prejoin_binding = prejoin_binding
     return plan
 
 
@@ -330,16 +451,45 @@ def rebind_plan(
         # View scans carry no bound parameters (a parameterized text can
         # never equal a stored definition); keep the scan as-is.
         return replace(plan, statement=statement)
-    if plan.uses_engine:
+    if plan.uses_engine or plan.is_prejoin:
         select = statement.query if isinstance(statement, ast.Insert) else statement
         rank_exprs = None
         if plan.rank_width:
             # The rank expressions embed bound literals (AROUND targets,
             # bucket values), so they are re-derived per execution.
             rank_exprs = _probe_ranks(select, resolver).sql_exprs
-        pushdown_sql, residual, rank_width = in_memory_parts(
-            select, resolver, rank_exprs=rank_exprs
-        )
+        if plan.is_prejoin or plan.join_tables:
+            scan, reason = build_join_scan(select, schema)
+            if scan is None:  # pragma: no cover - the cached plan proved it
+                raise PlanError(f"cannot rebind join plan: {reason}")
+            if plan.is_prejoin:
+                scan_sql, residual, join_back, rank_width = prejoin_parts(
+                    select,
+                    scan,
+                    plan.prejoin_binding,
+                    resolver,
+                    rank_exprs=rank_exprs,
+                    rank_prefix=RANK_COLUMN_PREFIX,
+                )
+                return replace(
+                    plan,
+                    statement=statement,
+                    prejoin_scan_sql=scan_sql,
+                    prejoin_residual=residual,
+                    prejoin_join=join_back,
+                    rank_width=rank_width,
+                )
+            pushdown_sql, residual, rank_width = join_memory_parts(
+                select,
+                scan,
+                resolver,
+                rank_exprs=rank_exprs,
+                rank_prefix=RANK_COLUMN_PREFIX,
+            )
+        else:
+            pushdown_sql, residual, rank_width = in_memory_parts(
+                select, resolver, rank_exprs=rank_exprs
+            )
         return replace(
             plan,
             statement=statement,
@@ -472,7 +622,7 @@ def _group_estimate(
     product = 1.0
     for expr in select.grouping:
         if isinstance(expr, ast.Column):
-            count = lookup(expr.name)
+            count = lookup(expr.qualified)
         else:
             count = None
         product *= float(count) if count else 8.0
@@ -495,14 +645,12 @@ def _row_width(table: str | None, schema: Schema | None) -> int | None:
 # Eligibility and statistics wishlist
 
 
-def _in_memory_table(
+def _surface_ineligibility(
     statement: ast.Statement, select: ast.Select
-) -> tuple[str | None, str]:
-    """The single base table an in-memory plan would fetch, or a reason."""
+) -> str:
+    """Why a statement cannot run in memory regardless of its FROM shape."""
     if isinstance(statement, ast.Insert):
-        return None, "INSERT materialises its result on the host database"
-    if len(select.sources) != 1 or not isinstance(select.sources[0], ast.TableRef):
-        return None, "in-memory evaluation needs a single base table"
+        return "INSERT materialises its result on the host database"
 
     surface: list[ast.Expr] = [
         item.expr for item in select.items if isinstance(item, ast.SelectItem)
@@ -511,9 +659,7 @@ def _in_memory_table(
     for expr in surface:
         for node in ast.walk_expr(expr):
             if isinstance(node, ast.FuncCall) and node.name in QUALITY_FUNCTIONS:
-                return None, (
-                    "quality-function adornments keep host-database result types"
-                )
+                return "quality-function adornments keep host-database result types"
 
     everywhere = list(surface)
     if select.but_only is not None:
@@ -527,12 +673,126 @@ def _in_memory_table(
     for expr in everywhere:
         for node in ast.walk_expr(expr):
             if isinstance(node, (ast.InSubquery, ast.Exists, ast.ScalarSubquery)):
-                return None, "sub-queries outside WHERE need the host database"
-    return select.sources[0].name, ""
+                return "sub-queries outside WHERE need the host database"
+    return ""
 
 
-def _statistics_columns(select: ast.Select, bases: Sequence) -> list[str]:
-    """Columns worth a distinct count: preference operands and WHERE columns."""
+def _scan_shape(
+    statement: ast.Statement, select: ast.Select, schema: Schema | None
+) -> tuple[str | None, JoinScan | None, str]:
+    """Resolve the in-memory scan shape: a single table, a join, or neither.
+
+    Returns ``(table, join_scan, reason)`` — exactly one of the first two
+    is set for an in-memory-eligible statement; otherwise both are None
+    and ``reason`` says why the plan is host-only.
+    """
+    reason = _surface_ineligibility(statement, select)
+    if reason:
+        return None, None, reason
+    if len(select.sources) == 1 and isinstance(select.sources[0], ast.TableRef):
+        return select.sources[0].name, None, ""
+    scan, join_reason = build_join_scan(select, schema)
+    if scan is None:
+        return None, None, join_reason
+    return None, scan, ""
+
+
+def _single_binding(select: ast.Select) -> str | None:
+    """The visible binding of a single-table FROM, or None."""
+    if len(select.sources) == 1 and isinstance(select.sources[0], ast.TableRef):
+        return select.sources[0].binding
+    return None
+
+
+def _binding_lookup(stats: TableStatistics, binding: str | None):
+    """Distinct-count lookup accepting qualified and bare column keys."""
+    key = binding.lower() if binding else None
+
+    def lookup(name: str) -> int | None:
+        qualifier, _, column = name.rpartition(".")
+        if qualifier and key is not None and qualifier.lower() != key:
+            return None
+        return stats.distinct_count(column)
+
+    return lookup
+
+
+def _join_lookup(scan: JoinScan, join_stats: dict[str, TableStatistics]):
+    """Distinct-count lookup attributing columns across joined tables."""
+
+    def lookup(name: str) -> int | None:
+        qualifier, _, column = name.rpartition(".")
+        if qualifier:
+            binding = qualifier.lower()
+            if binding not in join_stats:
+                return None
+        else:
+            owner = scan.owners.get(column.lower())
+            if owner is None:
+                return None
+            binding = owner.lower()
+        stats = join_stats.get(binding)
+        return stats.distinct_count(column) if stats is not None else None
+
+    return lookup
+
+
+def _prejoin_shape(
+    scan: JoinScan,
+    join_stats: dict[str, TableStatistics],
+    binding: str,
+    candidates: float,
+) -> PrejoinShape:
+    """The cost-model input of the winnow-over-join pushdown.
+
+    The semijoin keeps at most all rows of the preference table and at
+    most one row per joined candidate (each joined row contributes one
+    preference-table row), so the winnow input is bounded by both.
+    """
+    source = scan.source_for(binding)
+    stats = join_stats.get(binding.lower())
+    pref_rows = (
+        float(stats.row_count) if stats is not None else float(_DEFAULT_ROW_ESTIMATE)
+    )
+    if candidates:
+        pref_rows = min(pref_rows, candidates)
+    other_rows = 1.0
+    for other in scan.sources:
+        if other.binding.lower() == binding.lower():
+            continue
+        other_stats = join_stats.get(other.binding.lower())
+        other_rows *= (
+            float(other_stats.row_count)
+            if other_stats is not None
+            else float(_DEFAULT_ROW_ESTIMATE)
+        )
+    return PrejoinShape(
+        pref_rows=max(1.0, pref_rows),
+        pref_table_rows=max(
+            1.0,
+            float(stats.row_count) if stats is not None else _DEFAULT_ROW_ESTIMATE,
+        ),
+        pref_width=len(source.columns),
+        other_rows=other_rows,
+    )
+
+
+def _join_table_display(source, join_stats: dict[str, TableStatistics]) -> str:
+    """One EXPLAIN-able ``table AS binding (n rows)`` entry."""
+    label = source.table
+    if source.binding.lower() != source.table.lower():
+        label += f" AS {source.binding}"
+    stats = join_stats.get(source.binding.lower())
+    if stats is not None:
+        label += f" ({stats.row_count} rows)"
+    return label
+
+
+def _statistics_columns(
+    select: ast.Select, bases: Sequence, predicate: ast.Expr | None
+) -> list[str]:
+    """Columns worth a distinct count: preference operands and predicate
+    columns (WHERE plus any JOIN … ON conditions)."""
     columns: list[str] = []
     seen: set[str] = set()
 
@@ -545,11 +805,43 @@ def _statistics_columns(select: ast.Select, bases: Sequence) -> list[str]:
     for base in bases:
         if base.operands and isinstance(base.operands[0], ast.Column):
             add(base.operands[0].name)
-    if select.where is not None:
-        for node in ast.walk_expr(select.where):
+    if predicate is not None:
+        for node in ast.walk_expr(predicate):
             if isinstance(node, ast.Column):
                 add(node.name)
     for expr in select.grouping:
         if isinstance(expr, ast.Column):
             add(expr.name)
     return columns
+
+
+def _join_statistics_columns(
+    scan: JoinScan,
+    select: ast.Select,
+    bases: Sequence,
+    predicate: ast.Expr | None,
+) -> dict[str, list[str]]:
+    """Per-binding distinct-count wishlist for a join scan."""
+    wanted: dict[str, list[str]] = {}
+    seen: set[tuple[str, str]] = set()
+
+    def add(column: ast.Column) -> None:
+        try:
+            binding = scan.owner_of(column).lower()
+        except PlanError:
+            return
+        key = (binding, column.name.lower())
+        if key not in seen:
+            seen.add(key)
+            wanted.setdefault(binding, []).append(column.name)
+
+    for base in bases:
+        if base.operands and isinstance(base.operands[0], ast.Column):
+            add(base.operands[0])
+    if predicate is not None:
+        for node in ast.walk_expr(predicate):
+            if isinstance(node, ast.Column):
+                add(node)
+    for expr in select.grouping:
+        add(expr)
+    return wanted

@@ -141,7 +141,9 @@ def contains_rank(preference: ContainsPreference, qualify: Qualifier) -> ast.Exp
         misses = test if misses is None else ast.Binary(op="+", left=misses, right=test)
     return ast.CaseWhen(
         branches=(
-            (ast.IsNull(operand=operand), ast.Literal(value=len(preference.terms))),
+            # NULL text ranks strictly worse than missing every term,
+            # matching ContainsPreference.rank (the in-memory model).
+            (ast.IsNull(operand=operand), _null_rank_literal()),
         ),
         otherwise=misses,
     )

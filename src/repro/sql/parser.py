@@ -397,7 +397,15 @@ class Parser:
         token = self._peek()
         if token.is_keyword("LOWEST", "HIGHEST", "SCORE"):
             self._advance()
-            self._expect_operator("(")
+            if not self._peek().is_operator("("):
+                # The common slip is ``PREFERRING LOWEST price``; name the
+                # call form instead of a bare "expected '('".
+                keyword = token.value
+                raise self._error(
+                    f"{keyword} takes a parenthesised operand — write "
+                    f"{keyword}(<expression>), e.g. {keyword}(price)"
+                )
+            self._advance()
             operand = self.parse_expression()
             self._expect_operator(")")
             if token.value == "LOWEST":
@@ -405,6 +413,26 @@ class Parser:
             if token.value == "HIGHEST":
                 return ast.HighestPref(operand=operand)
             return ast.ScorePref(operand=operand)
+        if token.is_keyword("AROUND"):
+            # AROUND is an infix constructor; leading use (e.g.
+            # ``AROUND(price, 40)``) otherwise dies deep inside the
+            # expression parser with an unhelpful message.
+            raise self._error(
+                "AROUND is an infix preference constructor — write "
+                "<expression> AROUND <value>, e.g. price AROUND 40000"
+            )
+        if token.is_keyword("CONTAINS") and not self._peek(1).is_operator("("):
+            # CONTAINS is also a soft keyword (a column or function name
+            # followed by ``(`` still parses as an expression).
+            raise self._error(
+                "CONTAINS is an infix preference constructor — write "
+                "<expression> CONTAINS <terms>, e.g. name CONTAINS 'plaza park'"
+            )
+        if token.is_keyword("BETWEEN"):
+            raise self._error(
+                "BETWEEN is an infix preference constructor — write "
+                "<expression> BETWEEN low, up, e.g. price BETWEEN 1000, 1500"
+            )
         if token.is_keyword("EXPLICIT"):
             return self._parse_explicit()
         if token.is_keyword("PREFERENCE"):
@@ -425,7 +453,13 @@ class Parser:
 
     def _parse_explicit(self) -> ast.ExplicitPref:
         self._expect_keyword("EXPLICIT")
-        self._expect_operator("(")
+        if not self._peek().is_operator("("):
+            raise self._error(
+                "EXPLICIT takes a parenthesised operand and pair list — "
+                "write EXPLICIT(<expression>, 'better' > 'worse', ...), "
+                "e.g. EXPLICIT(color, 'white' > 'yellow')"
+            )
+        self._advance()
         operand = self.parse_expression()
         pairs: list[tuple[ast.Expr, ast.Expr]] = []
         while self._accept_operator(","):

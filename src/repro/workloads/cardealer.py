@@ -1,0 +1,142 @@
+"""A car/dealer star-schema workload for the join experiments.
+
+The paper's running examples are all about used-car search (sections
+2.2.x, 3.2); this workload extends them to the multi-table shape real
+dealer platforms have: a ``cars`` fact table carrying the preference
+attributes (price, power, mileage, age) and a ``dealers`` dimension
+joined through a key–foreign-key ``dealer_id`` — exactly the
+many-to-one join Chomicki's winnow-over-join law targets.  ``regions``
+adds a second dimension for three-way joins.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engine.relation import Relation
+
+MAKES = ("audi", "bmw", "opel", "vw", "ford", "fiat")
+REGIONS = ("north", "south", "east", "west")
+
+
+def dealers_relation(rows: int = 200, seed: int = 4711) -> Relation:
+    """``dealers(dealer_id, region, rating, certified)``."""
+    rng = random.Random(seed)
+    data = [
+        (
+            dealer_id,
+            rng.choice(REGIONS),
+            rng.randint(1, 5),
+            rng.randint(0, 1),
+        )
+        for dealer_id in range(1, rows + 1)
+    ]
+    return Relation(
+        columns=("dealer_id", "region", "rating", "certified"), rows=data
+    )
+
+
+def cars_relation(
+    rows: int = 10_000, dealers: int = 200, seed: int = 4712
+) -> Relation:
+    """``cars(car_id, dealer_id, make, price, power, mileage, age)``.
+
+    Every car references an existing dealer (the key–FK shape); price
+    and power are drawn independently so the Pareto front stays small,
+    like the paper's e-commerce observations (section 4.3).
+    """
+    rng = random.Random(seed)
+    data = [
+        (
+            car_id,
+            rng.randint(1, dealers),
+            rng.choice(MAKES),
+            rng.randrange(2_000, 80_000, 250),
+            rng.randrange(40, 320, 5),
+            rng.randrange(0, 300_000, 1_000),
+            rng.randint(0, 30),
+        )
+        for car_id in range(1, rows + 1)
+    ]
+    return Relation(
+        columns=(
+            "car_id",
+            "dealer_id",
+            "make",
+            "price",
+            "power",
+            "mileage",
+            "age",
+        ),
+        rows=data,
+    )
+
+
+def listings_relation(
+    cars: int = 10_000, per_car: int = 4, seed: int = 4713
+) -> Relation:
+    """``listings(listing_id, car_id, channel, active)`` — one-to-many.
+
+    Every car is advertised on 2 to ``per_car + 2`` channels; roughly
+    half the listings are active.  Joining cars to their active
+    listings *multiplies* the candidate set, which is exactly the shape
+    where computing the BMO set before the join pays off: the preference
+    attributes all live on ``cars``, so the winnow input is ``n`` rows
+    while the joined candidate set (and the rewrite's anti-join) works
+    on a multiple of it.
+    """
+    rng = random.Random(seed)
+    rows = []
+    listing_id = 0
+    for car_id in range(1, cars + 1):
+        for _ in range(rng.randint(2, per_car + 2)):
+            listing_id += 1
+            rows.append(
+                (
+                    listing_id,
+                    car_id,
+                    rng.choice(("web", "print", "auction")),
+                    rng.randint(0, 1),
+                )
+            )
+    return Relation(
+        columns=("listing_id", "car_id", "channel", "active"), rows=rows
+    )
+
+
+def regions_relation() -> Relation:
+    """``regions(region, country)`` — a tiny second dimension."""
+    return Relation(
+        columns=("region", "country"),
+        rows=[
+            ("north", "de"),
+            ("south", "de"),
+            ("east", "at"),
+            ("west", "ch"),
+        ],
+    )
+
+
+def load_car_dealer(connection, cars: int, dealers: int, seed: int = 4712) -> None:
+    """Create and fill the three tables on a driver connection.
+
+    The key–FK columns get indexes, like any production dealer schema —
+    the join experiments measure preference evaluation strategies, not
+    unindexed nested-loop joins.
+    """
+    from repro.workloads.fixtures import relation_to_sqlite
+
+    relation_to_sqlite(
+        connection, "dealers", dealers_relation(rows=dealers, seed=seed + 1)
+    )
+    relation_to_sqlite(
+        connection, "cars", cars_relation(rows=cars, dealers=dealers, seed=seed)
+    )
+    relation_to_sqlite(connection, "regions", regions_relation())
+    relation_to_sqlite(
+        connection, "listings", listings_relation(cars=cars, seed=seed + 2)
+    )
+    connection.execute("CREATE INDEX dealers_id ON dealers (dealer_id)")
+    connection.execute("CREATE INDEX cars_dealer ON cars (dealer_id)")
+    connection.execute("CREATE INDEX listings_car ON listings (car_id)")
+    connection.commit()

@@ -38,7 +38,7 @@ class TestExperiments:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
-            "e11",
+            "e11", "e12",
         }
 
     def test_plan_alias(self):
@@ -48,6 +48,7 @@ class TestExperiments:
         assert ALIASES["parallel"] == "e9"
         assert ALIASES["views"] == "e10"
         assert ALIASES["columnar"] == "e11"
+        assert ALIASES["joins"] == "e12"
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):

@@ -154,6 +154,65 @@ class TestBasePreferences:
             parse_preferring("price < 100")
 
 
+class TestConstructorSyntaxErrors:
+    """Missing-parenthesis and misplaced-constructor forms get targeted
+    messages naming the correct call syntax (not a bare "expected '('")."""
+
+    @pytest.mark.parametrize("keyword", ["LOWEST", "HIGHEST", "SCORE"])
+    def test_missing_parenthesis_names_the_call_form(self, keyword):
+        with pytest.raises(ParseError) as excinfo:
+            parse_preferring(f"{keyword} price")
+        message = str(excinfo.value)
+        assert f"{keyword}(<expression>)" in message
+        assert f"{keyword}(price)" in message
+
+    @pytest.mark.parametrize("keyword", ["LOWEST", "HIGHEST", "SCORE"])
+    def test_missing_parenthesis_inside_full_statement(self, keyword):
+        with pytest.raises(ParseError) as excinfo:
+            parse_statement(f"SELECT * FROM cars PREFERRING {keyword} price")
+        assert "parenthesised operand" in str(excinfo.value)
+
+    def test_leading_around_names_the_infix_form(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_preferring("AROUND(price, 40000)")
+        message = str(excinfo.value)
+        assert "infix" in message
+        assert "price AROUND 40000" in message
+
+    def test_leading_between_names_the_infix_form(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_preferring("BETWEEN 1000, 1500")
+        assert "price BETWEEN 1000, 1500" in str(excinfo.value)
+
+    def test_leading_contains_names_the_infix_form(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_preferring("CONTAINS 'plaza'")
+        assert "name CONTAINS 'plaza park'" in str(excinfo.value)
+
+    def test_contains_call_still_parses_as_expression(self):
+        # CONTAINS doubles as a function/column name; a call form must
+        # keep parsing as an operand expression (soft-keyword contract).
+        term = parse_preferring("contains(c) AROUND 3")
+        assert isinstance(term, ast.AroundPref)
+
+    def test_explicit_missing_parenthesis_names_the_call_form(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_preferring("EXPLICIT color")
+        assert "EXPLICIT(color, 'white' > 'yellow')" in str(excinfo.value)
+
+    def test_driver_surfaces_the_targeted_message(self, fixture_connection):
+        # Through the driver the failed dialect parse falls back to
+        # passthrough; when sqlite then rejects the statement too, the
+        # dialect's diagnosis must ride along instead of being buried.
+        from repro.errors import DriverError
+
+        with pytest.raises(DriverError) as excinfo:
+            fixture_connection.execute(
+                "SELECT * FROM oldtimer PREFERRING LOWEST age"
+            )
+        assert "LOWEST(<expression>)" in str(excinfo.value)
+
+
 class TestQueryBlock:
     def test_clause_order(self):
         statement = parse_statement(

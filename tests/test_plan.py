@@ -531,14 +531,31 @@ class TestStrategyExecution:
         bnl = fixture_connection.execute(sql, algorithm="bnl").fetchall()
         assert rewrite == bnl
 
-    def test_forcing_in_memory_on_join_raises(self, fixture_connection):
+    def test_joins_are_in_memory_eligible(self, fixture_connection):
+        # Joins are first-class in-memory citizens now: the pushdown
+        # executes the join on the host database and the engine winnows
+        # the joined candidate rows.
         sql = (
             "SELECT * FROM oldtimer AS a, oldtimer AS b "
             "PREFERRING LOWEST(a.age)"
         )
+        oracle = sorted(
+            fixture_connection.execute(sql, algorithm="rewrite").fetchall(),
+            key=repr,
+        )
+        cursor = fixture_connection.execute(sql, algorithm="bnl")
+        assert cursor.plan.strategy == "bnl"
+        assert sorted(cursor.fetchall(), key=repr) == oracle
+
+    def test_forcing_in_memory_on_host_only_shape_raises(self, fixture_connection):
+        # A scalar sub-query in the select list keeps the statement on
+        # the host database; forcing an in-memory strategy must refuse.
+        sql = (
+            "SELECT ident, (SELECT MAX(age) FROM oldtimer) AS peak "
+            "FROM oldtimer PREFERRING LOWEST(age)"
+        )
         with pytest.raises(PlanError):
             fixture_connection.execute(sql, algorithm="bnl")
-        # ...but the planner still handles it on the host path.
         assert fixture_connection.execute(sql).plan.strategy == "rewrite"
 
     def test_unknown_strategy_rejected(self, fixture_connection):
