@@ -51,6 +51,7 @@ from repro.engine.relation import Relation
 from repro.errors import CatalogError, DriverError, PreferenceSQLError
 from repro.pdl.catalog import PreferenceCatalog, ViewEntry
 from repro.plan.cache import CacheStats, PlanCache
+from repro.plan.constraints import ConstraintCache
 from repro.plan.explain import plan_relation, plan_text
 from repro.plan.planner import Plan, plan_statement, rebind_plan
 from repro.plan.statistics import StatisticsCache, TableStatistics
@@ -439,6 +440,7 @@ class Connection:
         self._max_workers = max_workers
         self._parallel: ParallelExecutor | None = None
         self._statistics: StatisticsCache | None = None
+        self._constraints: ConstraintCache | None = None
         self._plan_cache: PlanCache[_CachedStatement] = PlanCache()
         self._schema_cache: tuple[int, dict[str, list[str]]] | None = None
         self._maintainer: ViewMaintainer | None = None
@@ -548,6 +550,18 @@ class Connection:
                 self._raw, version=lambda: self._data_version
             )
         return self._statistics
+
+    @property
+    def constraints(self) -> ConstraintCache:
+        """The per-connection constraint catalog (semantic optimization)."""
+        if self._constraints is None:
+            self._constraints = ConstraintCache(
+                self._raw,
+                version=lambda: self._data_version,
+                declared=self.catalog.constraints,
+                catalog_version=lambda: self._catalog_version,
+            )
+        return self._constraints
 
     def table_statistics(
         self, table: str, columns: Sequence[str] = ()
@@ -762,6 +776,7 @@ class Connection:
             # view: the bound literals can make one binding match the
             # definition while the cached plan is reused for others.
             views=self._view_matcher() if not params else None,
+            constraints=self.constraints,
         )
 
     def explain(self, sql: str) -> str:
@@ -781,7 +796,15 @@ class Connection:
             statement = parse_statement(sql)
         except PreferenceSQLError as error:
             return f"pass-through: not parseable as Preference SQL ({error})"
-        if isinstance(statement, (ast.CreatePreference, ast.DropPreference)):
+        if isinstance(
+            statement,
+            (
+                ast.CreatePreference,
+                ast.DropPreference,
+                ast.CreatePreferenceConstraint,
+                ast.DropPreferenceConstraint,
+            ),
+        ):
             return "catalog statement: maintains the persistent preference catalog"
         if isinstance(statement, ast.ExplainPreference):
             statement = statement.statement
@@ -923,6 +946,18 @@ class Cursor:
             self.executed_sql = None
             self.was_rewritten = False
             return self
+        if isinstance(statement, ast.CreatePreferenceConstraint):
+            connection.catalog.create_constraint(statement)
+            connection._bump_catalog_version()
+            self.executed_sql = None
+            self.was_rewritten = False
+            return self
+        if isinstance(statement, ast.DropPreferenceConstraint):
+            connection.catalog.drop_constraint(statement.name)
+            connection._bump_catalog_version()
+            self.executed_sql = None
+            self.was_rewritten = False
+            return self
         if isinstance(statement, ast.CreatePreferenceView):
             connection.view_maintainer.create(statement)
             connection._bump_catalog_version()
@@ -948,16 +983,23 @@ class Cursor:
 
         bound = bind_parameters(statement, params) if params else statement
         fresh = entry is not None and entry.data_version == connection.data_version
+        plan: Plan | None = None
         if entry is not None and entry.plan is not None and fresh:
             plan = entry.plan
             if params or not entry.param_free:
-                plan = rebind_plan(
-                    plan,
-                    bound,
-                    schema=connection.schema(),
-                    resolver=connection.catalog.resolve,
-                )
-        else:
+                if plan.semantic_rule is not None:
+                    # Semantic SQL embeds the constraint analysis of the
+                    # originally bound literals; rebinding would clobber
+                    # it with the NOT EXISTS rewrite, so re-plan instead.
+                    plan = None
+                else:
+                    plan = rebind_plan(
+                        plan,
+                        bound,
+                        schema=connection.schema(),
+                        resolver=connection.catalog.resolve,
+                    )
+        if plan is None:
             # First sighting, or the data version moved under a cached
             # plan: re-plan so the strategy tracks the current statistics
             # (parsing was still skipped on the stale-hit path).
@@ -969,6 +1011,7 @@ class Cursor:
                 force=algorithm,
                 workers=connection._effective_workers(),
                 views=connection._view_matcher() if not params else None,
+                constraints=connection.constraints,
             )
             if use_cache:
                 connection._plan_cache.put(
@@ -1089,6 +1132,7 @@ class Cursor:
             force=algorithm,
             workers=connection._effective_workers(),
             views=connection._view_matcher() if not params else None,
+            constraints=connection.constraints,
         )
         stats = connection.plan_cache_stats()
         cache_note = (

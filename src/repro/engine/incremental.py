@@ -711,6 +711,7 @@ class ViewMaintainer:
             resolver=connection.catalog.resolve,
             statistics=connection.statistics.for_table,
             workers=connection._effective_workers(),
+            constraints=connection.constraints,
         )
         return run_plan(
             self._raw.execute,

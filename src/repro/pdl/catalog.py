@@ -16,6 +16,9 @@ CATALOG_TABLE = "prefsql_preferences"
 #: Name of the materialized-view catalog table.
 VIEW_CATALOG_TABLE = "prefsql_views"
 
+#: Name of the declared-constraint catalog table (semantic optimization).
+CONSTRAINT_CATALOG_TABLE = "prefsql_constraints"
+
 
 @dataclass(frozen=True)
 class CatalogEntry:
@@ -53,6 +56,26 @@ class ViewEntry:
         return statement
 
 
+@dataclass(frozen=True)
+class ConstraintEntry:
+    """One declared integrity constraint (semantic-optimization input).
+
+    Stored as full DDL text and re-parsed on load, like named preferences,
+    so the catalog stays inspectable and portable.
+    """
+
+    name: str
+    table: str
+    definition: str
+
+    @property
+    def statement(self) -> ast.CreatePreferenceConstraint:
+        """The parsed constraint declaration."""
+        parsed = parse_statement(self.definition)
+        assert isinstance(parsed, ast.CreatePreferenceConstraint)
+        return parsed
+
+
 class PreferenceCatalog:
     """CRUD for named preferences, backed by a table in the host database.
 
@@ -76,6 +99,11 @@ class PreferenceCatalog:
             "name TEXT PRIMARY KEY, definition TEXT NOT NULL, "
             "backing_table TEXT NOT NULL, base_tables TEXT NOT NULL, "
             "maintainable INTEGER NOT NULL, reason TEXT NOT NULL)"
+        )
+        self._connection.execute(
+            f"CREATE TABLE IF NOT EXISTS {CONSTRAINT_CATALOG_TABLE} ("
+            "name TEXT PRIMARY KEY, table_name TEXT NOT NULL, "
+            "definition TEXT NOT NULL)"
         )
 
     def create(self, statement: ast.CreatePreference, replace: bool = False) -> None:
@@ -127,6 +155,49 @@ class PreferenceCatalog:
     def resolve(self, name: str) -> ast.PrefTerm:
         """NameResolver interface for the builder/rewriter."""
         return parse_preferring(self.get(name).definition)
+
+    # ------------------------------------------------------------------
+    # Declared constraints (semantic optimization)
+
+    def create_constraint(self, statement: ast.CreatePreferenceConstraint) -> None:
+        """Store a constraint declaration; re-parse to validate round-trip."""
+        definition = to_sql(statement)
+        parsed = parse_statement(definition)  # must round-trip or the catalog rots
+        assert isinstance(parsed, ast.CreatePreferenceConstraint)
+        try:
+            self._connection.execute(
+                f"INSERT INTO {CONSTRAINT_CATALOG_TABLE} VALUES (?, ?, ?)",
+                (statement.name.lower(), statement.table.lower(), definition),
+            )
+        except sqlite3.IntegrityError:
+            raise CatalogError(
+                f"preference constraint {statement.name!r} already exists"
+            )
+
+    def drop_constraint(self, name: str) -> None:
+        """Remove a stored constraint declaration."""
+        cursor = self._connection.execute(
+            f"DELETE FROM {CONSTRAINT_CATALOG_TABLE} WHERE name = ?",
+            (name.lower(),),
+        )
+        if cursor.rowcount == 0:
+            raise CatalogError(f"unknown preference constraint {name!r}")
+
+    def constraints(self, table: str | None = None) -> list[ConstraintEntry]:
+        """Stored constraints, alphabetically, optionally for one table."""
+        if table is None:
+            rows = self._connection.execute(
+                f"SELECT name, table_name, definition "
+                f"FROM {CONSTRAINT_CATALOG_TABLE} ORDER BY name"
+            ).fetchall()
+        else:
+            rows = self._connection.execute(
+                f"SELECT name, table_name, definition "
+                f"FROM {CONSTRAINT_CATALOG_TABLE} WHERE table_name = ? "
+                "ORDER BY name",
+                (table.lower(),),
+            ).fetchall()
+        return [ConstraintEntry(*row) for row in rows]
 
     # ------------------------------------------------------------------
     # Materialized preference views

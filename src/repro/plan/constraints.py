@@ -1,0 +1,378 @@
+"""The constraint catalog behind semantic preference optimization.
+
+Chomicki's semantic-optimization results (*Semantic optimization of
+preference queries*) show that integrity constraints can prove a winnow
+redundant — or collapse a preference to a weak order evaluable in a
+single pass.  This module supplies the planner with those constraints
+from three provenances:
+
+* **declared** — ``CREATE PREFERENCE CONSTRAINT`` statements stored in
+  the :class:`~repro.pdl.catalog.PreferenceCatalog`.  Declared
+  constraints are *trusted*: the planner uses them without re-checking
+  the data (garbage in, garbage out — exactly like a database that does
+  not re-validate a disabled constraint).
+* **schema** — constraints sniffed from the sqlite schema itself:
+  ``PRIMARY KEY`` / ``UNIQUE`` indexes, ``NOT NULL`` column flags and
+  ``CHECK`` clauses that pin a column to a finite value domain.
+* **observed** — properties *proven against the current data* by a
+  bounded probe query (functional dependencies, keys, non-nullness,
+  numeric typing).  Observed facts are scoped to the connection's
+  ``data_version``: any DML bumps the version, the cache entry goes
+  stale, and the next planning round re-probes — so a rewrite justified
+  by an observed constraint can never outlive the data that proved it.
+
+Provenance travels with every fact and is surfaced verbatim in the
+``constraints used`` row of ``EXPLAIN PREFERENCE``.
+"""
+
+from __future__ import annotations
+
+import re
+import sqlite3
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.errors import ParseError, PlanError
+from repro.sql import ast
+from repro.sql.parser import parse_expression
+from repro.sql.printer import quote_identifier as _quote
+
+#: sqlite type affinities (upper-cased prefixes) whose values a rowid
+#: alias column is guaranteed to hold.
+_INTEGER_TYPES = ("INT",)
+
+
+@dataclass(frozen=True)
+class TableConstraints:
+    """Every declared + schema constraint known for one table.
+
+    ``keys`` are candidate keys: each column set is unique *and*
+    non-null (sqlite ``UNIQUE`` alone admits duplicate NULLs, so a
+    unique index only becomes a key here when its columns are also
+    proven NOT NULL).  ``domains`` maps a column to the finite value
+    set a CHECK clause pins it to — note that a sqlite CHECK passes
+    when the expression is NULL, so a domain does **not** imply NOT
+    NULL.  ``fds`` are functional dependencies ``lhs -> rhs`` (NULL
+    treated as a value).  ``numeric`` lists columns the schema itself
+    proves numeric (rowid aliases).  Every entry carries its
+    provenance string: ``declared`` or ``schema``.
+    """
+
+    table: str
+    keys: tuple[tuple[tuple[str, ...], str], ...] = ()
+    not_null: Mapping[str, str] = field(default_factory=dict)
+    domains: Mapping[str, tuple[frozenset, str]] = field(default_factory=dict)
+    fds: tuple[tuple[tuple[str, ...], tuple[str, ...], str], ...] = ()
+    numeric: Mapping[str, str] = field(default_factory=dict)
+
+
+class ConstraintCache:
+    """Lazy, versioned constraint provider for one connection.
+
+    Mirrors :class:`~repro.plan.statistics.StatisticsCache`: declared +
+    schema constraints are cached per ``(data_version,
+    catalog_version)`` (constraint DDL bumps the catalog version,
+    schema DDL bumps the data version); observed probes are cached per
+    ``data_version`` alone.  ``probe_count`` counts the probe queries
+    actually issued, so tests can assert both the caching and the
+    re-probing after DML.
+    """
+
+    def __init__(
+        self,
+        connection: sqlite3.Connection,
+        version: Callable[[], object],
+        declared: Callable[[str], Sequence[object]] | None = None,
+        catalog_version: Callable[[], object] | None = None,
+    ):
+        self._connection = connection
+        self._version = version
+        self._declared = declared
+        self._catalog_version = catalog_version or (lambda: 0)
+        self._tables: dict[str, tuple[tuple, TableConstraints]] = {}
+        self._observed: dict[tuple, tuple[object, bool]] = {}
+        self.probe_count = 0
+
+    # ------------------------------------------------------------------
+    # Declared + schema constraints
+
+    def for_table(self, table: str) -> TableConstraints:
+        """All declared and schema constraints of ``table`` (cached)."""
+        name = table.lower()
+        stamp = (self._version(), self._catalog_version())
+        cached = self._tables.get(name)
+        if cached is not None and cached[0] == stamp:
+            return cached[1]
+        constraints = self._load(name)
+        self._tables[name] = (stamp, constraints)
+        return constraints
+
+    def _load(self, table: str) -> TableConstraints:
+        keys: list[tuple[tuple[str, ...], str]] = []
+        not_null: dict[str, str] = {}
+        domains: dict[str, tuple[frozenset, str]] = {}
+        fds: list[tuple[tuple[str, ...], tuple[str, ...], str]] = []
+        numeric: dict[str, str] = {}
+
+        info = self._rows(f"PRAGMA table_info({_quote(table)})")
+        # (cid, name, type, notnull, dflt_value, pk)
+        columns = {str(row[1]).lower(): row for row in info}
+        for column, row in columns.items():
+            if row[3]:
+                not_null[column] = "schema"
+        pk_columns = [
+            str(row[1]).lower()
+            for row in sorted(info, key=lambda row: row[5])
+            if row[5]
+        ]
+        if len(pk_columns) == 1:
+            declared_type = str(columns[pk_columns[0]][2] or "").upper()
+            if any(declared_type.startswith(t) for t in _INTEGER_TYPES):
+                # ``INTEGER PRIMARY KEY`` is the rowid alias: sqlite
+                # itself guarantees unique, non-null integer values even
+                # though table_info reports notnull=0.
+                column = pk_columns[0]
+                not_null.setdefault(column, "schema")
+                numeric[column] = "schema"
+        if pk_columns and all(column in not_null for column in pk_columns):
+            keys.append((tuple(pk_columns), "schema"))
+        for index in self._rows(f"PRAGMA index_list({_quote(table)})"):
+            # (seq, name, unique, origin, partial)
+            if not index[2] or (len(index) > 4 and index[4]):
+                continue
+            index_columns = tuple(
+                str(row[2]).lower()
+                for row in self._rows(f"PRAGMA index_info({_quote(index[1])})")
+                if row[2] is not None
+            )
+            if index_columns and all(c in not_null for c in index_columns):
+                if (index_columns, "schema") not in keys:
+                    keys.append((index_columns, "schema"))
+        for check in self._check_clauses(table):
+            for column, values in _domain_of(check).items():
+                _merge_domain(domains, column, values, "schema")
+
+        if self._declared is not None:
+            for entry in self._declared(table):
+                statement = entry.statement
+                if statement.kind == "key":
+                    columns_t = tuple(c.lower() for c in statement.columns)
+                    keys.append((columns_t, "declared"))
+                    # A declared KEY asserts uniqueness *and* non-null
+                    # (primary-key semantics), see docs/LANGUAGE.md.
+                    for column in columns_t:
+                        not_null.setdefault(column, "declared")
+                elif statement.kind == "not_null":
+                    for column in statement.columns:
+                        not_null[column.lower()] = "declared"
+                elif statement.kind == "check" and statement.check is not None:
+                    for column, values in _domain_of(statement.check).items():
+                        _merge_domain(domains, column, values, "declared")
+                elif statement.kind == "fd":
+                    fds.append(
+                        (
+                            tuple(c.lower() for c in statement.columns),
+                            tuple(c.lower() for c in statement.determines),
+                            "declared",
+                        )
+                    )
+
+        return TableConstraints(
+            table=table,
+            keys=tuple(keys),
+            not_null=not_null,
+            domains=domains,
+            fds=tuple(fds),
+            numeric=numeric,
+        )
+
+    def _check_clauses(self, table: str):
+        row = self._connection.execute(
+            "SELECT sql FROM sqlite_master "
+            "WHERE type = 'table' AND lower(name) = ?",
+            (table,),
+        ).fetchone()
+        if row is None or not row[0]:
+            return
+        for clause in _extract_checks(row[0]):
+            try:
+                yield parse_expression(clause)
+            except ParseError:
+                continue  # host-dialect expression our grammar lacks
+
+    # ------------------------------------------------------------------
+    # Observed (data-proven) constraints
+
+    def observed_fd(
+        self, table: str, lhs: tuple[str, ...], rhs: str
+    ) -> bool:
+        """Does ``lhs -> rhs`` hold in the *current* data?
+
+        NULL is treated as a value: a left-hand group mixing NULL and
+        non-NULL right-hand values fails the dependency (``COUNT
+        DISTINCT`` alone would miss that, because it ignores NULLs).
+        """
+        group = ", ".join(_quote(c) for c in lhs)
+        column = _quote(rhs)
+        return self._probe(
+            ("fd", table, lhs, rhs),
+            f"SELECT 1 FROM {_quote(table)} GROUP BY {group} "
+            f"HAVING COUNT(DISTINCT {column}) > 1 "
+            f"OR (COUNT({column}) < COUNT(*) AND COUNT({column}) > 0) "
+            "LIMIT 1",
+        )
+
+    def observed_key(self, table: str, columns: tuple[str, ...]) -> bool:
+        """Are ``columns`` unique and non-null in the current data?"""
+        group = ", ".join(_quote(c) for c in columns)
+        nulls = " OR ".join(f"{_quote(c)} IS NULL" for c in columns)
+        return self._probe(
+            ("key", table, columns),
+            f"SELECT 1 FROM {_quote(table)} WHERE {nulls} LIMIT 1",
+        ) and self._probe(
+            ("key-unique", table, columns),
+            f"SELECT 1 FROM {_quote(table)} GROUP BY {group} "
+            "HAVING COUNT(*) > 1 LIMIT 1",
+        )
+
+    def observed_not_null(self, table: str, column: str) -> bool:
+        """Is ``column`` free of NULLs in the current data?"""
+        return self._probe(
+            ("not_null", table, column),
+            f"SELECT 1 FROM {_quote(table)} "
+            f"WHERE {_quote(column)} IS NULL LIMIT 1",
+        )
+
+    def observed_numeric(self, table: str, column: str) -> bool:
+        """Does ``column`` hold only numeric (or NULL) values right now?
+
+        sqlite's flexible typing lets a TEXT value live in an INTEGER
+        column; host ``ORDER BY`` would sort it lexicographically while
+        the in-memory rank treats it as incomparable — so the single-
+        pass rewrite demands this proof for numeric preference leaves.
+        """
+        return self._probe(
+            ("numeric", table, column),
+            f"SELECT 1 FROM {_quote(table)} "
+            f"WHERE typeof({_quote(column)}) NOT IN "
+            "('integer', 'real', 'null') LIMIT 1",
+        )
+
+    def _probe(self, key: tuple, counterexample_sql: str) -> bool:
+        """Run (and cache) one probe; True when no counterexample exists."""
+        stamp = self._version()
+        cached = self._observed.get(key)
+        if cached is not None and cached[0] == stamp:
+            return cached[1]
+        self.probe_count += 1
+        try:
+            row = self._connection.execute(counterexample_sql).fetchone()
+        except sqlite3.Error as error:
+            raise PlanError(f"constraint probe failed: {error}") from error
+        verdict = row is None
+        self._observed[key] = (stamp, verdict)
+        return verdict
+
+    def _rows(self, sql: str) -> list[tuple]:
+        try:
+            return self._connection.execute(sql).fetchall()
+        except sqlite3.Error as error:
+            raise PlanError(f"constraint sniffing failed: {error}") from error
+
+
+# ----------------------------------------------------------------------
+# CHECK-clause domain derivation
+
+_CHECK_PATTERN = re.compile(r"\bCHECK\s*\(", re.IGNORECASE)
+
+
+def _extract_checks(create_sql: str) -> list[str]:
+    """The (balanced) bodies of every CHECK clause in a CREATE TABLE."""
+    clauses: list[str] = []
+    for match in _CHECK_PATTERN.finditer(create_sql):
+        depth = 1
+        start = match.end()
+        for position in range(start, len(create_sql)):
+            character = create_sql[position]
+            if character == "(":
+                depth += 1
+            elif character == ")":
+                depth -= 1
+                if depth == 0:
+                    clauses.append(create_sql[start:position])
+                    break
+    return clauses
+
+
+def _domain_of(expr: ast.Expr) -> dict[str, frozenset]:
+    """Finite column domains provable from one CHECK expression.
+
+    Recognised shapes: ``col IN (literals)``, ``col = literal`` (either
+    operand order), OR-chains of those over the *same* column, and AND
+    conjunctions of independently derivable clauses (overlapping columns
+    intersect, since both conjuncts must hold).
+    """
+    domains: dict[str, frozenset] = {}
+    for conjunct in _conjuncts(expr):
+        derived = _single_domain(conjunct)
+        if derived is None:
+            continue
+        column, values = derived
+        if column in domains:
+            domains[column] = domains[column] & values
+        else:
+            domains[column] = values
+    return domains
+
+
+def _conjuncts(expr: ast.Expr):
+    if isinstance(expr, ast.Binary) and expr.op == "AND":
+        yield from _conjuncts(expr.left)
+        yield from _conjuncts(expr.right)
+    else:
+        yield expr
+
+
+def _single_domain(expr: ast.Expr) -> tuple[str, frozenset] | None:
+    if isinstance(expr, ast.InList) and not expr.negated:
+        if isinstance(expr.operand, ast.Column) and all(
+            isinstance(item, ast.Literal) for item in expr.items
+        ):
+            return (
+                expr.operand.name.lower(),
+                frozenset(item.value for item in expr.items),
+            )
+        return None
+    if isinstance(expr, ast.Binary) and expr.op == "=":
+        column, literal = expr.left, expr.right
+        if isinstance(column, ast.Literal) and isinstance(literal, ast.Column):
+            column, literal = literal, column
+        if isinstance(column, ast.Column) and isinstance(literal, ast.Literal):
+            return (column.name.lower(), frozenset((literal.value,)))
+        return None
+    if isinstance(expr, ast.Binary) and expr.op == "OR":
+        left = _single_domain(expr.left)
+        right = _single_domain(expr.right)
+        if left is not None and right is not None and left[0] == right[0]:
+            return (left[0], left[1] | right[1])
+        return None
+    return None
+
+
+def _merge_domain(
+    domains: dict[str, tuple[frozenset, str]],
+    column: str,
+    values: frozenset,
+    provenance: str,
+) -> None:
+    existing = domains.get(column)
+    if existing is None:
+        domains[column] = (values, provenance)
+    else:
+        # Both constraints hold, so the effective domain intersects;
+        # keep the provenance of the tighter contributor.
+        merged = existing[0] & values
+        domains[column] = (
+            merged,
+            provenance if len(values) < len(existing[0]) else existing[1],
+        )

@@ -546,3 +546,43 @@ def choose_algorithm(
         include=SERIAL_IN_MEMORY,
     )
     return choose_strategy(estimates)
+
+
+def semantic_pass_estimate(
+    candidates: float,
+    winners: float,
+    sort_keys: int,
+    scans: int,
+    model: CostModel = DEFAULT_COST_MODEL,
+) -> CostEstimate:
+    """Price a semantically rewritten ``rewrite`` plan.
+
+    Replaces the NOT EXISTS anti-join estimate when a semantic rule
+    fires (see :mod:`repro.plan.semantic`): the host evaluates
+    ``sort_keys`` rank expressions per row over ``scans`` passes, sorts
+    once, and ships only the winners — no quadratic term, and none of
+    the fetch-every-candidate cost the in-memory strategies pay.  A
+    winnow elimination (``sort_keys == 0``) is a plain scan.
+    """
+    n = max(candidates, 1.0) if candidates else 0.0
+    s = min(max(winners, 1.0), n) if candidates else 0.0
+    steps: list[tuple[str, float]] = [
+        ("prepare host statement", model.sql_setup)
+    ]
+    if sort_keys:
+        steps.append(
+            (
+                "host rank expressions",
+                model.sql_rank * n * sort_keys * max(scans, 1),
+            )
+        )
+        log_n = math.log2(n) if n > 1.0 else 1.0
+        steps.append(("host single-pass sort", model.sql_probe * n * log_n))
+    else:
+        steps.append(("host scan", model.sql_probe * n))
+    steps.append(("fetch winners", model.row_fetch * s))
+    return CostEstimate(
+        strategy="rewrite",
+        seconds=sum(seconds for _label, seconds in steps),
+        steps=tuple(steps),
+    )

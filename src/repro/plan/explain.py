@@ -57,6 +57,9 @@ def plan_relation(
     if plan.preference_sql:
         add("preference", plan.preference_sql)
         add("dimensions", plan.dimensions)
+    if plan.semantic_rule is not None:
+        add("semantic rewrite", plan.semantic_rule)
+        add("constraints used", ", ".join(plan.semantic_constraints))
     if plan.table:
         add("table", plan.table)
     if plan.join_tables:

@@ -21,7 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
-from repro.errors import PlanError, PreferenceConstructionError
+from repro.errors import (
+    CatalogError,
+    PlanError,
+    PreferenceConstructionError,
+    RewriteError,
+)
 from repro.engine.columns import rank_shape
 from repro.engine.parallel import default_worker_count
 from repro.model.builder import NameResolver, build_preference
@@ -41,6 +46,7 @@ from repro.plan.cost import (
     estimate_selectivity,
     estimate_skyline_size,
     planned_partitions,
+    semantic_pass_estimate,
 )
 from repro.plan.joins import (
     JoinScan,
@@ -49,6 +55,11 @@ from repro.plan.joins import (
     estimation_predicate,
     join_memory_parts,
     prejoin_parts,
+)
+from repro.plan.semantic import (
+    ConstraintProvider,
+    SemanticRewrite,
+    semantic_rewrite,
 )
 from repro.plan.statistics import TableStatistics
 from repro.rewrite.levels import pushdown_rank_expressions
@@ -140,6 +151,11 @@ class Plan:
     prejoin_residual: ast.Select | None = None
     prejoin_join: ast.Select | None = None
     prejoin_binding: str | None = None
+    #: Semantic-optimization outcome (see :mod:`repro.plan.semantic`):
+    #: the fired rule's label and the integrity constraints — with
+    #: their declared/schema/observed provenance — that justified it.
+    semantic_rule: str | None = None
+    semantic_constraints: tuple[str, ...] = ()
 
     @property
     def uses_engine(self) -> bool:
@@ -165,6 +181,7 @@ def plan_statement(
     force: str | None = None,
     workers: int | None = None,
     views: ViewMatcher | None = None,
+    constraints: ConstraintProvider | None = None,
 ) -> Plan:
     """Plan one (parameter-bound) statement.
 
@@ -175,7 +192,9 @@ def plan_statement(
     None resolves to the hardware default.  ``views`` lets the planner
     answer a matching preference query from a materialized view's
     backing table (skipped whenever a strategy is forced, so pinned
-    executions always compute from the base tables).
+    executions always compute from the base tables).  ``constraints``
+    enables the semantic-optimization pass (also skipped under
+    ``force``, so pinned executions evaluate the original preference).
     """
     if isinstance(statement, ast.ExplainPreference):
         statement = statement.statement
@@ -189,6 +208,20 @@ def plan_statement(
         hit = views(statement)
         if hit is not None:
             return _view_plan(statement, hit, statistics)
+
+    semantic: SemanticRewrite | None = None
+    if (
+        constraints is not None
+        and force is None
+        and isinstance(statement, ast.Select)
+        and statement.preferring is not None
+    ):
+        semantic = _try_semantic(statement, resolver, constraints)
+        if semantic is not None:
+            if semantic.select.preferring is None:
+                # Winnow eliminated entirely: nothing left to price.
+                return _winnow_free_plan(semantic, statistics, model)
+            statement = semantic.select
 
     result = rewrite_statement(statement, schema=schema, resolver=resolver)
     if not result.rewritten:
@@ -308,6 +341,18 @@ def plan_statement(
         rank_source=rank_source,
         prejoin=prejoin_shape,
     )
+    if semantic is not None and semantic.single_pass_sql is not None:
+        # The semantic single pass takes over the 'rewrite' slot: its SQL
+        # replaces the NOT EXISTS text and the strategy is re-priced, so
+        # the cost model weighs it against the in-memory skylines.
+        rewritten_sql = semantic.single_pass_sql
+        estimates["rewrite"] = semantic_pass_estimate(
+            candidates,
+            1.0 if semantic.winners == "one" else skyline,
+            semantic.sort_keys,
+            semantic.scans,
+            model=model,
+        )
 
     if force is not None:
         if force not in STRATEGIES + (PREJOIN_STRATEGY,):
@@ -364,6 +409,15 @@ def plan_statement(
         join_tables=join_tables,
         winnow_pushdown=winnow_pushdown,
     )
+    if semantic is not None:
+        plan.semantic_rule = semantic.rule
+        plan.semantic_constraints = semantic.constraints_used
+        plan.preference_sql = semantic.original_preference
+        if semantic.original_dimensions != dimensions:
+            plan.notes.append(
+                "semantic reduction: PREFERRING "
+                + to_sql(semantic.select.preferring)
+            )
     rank_exprs = (
         probe.sql_exprs
         if probe is not None and rank_source == "sql"
@@ -398,6 +452,69 @@ def plan_statement(
         )
         plan.prejoin_binding = prejoin_binding
     return plan
+
+
+def _try_semantic(
+    statement: ast.Select,
+    resolver: NameResolver | None,
+    constraints: ConstraintProvider,
+) -> SemanticRewrite | None:
+    """Run the semantic pass; analysis failures never fail planning."""
+    term = statement.preferring
+    try:
+        if resolver is not None:
+            term = inline_named_preferences(term, resolver)
+        return semantic_rewrite(statement, term, constraints)
+    except (CatalogError, PlanError, PreferenceConstructionError, RewriteError):
+        return None
+
+
+def _winnow_free_plan(
+    semantic: SemanticRewrite,
+    statistics: StatisticsProvider | None,
+    model: CostModel,
+) -> Plan:
+    """A plan whose winnow the constraints eliminated entirely.
+
+    The statement left over is plain SQL; it executes through the
+    ``rewrite`` strategy (the host runs ``rewritten_sql`` verbatim).
+    """
+    select = semantic.select
+    source = select.sources[0]
+    assert isinstance(source, ast.TableRef)
+    table = source.name.lower()
+    stats: TableStatistics | None = None
+    notes: list[str] = []
+    if statistics is not None:
+        try:
+            stats = statistics(table, ())
+        except PlanError as error:
+            notes.append(f"statistics unavailable: {error}")
+    if stats is not None:
+        row_count = float(stats.row_count)
+        lookup = _binding_lookup(stats, _single_binding(select))
+    else:
+        row_count = float(_DEFAULT_ROW_ESTIMATE)
+        lookup = lambda _name: None  # noqa: E731 - trivial fallback
+    selectivity = estimate_selectivity(select.where, lookup)
+    candidates = max(1.0, row_count * selectivity) if row_count else 0.0
+    winners = 1.0 if semantic.winners == "one" else candidates
+    estimate = semantic_pass_estimate(candidates, winners, 0, 1, model=model)
+    return Plan(
+        statement=select,
+        strategy="rewrite",
+        rewritten_sql=semantic.single_pass_sql,
+        estimates={"rewrite": estimate},
+        statistics=stats,
+        table=table,
+        candidate_estimate=candidates,
+        skyline_estimate=winners,
+        dimensions=semantic.original_dimensions,
+        preference_sql=semantic.original_preference,
+        notes=notes,
+        semantic_rule=semantic.rule,
+        semantic_constraints=semantic.constraints_used,
+    )
 
 
 def _view_plan(
@@ -445,6 +562,10 @@ def rebind_plan(
     """Reuse a cached strategy decision for a freshly parameter-bound
     statement, regenerating only the SQL texts (the rewrite embeds the
     bound literals, so they are per-execution)."""
+    if plan.semantic_rule is not None:
+        # Semantic SQL depends on the constraint analysis, not just the
+        # bound literals; the driver re-plans instead of rebinding.
+        raise PlanError("semantic plans must be re-planned, not rebound")
     if plan.strategy == "passthrough":
         return plan
     if plan.strategy == "view":

@@ -445,6 +445,38 @@ class DropPreferenceView(Statement):
 
 
 @dataclass(frozen=True)
+class CreatePreferenceConstraint(Statement):
+    """PDL: declare an integrity constraint for semantic optimization.
+
+    Four forms, mirroring the constraint classes Chomicki's semantic
+    optimization consumes::
+
+        CREATE PREFERENCE CONSTRAINT name ON table KEY (col, ...)
+        CREATE PREFERENCE CONSTRAINT name ON table NOT NULL (col, ...)
+        CREATE PREFERENCE CONSTRAINT name ON table CHECK (expr)
+        CREATE PREFERENCE CONSTRAINT name ON table FD (col, ...) DETERMINES (col, ...)
+
+    Declared constraints are *trusted*: the planner uses them without
+    re-verifying against the data (unlike "observed" constraints, which
+    are statistics-proven and data_version-scoped).
+    """
+
+    name: str
+    table: str
+    kind: str  # "key" | "not_null" | "check" | "fd"
+    columns: tuple[str, ...] = ()
+    determines: tuple[str, ...] = ()
+    check: Expr | None = None
+
+
+@dataclass(frozen=True)
+class DropPreferenceConstraint(Statement):
+    """PDL: ``DROP PREFERENCE CONSTRAINT name``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
 class ExplainPreference(Statement):
     """``EXPLAIN PREFERENCE <select|insert>`` — plan inspection.
 

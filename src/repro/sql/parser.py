@@ -80,6 +80,18 @@ class Parser:
             raise self._error(f"expected {' or '.join(repr(o) for o in ops)}")
         return token
 
+    def _accept_word(self, *names: str) -> Token | None:
+        """Accept a *soft word*: an identifier (or keyword) spelled like one
+        of ``names``.  Used for constraint-DDL words (CONSTRAINT, KEY, CHECK,
+        FD, DETERMINES) that are not lexer keywords, so plain queries can
+        keep using them as column or table names."""
+        token = self._peek()
+        if token.type is TokenType.IDENT and token.value.upper() in names:
+            return self._advance()
+        if token.type is TokenType.KEYWORD and token.value in names:
+            return self._advance()
+        return None
+
     def _identifier(self, what: str = "identifier") -> str:
         token = self._peek()
         if token.type is TokenType.IDENT:
@@ -219,6 +231,8 @@ class Parser:
             if not self._peek().is_keyword("SELECT"):
                 raise self._error("expected SELECT after CREATE PREFERENCE VIEW ... AS")
             return ast.CreatePreferenceView(name=name, query=self.parse_select())
+        if self._accept_word("CONSTRAINT"):
+            return self._parse_create_constraint()
         name = self._identifier("preference name")
         self._expect_keyword("ON")
         table = self._identifier("table name")
@@ -226,11 +240,54 @@ class Parser:
         term = self.parse_preferring()
         return ast.CreatePreference(name=name, table=table, term=term)
 
+    def _parse_create_constraint(self) -> ast.CreatePreferenceConstraint:
+        name = self._identifier("constraint name")
+        self._expect_keyword("ON")
+        table = self._identifier("table name")
+        if self._accept_word("KEY"):
+            return ast.CreatePreferenceConstraint(
+                name=name, table=table, kind="key", columns=self._parse_name_list()
+            )
+        if self._accept_keyword("NOT"):
+            self._expect_keyword("NULL")
+            return ast.CreatePreferenceConstraint(
+                name=name, table=table, kind="not_null", columns=self._parse_name_list()
+            )
+        if self._accept_word("CHECK"):
+            self._expect_operator("(")
+            check = self.parse_expression()
+            self._expect_operator(")")
+            return ast.CreatePreferenceConstraint(
+                name=name, table=table, kind="check", check=check
+            )
+        if self._accept_word("FD"):
+            columns = self._parse_name_list()
+            if self._accept_word("DETERMINES") is None:
+                raise self._error("expected DETERMINES after the FD column list")
+            return ast.CreatePreferenceConstraint(
+                name=name,
+                table=table,
+                kind="fd",
+                columns=columns,
+                determines=self._parse_name_list(),
+            )
+        raise self._error("expected KEY, NOT NULL, CHECK or FD")
+
+    def _parse_name_list(self) -> tuple[str, ...]:
+        self._expect_operator("(")
+        names = [self._identifier("column name")]
+        while self._accept_operator(","):
+            names.append(self._identifier("column name"))
+        self._expect_operator(")")
+        return tuple(names)
+
     def _parse_drop_preference(self) -> ast.Statement:
         self._expect_keyword("DROP")
         self._expect_keyword("PREFERENCE")
         if self._accept_keyword("VIEW"):
             return ast.DropPreferenceView(name=self._identifier("view name"))
+        if self._accept_word("CONSTRAINT"):
+            return ast.DropPreferenceConstraint(name=self._identifier("constraint name"))
         return ast.DropPreference(name=self._identifier("preference name"))
 
     def _parse_explain_preference(self) -> ast.ExplainPreference:

@@ -55,6 +55,10 @@ def to_sql(node: ast.Node) -> str:
         return f"CREATE PREFERENCE VIEW {node.name} AS {_select(node.query)}"
     if isinstance(node, ast.DropPreferenceView):
         return f"DROP PREFERENCE VIEW {node.name}"
+    if isinstance(node, ast.CreatePreferenceConstraint):
+        return _constraint(node)
+    if isinstance(node, ast.DropPreferenceConstraint):
+        return f"DROP PREFERENCE CONSTRAINT {node.name}"
     if isinstance(node, ast.ExplainPreference):
         return f"EXPLAIN PREFERENCE {to_sql(node.statement)}"
     if isinstance(node, ast.PrefTerm):
@@ -148,6 +152,22 @@ def _insert(insert: ast.Insert) -> str:
         )
         parts.append(f"VALUES {rows}")
     return " ".join(parts)
+
+
+def _constraint(node: ast.CreatePreferenceConstraint) -> str:
+    head = f"CREATE PREFERENCE CONSTRAINT {node.name} ON {node.table}"
+    if node.kind == "key":
+        return f"{head} KEY ({', '.join(node.columns)})"
+    if node.kind == "not_null":
+        return f"{head} NOT NULL ({', '.join(node.columns)})"
+    if node.kind == "check":
+        return f"{head} CHECK ({_expr(node.check)})"
+    if node.kind == "fd":
+        return (
+            f"{head} FD ({', '.join(node.columns)})"
+            f" DETERMINES ({', '.join(node.determines)})"
+        )
+    raise TypeError(f"unknown constraint kind {node.kind!r}")
 
 
 # ----------------------------------------------------------------------

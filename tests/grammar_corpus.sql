@@ -58,5 +58,10 @@ CREATE PREFERENCE veteran ON oldtimer AS age AROUND 40 AND color = 'white' ELSE 
 DROP PREFERENCE veteran
 CREATE PREFERENCE VIEW best_oldtimers AS SELECT * FROM oldtimer PREFERRING age AROUND 40 GROUPING color
 DROP PREFERENCE VIEW best_oldtimers
+CREATE PREFERENCE CONSTRAINT oldtimer_pk ON oldtimer KEY (ident)
+CREATE PREFERENCE CONSTRAINT oldtimer_req ON oldtimer NOT NULL (age, color)
+CREATE PREFERENCE CONSTRAINT oldtimer_dom ON oldtimer CHECK (color IN ('red', 'white', 'yellow'))
+CREATE PREFERENCE CONSTRAINT oldtimer_fd ON oldtimer FD (ident) DETERMINES (color, age)
+DROP PREFERENCE CONSTRAINT oldtimer_pk
 EXPLAIN PREFERENCE SELECT * FROM oldtimer PREFERRING age AROUND 40
 EXPLAIN PREFERENCE INSERT INTO veterans SELECT * FROM oldtimer PREFERRING HIGHEST(age)

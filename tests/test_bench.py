@@ -38,7 +38,7 @@ class TestExperiments:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
-            "e11", "e12",
+            "e11", "e12", "e13",
         }
 
     def test_plan_alias(self):
@@ -49,6 +49,7 @@ class TestExperiments:
         assert ALIASES["views"] == "e10"
         assert ALIASES["columnar"] == "e11"
         assert ALIASES["joins"] == "e12"
+        assert ALIASES["semantic"] == "e13"
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):

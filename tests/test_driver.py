@@ -51,10 +51,22 @@ class TestPreferenceExecution:
             "SELECT * FROM trips PREFERRING duration AROUND 14"
         )
         assert cursor.was_rewritten
-        assert "NOT EXISTS" in cursor.executed_sql
+        # Either the classical NOT EXISTS rewrite or, when the constraint
+        # catalog proves the weak order, the semantic single-pass SQL.
+        if cursor.plan is not None and cursor.plan.semantic_rule is not None:
+            assert "ORDER BY" in cursor.executed_sql
+        else:
+            assert "NOT EXISTS" in cursor.executed_sql
         original, executed = fixture_connection.trace[-1]
         assert "PREFERRING" in original
         assert "PREFERRING" not in executed
+
+    def test_forced_rewrite_is_classical_not_exists(self, fixture_connection):
+        cursor = fixture_connection.execute(
+            "SELECT * FROM trips PREFERRING duration AROUND 14",
+            algorithm="rewrite",
+        )
+        assert "NOT EXISTS" in cursor.executed_sql
 
     def test_best_matches_only(self, fixture_connection):
         rows = fixture_connection.execute(

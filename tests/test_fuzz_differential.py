@@ -12,7 +12,7 @@ not in the fuzzer.
 """
 
 import hypothesis.strategies as st
-from hypothesis import given, settings
+from hypothesis import event, given, settings
 
 import repro
 from repro.engine import ParallelExecutor, PreferenceEngine, Relation
@@ -438,6 +438,160 @@ def test_three_table_joins_agree_on_all_paths(fact_rows, dim_rows, tree):
             "INSERT INTO grp VALUES (?, ?)", [("p", 1), ("q", 2), ("q", 3)]
         )
         _assert_join_paths_agree(connection, (query,))
+    finally:
+        connection.close()
+
+
+# ----------------------------------------------------------------------
+# Constraint-aware semantic-rewrite fuzzing
+#
+# PR 6 adds the constraint catalog and the semantic winnow rewrites;
+# the default planner may now replace a winnow with a plain selection
+# or a single ordered scan when constraints prove it sound.  These
+# cases generate tables *with* constraints — declared ones are derived
+# from the generated data, so they never lie — let the planner apply
+# whatever rule it can prove, and assert the winner multiset is
+# identical to the nested-loop oracle and to every forced strategy.
+# Negative cases assert a rule must NOT fire when a precondition
+# (NOT NULL proof, provable weak order) is missing.
+
+sem_rows_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 4),  # u
+        st.integers(0, 9),  # v
+        st.one_of(st.none(), st.integers(0, 6)),  # w (NULL-bearing)
+        st.sampled_from(["x", "y", "z", None]),  # c
+    ),
+    min_size=0,
+    max_size=16,
+).map(lambda rows: [(index,) + row for index, row in enumerate(rows)])
+
+_SEM_BASES = st.sampled_from(
+    [
+        "LOWEST(u)",
+        "HIGHEST(v)",
+        "u AROUND 2",
+        "v BETWEEN 3, 7",
+        "LOWEST(w)",
+        "HIGHEST(k)",
+        "c = 'x'",
+        "c IN ('x', 'y')",
+        "(c = 'x') ELSE (c = 'z')",
+        "EXPLICIT(c, 'x' > 'y', 'y' > 'z')",
+    ]
+)
+
+sem_trees_strategy = st.recursive(_SEM_BASES, _compose, max_leaves=4)
+
+_SEM_WHERE = st.sampled_from(
+    [None, "k = 2", "u = 1", "u = 1 AND v = 5", "w IS NOT NULL", "v > 3"]
+)
+
+
+def _sem_connection(rows, data):
+    """A driver connection over a constrained table.
+
+    ``k`` is the enumeration index, so KEY (k) and FD (k) DETERMINES …
+    are true by construction; NOT NULL (w) is only declared when the
+    generated rows actually satisfy it.
+    """
+    schema_pk = data.draw(st.booleans(), label="schema_pk")
+    connection = repro.connect(":memory:")
+    key_type = "INTEGER PRIMARY KEY" if schema_pk else "INTEGER"
+    connection.execute(
+        f"CREATE TABLE items (k {key_type}, u INTEGER NOT NULL, "
+        "v INTEGER NOT NULL, w INTEGER, "
+        "c TEXT CHECK (c IN ('x', 'y', 'z')))"
+    )
+    if rows:
+        connection.cursor().executemany(
+            "INSERT INTO items VALUES (?, ?, ?, ?, ?)", rows
+        )
+    if data.draw(st.booleans(), label="declare_key"):
+        connection.execute(
+            "CREATE PREFERENCE CONSTRAINT sem_key ON items KEY (k)"
+        )
+    if data.draw(st.booleans(), label="declare_not_null"):
+        connection.execute(
+            "CREATE PREFERENCE CONSTRAINT sem_nn ON items NOT NULL (u, v)"
+        )
+    if all(row[3] is not None for row in rows) and data.draw(
+        st.booleans(), label="declare_w_not_null"
+    ):
+        connection.execute(
+            "CREATE PREFERENCE CONSTRAINT sem_wnn ON items NOT NULL (w)"
+        )
+    if data.draw(st.booleans(), label="declare_fd"):
+        connection.execute(
+            "CREATE PREFERENCE CONSTRAINT sem_fd ON items "
+            "FD (k) DETERMINES (u, v, c)"
+        )
+    return connection
+
+
+def _assert_semantic_paths_agree(connection, query):
+    """Default planning (semantic may fire) vs oracle vs every strategy."""
+    oracle = sorted(
+        connection.execute(query, algorithm="bnl").fetchall(), key=repr
+    )
+    for strategy in STRATEGIES:
+        rows = sorted(
+            connection.execute(query, algorithm=strategy).fetchall(), key=repr
+        )
+        assert rows == oracle, f"{strategy} diverges on: {query}"
+    cursor = connection.execute(query)
+    rows = sorted(cursor.fetchall(), key=repr)
+    assert rows == oracle, f"semantic/auto diverges on: {query}"
+    return cursor.plan
+
+
+@given(rows=sem_rows_strategy, tree=sem_trees_strategy, data=st.data())
+@settings(max_examples=120, deadline=None)
+def test_constrained_tables_agree_with_oracle(rows, tree, data):
+    where = data.draw(_SEM_WHERE)
+    grouping = data.draw(st.sampled_from(["", " GROUPING c"]))
+    query = "SELECT * FROM items"
+    if where:
+        query += f" WHERE {where}"
+    query += f" PREFERRING {tree}{grouping}"
+    connection = _sem_connection(rows, data)
+    try:
+        plan = _assert_semantic_paths_agree(connection, query)
+        rule = plan.semantic_rule if plan is not None else None
+        event(f"semantic: {rule or 'none'}")
+    finally:
+        connection.close()
+
+
+@given(rows=sem_rows_strategy, data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_single_pass_must_not_fire_when_nulls_present(rows, data):
+    # at least one NULL in w, and no WHERE to pin anything: the only
+    # applicable rule would be the weak-order single pass, whose NOT
+    # NULL precondition is unprovable — it must stay off.
+    rows = rows + [(len(rows), 0, 0, None, "x")]
+    query = "SELECT * FROM items PREFERRING LOWEST(w)"
+    connection = _sem_connection(rows, data)
+    try:
+        plan = _assert_semantic_paths_agree(connection, query)
+        assert plan is not None
+        assert plan.semantic_rule is None, plan.semantic_rule
+    finally:
+        connection.close()
+
+
+@given(rows=sem_rows_strategy, tree=sem_trees_strategy, data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_semantic_must_not_fire_on_unprovable_pareto(rows, tree, data):
+    # a top-level Pareto of two live dimensions with no WHERE pins:
+    # nothing is constant and the tree is not a weak order, so no rule's
+    # preconditions hold.
+    query = f"SELECT * FROM items PREFERRING (LOWEST(u) AND HIGHEST(v)) AND ({tree})"
+    connection = _sem_connection(rows, data)
+    try:
+        plan = _assert_semantic_paths_agree(connection, query)
+        assert plan is not None
+        assert plan.semantic_rule is None, plan.semantic_rule
     finally:
         connection.close()
 
