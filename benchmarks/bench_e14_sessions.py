@@ -1,0 +1,79 @@
+"""E14 — session reuse: a refined query served from the cached BMO set.
+
+Benchmarks a faceted-browsing step: the shop base query runs once and
+captures its winner base in the session cache; the refined query (the
+same preference with a tie-breaker cascaded on) is then answered by
+re-winnowing the cached winners without touching the base table.  The
+served step is measured against the fresh full evaluation of the same
+refined query on a session-disabled connection, asserting row parity.
+The E14 experiment in miniature.
+"""
+
+import repro
+from repro.plan.cost import SESSION_STRATEGY
+from repro.workloads.shop import washing_machines_relation
+
+ROWS = 4_000
+
+BASE = (
+    "SELECT * FROM products "
+    "PREFERRING LOWEST(price) AND LOWEST(powerconsumption)"
+)
+REFINED = BASE + " CASCADE manufacturer IN ('Miola')"
+
+
+def _connection():
+    connection = repro.connect(":memory:")
+    relation = washing_machines_relation(rows=ROWS)
+    # Deliberately unkeyed (no PRIMARY KEY / NOT NULL): the semantic
+    # pass must not replace the winnow, or there is nothing to cache.
+    connection.execute(
+        "CREATE TABLE products ("
+        "product_id INTEGER, manufacturer TEXT, width INTEGER, "
+        "spinspeed INTEGER, powerconsumption REAL, waterconsumption "
+        "INTEGER, price INTEGER)"
+    )
+    connection.cursor().executemany(
+        "INSERT INTO products VALUES (?, ?, ?, ?, ?, ?, ?)", relation.rows
+    )
+    connection.commit()
+    connection.execute("ANALYZE")
+    return connection
+
+
+def _fresh_rows(query):
+    connection = _connection()
+    connection.session_reuse = False
+    rows = sorted(connection.execute(query).fetchall(), key=repr)
+    connection.close()
+    return rows
+
+
+def test_refined_step_served_from_session(benchmark):
+    connection = _connection()
+    fresh = _fresh_rows(REFINED)
+
+    base_cursor = connection.execute(BASE)
+    assert base_cursor.plan is not None and base_cursor.plan.uses_engine
+    base_cursor.fetchall()
+
+    cursor = connection.execute(REFINED)
+    assert cursor.plan is not None
+    assert cursor.plan.strategy == SESSION_STRATEGY
+    assert cursor.plan.session_delta_sql is None
+    cursor.fetchall()
+
+    rows = benchmark(lambda: connection.execute(REFINED).fetchall())
+    assert sorted(rows, key=repr) == fresh
+    assert connection.session_stats()["served"] >= 1
+    connection.close()
+
+
+def test_refined_step_fresh_evaluation(benchmark):
+    connection = _connection()
+    connection.session_reuse = False
+    fresh = _fresh_rows(REFINED)
+    rows = benchmark(lambda: connection.execute(REFINED).fetchall())
+    assert sorted(rows, key=repr) == fresh
+    assert connection.session_stats()["served"] == 0
+    connection.close()

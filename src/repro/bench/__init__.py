@@ -17,7 +17,14 @@ Experiment registry (see DESIGN.md section 4 for the full index):
 Run ``python -m repro.bench`` for all, or name specific experiments.
 """
 
-from repro.bench.harness import Report, Table, time_call
+from repro.bench.harness import Report, Table, run_cli, time_call
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 
-__all__ = ["Report", "Table", "time_call", "EXPERIMENTS", "run_experiment"]
+__all__ = [
+    "Report",
+    "Table",
+    "run_cli",
+    "time_call",
+    "EXPERIMENTS",
+    "run_experiment",
+]

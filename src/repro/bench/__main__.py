@@ -2,56 +2,11 @@
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
 
-from repro.bench.experiments import ALIASES, EXPERIMENTS, run_experiment
-from repro.bench.harness import report_payload
+from repro.bench.harness import run_cli
 
-
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.bench",
-        description="Regenerate the paper's tables and figures.",
-    )
-    parser.add_argument(
-        "experiments",
-        nargs="*",
-        default=list(EXPERIMENTS),
-        help=(
-            f"experiment ids (default: all of {', '.join(EXPERIMENTS)}; "
-            f"aliases: {', '.join(f'{a}={t}' for a, t in ALIASES.items())})"
-        ),
-    )
-    parser.add_argument(
-        "--quick", action="store_true", help="smaller data sizes for smoke runs"
-    )
-    parser.add_argument(
-        "--json",
-        metavar="PATH",
-        help=(
-            "write the raw report data as JSON: the payload of a single "
-            "experiment, or a list of payloads when several ran (CI "
-            "uploads this as an artifact to record the perf trajectory)"
-        ),
-    )
-    args = parser.parse_args(argv)
-
-    payloads = []
-    for name in args.experiments:
-        report = run_experiment(name, quick=args.quick)
-        print(report.render())
-        print()
-        payloads.append(report_payload(report))
-    if args.json:
-        document = payloads[0] if len(payloads) == 1 else payloads
-        with open(args.json, "w", encoding="utf-8") as handle:
-            json.dump(document, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        print(f"wrote {args.json}")
-    return 0
-
+main = run_cli
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -1609,6 +1609,193 @@ def e13_semantic(quick: bool = False) -> Report:
     return report
 
 
+def e14_sessions(quick: bool = False) -> Report:
+    """Session reuse over query *sequences*, not one-shots.
+
+    Models two interactive sessions — faceted shop browsing over the
+    washing-machine catalog and a job-search drill-down — where every
+    step refines the previous query (a CASCADE tie-breaker appended, a
+    facet pinned on a GROUPING column).  Each refined step runs twice:
+    on a connection with session reuse disabled (full evaluation, the
+    planner's best non-session strategy) and on a connection that just
+    answered the parent query (the session cache re-winnows the cached
+    winner base; no base-table scan, no delta SQL for these shapes).
+
+    Row parity between the two connections is asserted at every step,
+    EXPLAIN must surface the ``session reuse`` row, and the acceptance
+    gate requires the drill-down steps to be served ≥5x faster than
+    full evaluation.
+    """
+    from repro.plan.cost import SESSION_STRATEGY
+    from repro.workloads.shop import washing_machines_relation
+
+    report = Report(
+        experiment="E14",
+        title="session reuse: refined queries answered from cached BMO sets",
+    )
+    n = 4_000 if quick else 30_000
+    repeats = 3
+
+    shop_base = (
+        "SELECT * FROM products "
+        "PREFERRING LOWEST(price) AND LOWEST(powerconsumption)"
+    )
+    jobs_base = (
+        "SELECT * FROM candidates PREFERRING LOWEST(salary_expectation) "
+        "AND HIGHEST(years_experience)"
+    )
+    workloads = [
+        (
+            "shop faceted browsing",
+            shop_base,
+            [
+                shop_base + " CASCADE manufacturer IN ('Miola')",
+                shop_base
+                + " CASCADE manufacturer IN ('Miola') "
+                "CASCADE LOWEST(waterconsumption)",
+            ],
+        ),
+        (
+            "jobs drill-down",
+            jobs_base,
+            [
+                jobs_base + " CASCADE education IN ('university')",
+                jobs_base
+                + " CASCADE education IN ('university') "
+                "CASCADE HIGHEST(english_skill)",
+            ],
+        ),
+    ]
+
+    def connect_loaded():
+        connection = repro.connect(":memory:")
+        relation = washing_machines_relation(rows=n)
+        # Deliberately unkeyed (no PRIMARY KEY / NOT NULL): the semantic
+        # pass must not replace the winnow, or there is nothing to cache.
+        connection.execute(
+            "CREATE TABLE products (product_id INTEGER, manufacturer TEXT, "
+            "width INTEGER, spinspeed INTEGER, powerconsumption REAL, "
+            "waterconsumption INTEGER, price INTEGER)"
+        )
+        connection.cursor().executemany(
+            "INSERT INTO products VALUES (?, ?, ?, ?, ?, ?, ?)",
+            relation.rows,
+        )
+        load_jobs(connection, n=n)
+        # The drill-down runs over the 11 meaningful profile attributes;
+        # dragging the 63 filler skill columns through every in-memory
+        # fetch would only benchmark row shipping.
+        connection.execute(
+            "CREATE TABLE candidates AS SELECT profile_id, region, "
+            "profession, years_experience, education, english_skill, "
+            "german_skill, salary_expectation, age, mobility, "
+            "availability_weeks FROM jobs"
+        )
+        connection.commit()
+        connection.execute("ANALYZE")
+        return connection
+
+    served = connect_loaded()
+    full = connect_loaded()
+    full.session_reuse = False
+
+    table = Table(("sequence", "step", "winners", "full [ms]", "session [ms]", "speedup"))
+    raw: dict = {"quick": quick, "rows": n, "workloads": {}}
+    speedups: list[float] = []
+    for name, base, steps in workloads:
+        cell: dict = {"steps": {}}
+        # Answer the parent query once so its winner base is cached (the
+        # session connection pays this scan; every refinement reuses it).
+        base_cursor = served.execute(base)
+        base_cursor.fetchall()
+        if base_cursor.plan is None or not base_cursor.plan.uses_engine:
+            raise AssertionError(
+                f"the base scan of {name!r} was not captured in memory "
+                f"(strategy {base_cursor.plan.strategy if base_cursor.plan else None!r})"
+            )
+        for position, query in enumerate(steps, start=1):
+            explain = dict(
+                served.execute("EXPLAIN PREFERENCE " + query).fetchall()
+            )
+            if "session reuse" not in explain:
+                raise AssertionError(
+                    f"EXPLAIN PREFERENCE lacks the 'session reuse' row on "
+                    f"step {position} of {name!r}"
+                )
+
+            def run_served(query=query):
+                cursor = served.execute(query)
+                if cursor.plan is None or cursor.plan.strategy != SESSION_STRATEGY:
+                    raise AssertionError(
+                        f"refined step was not served from the session "
+                        f"cache: {query}"
+                    )
+                if cursor.plan.session_delta_sql is not None:
+                    raise AssertionError(
+                        f"pure refinement produced a delta scan: {query}"
+                    )
+                return sorted(cursor.fetchall(), key=repr)
+
+            def run_full(query=query):
+                return sorted(full.execute(query).fetchall(), key=repr)
+
+            run_served(), run_full()  # warm plan caches
+            served_rows, served_timing = time_call(run_served, repeats=repeats)
+            full_rows, full_timing = time_call(run_full, repeats=repeats)
+            if served_rows != full_rows:
+                raise AssertionError(
+                    f"session reuse diverges from full evaluation on: {query}"
+                )
+            speedup = full_timing.best / served_timing.best
+            speedups.append(speedup)
+            table.add(
+                name,
+                f"refine {position}",
+                len(served_rows),
+                full_timing.ms(),
+                served_timing.ms(),
+                f"{speedup:.1f}x",
+            )
+            cell["steps"][f"refine {position}"] = {
+                "winners": len(served_rows),
+                "full": full_timing.best,
+                "session": served_timing.best,
+                "speedup": speedup,
+                "refinement": explain.get("refinement relation"),
+            }
+        raw["workloads"][name] = cell
+    report.add_table("refined steps: full evaluation vs session reuse", table)
+
+    stats = served.session_stats()
+    raw["session_stats"] = stats
+    if stats["served"] < sum(len(steps) for _n, _b, steps in workloads):
+        raise AssertionError(
+            f"session cache served fewer steps than the workloads refined: "
+            f"{stats}"
+        )
+    served.close()
+    full.close()
+
+    floor = 5.0
+    worst = min(speedups)
+    raw["speedup_floor"] = floor
+    raw["min_refinement_speedup"] = worst
+    if worst < floor:
+        raise AssertionError(
+            f"session reuse below the {floor:.0f}x floor on a refined "
+            f"step: {worst:.2f}x"
+        )
+    report.note(
+        "row parity asserted between the session connection and a "
+        "session-disabled connection on every refined step; EXPLAIN "
+        "surfaces 'session reuse' and the refinement relation; worst "
+        f"refined-step speedup {worst:.1f}x (floor {floor:.0f}x), "
+        f"{stats['served']} steps served from {stats['stores']} stores."
+    )
+    report.data = raw
+    return report
+
+
 def _leaf_offsets(preference):
     """(base preference, operand offset) pairs in tree order."""
     offset = 0
@@ -1641,6 +1828,7 @@ EXPERIMENTS = {
     "e11": e11_columnar,
     "e12": e12_joins,
     "e13": e13_semantic,
+    "e14": e14_sessions,
 }
 
 #: Friendly aliases accepted by ``run_experiment`` and the CLI.
@@ -1651,6 +1839,7 @@ ALIASES = {
     "columnar": "e11",
     "joins": "e12",
     "semantic": "e13",
+    "sessions": "e14",
 }
 
 

@@ -41,19 +41,38 @@ from __future__ import annotations
 
 import re
 import sqlite3
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
-from repro.engine.bmo import PreferenceEngine, run_in_memory_plan, run_prejoin_plan
+from repro.engine.bmo import (
+    PreferenceEngine,
+    run_in_memory_plan,
+    run_in_memory_plan_capturing,
+    run_prejoin_plan,
+)
 from repro.engine.incremental import ViewMaintainer
 from repro.engine.parallel import ParallelExecutor, default_worker_count
 from repro.engine.relation import Relation
-from repro.errors import CatalogError, DriverError, PreferenceSQLError
+from repro.errors import (
+    CatalogError,
+    DriverError,
+    PlanError,
+    PreferenceConstructionError,
+    PreferenceSQLError,
+)
+from repro.model.algebra import normalize
 from repro.pdl.catalog import PreferenceCatalog, ViewEntry
 from repro.plan.cache import CacheStats, PlanCache
 from repro.plan.constraints import ConstraintCache
+from repro.plan.cost import SESSION_STRATEGY
 from repro.plan.explain import plan_relation, plan_text
-from repro.plan.planner import Plan, plan_statement, rebind_plan
+from repro.plan.planner import (
+    Plan,
+    inline_named_preferences,
+    plan_statement,
+    rebind_plan,
+)
+from repro.plan.session import SessionCache, SessionEntry, conjoin
 from repro.plan.statistics import StatisticsCache, TableStatistics
 from repro.sql import ast
 from repro.sql.params import bind_parameters
@@ -444,6 +463,8 @@ class Connection:
         self._plan_cache: PlanCache[_CachedStatement] = PlanCache()
         self._schema_cache: tuple[int, dict[str, list[str]]] | None = None
         self._maintainer: ViewMaintainer | None = None
+        self._session = SessionCache()
+        self._session_enabled = True
 
     @property
     def raw(self) -> sqlite3.Connection:
@@ -562,6 +583,86 @@ class Connection:
                 catalog_version=lambda: self._catalog_version,
             )
         return self._constraints
+
+    # ------------------------------------------------------------------
+    # Session-level result reuse (refinement chains)
+
+    @property
+    def session_cache(self) -> SessionCache:
+        """The per-connection cache of winner bases (refinement reuse)."""
+        return self._session
+
+    @property
+    def session_reuse(self) -> bool:
+        """Whether refined queries may be answered from cached winners."""
+        return self._session_enabled
+
+    @session_reuse.setter
+    def session_reuse(self, value: bool) -> None:
+        self._session_enabled = bool(value)
+        if not value:
+            self._session.clear()
+
+    def session_stats(self) -> dict[str, int]:
+        """Counters of the session cache: stores/hits/misses/served/…"""
+        return self._session.stats()
+
+    def _pragma_data_version(self) -> int:
+        """sqlite's ``PRAGMA data_version``: moves when *another*
+        connection changes the database file — the one write path the
+        driver's own data version cannot see."""
+        return int(self._raw.execute("PRAGMA data_version").fetchone()[0])
+
+    def _session_versions(self) -> tuple[int, int, int]:
+        return (
+            self._data_version,
+            self._pragma_data_version(),
+            self._catalog_version,
+        )
+
+    def _canonical_term(self, term: ast.PrefTerm) -> ast.PrefTerm | None:
+        """Inline named preferences and normalize — the canonical form
+        the session cache stores and matches on (None when a reference
+        does not resolve; the planner will surface that error itself)."""
+        try:
+            return normalize(inline_named_preferences(term, self.catalog.resolve))
+        except (CatalogError, PlanError, PreferenceConstructionError):
+            return None
+
+    def _session_matcher(self):
+        """Planner hook consulting the session cache, or None when it
+        cannot possibly match (disabled, or nothing cached)."""
+        if not self._session_enabled or not self._session.entries:
+            return None
+
+        def match(select: ast.Select):
+            if select.preferring is None:
+                return None
+            term = self._canonical_term(select.preferring)
+            if term is None:
+                return None
+            return self._session.match(select, term, self._session_versions())
+
+        return match
+
+    def _store_session(self, select: ast.Statement, winners: Relation) -> None:
+        """Cache one query's winner base for later refinement reuse."""
+        if not isinstance(select, ast.Select) or select.preferring is None:
+            return
+        term = self._canonical_term(select.preferring)
+        if term is None:
+            return
+        self._session.store(
+            SessionEntry(
+                select=select,
+                term=term,
+                winners=winners,
+                data_version=self._data_version,
+                pragma_version=self._pragma_data_version(),
+                catalog_version=self._catalog_version,
+                text=to_sql(select),
+            )
+        )
 
     def table_statistics(
         self, table: str, columns: Sequence[str] = ()
@@ -777,6 +878,10 @@ class Connection:
             # definition while the cached plan is reused for others.
             views=self._view_matcher() if not params else None,
             constraints=self.constraints,
+            # Session matching is safe under parameters — it runs on the
+            # *bound* statement, so every binding is judged on its own
+            # literal WHERE conjuncts.
+            session=self._session_matcher() if force is None else None,
         )
 
     def explain(self, sql: str) -> str:
@@ -999,6 +1104,21 @@ class Cursor:
                         schema=connection.schema(),
                         resolver=connection.catalog.resolve,
                     )
+        if (
+            plan is not None
+            and use_cache
+            and algorithm is None
+            and isinstance(bound, ast.Select)
+            and bound.preferring is not None
+        ):
+            # The cached plan predates the current session-cache contents;
+            # when a stored winner base now provably serves this query,
+            # drop the hit and re-plan so the session strategy competes.
+            matcher = connection._session_matcher()
+            if matcher is not None:
+                match = matcher(bound)
+                if match is not None and match.servable:
+                    plan = None
         if plan is None:
             # First sighting, or the data version moved under a cached
             # plan: re-plan so the strategy tracks the current statistics
@@ -1012,6 +1132,7 @@ class Cursor:
                 workers=connection._effective_workers(),
                 views=connection._view_matcher() if not params else None,
                 constraints=connection.constraints,
+                session=connection._session_matcher() if use_cache else None,
             )
             if use_cache:
                 connection._plan_cache.put(
@@ -1019,7 +1140,12 @@ class Cursor:
                     connection._plan_version(),
                     _CachedStatement(
                         statement=statement,
-                        plan=plan,
+                        # A session plan is valid only against the exact
+                        # cached entry it matched; caching it could serve
+                        # a stale winner base later.  Cache the parse
+                        # only — the next execution re-plans, which
+                        # re-validates the match against live versions.
+                        plan=None if plan.strategy == SESSION_STRATEGY else plan,
                         param_free=not params,
                         data_version=connection.data_version,
                     ),
@@ -1028,8 +1154,20 @@ class Cursor:
         if plan.strategy == "passthrough":
             return self._passthrough(sql, params)
         self.plan = plan
+        if plan.strategy == SESSION_STRATEGY:
+            return self._execute_session(sql, plan)
         if plan.uses_engine:
-            return self._execute_in_memory(sql, plan)
+            capture = (
+                use_cache
+                and connection._session_enabled
+                and isinstance(plan.statement, ast.Select)
+                and plan.statement.preferring is not None
+                and plan.statement.but_only is None
+                and not plan.statement.group_by
+                and plan.statement.having is None
+                and plan.table is not None
+            )
+            return self._execute_in_memory(sql, plan, capture=capture)
         if plan.is_prejoin:
             return self._execute_prejoin(sql, plan)
         return self._execute_rewrite(sql, bound, plan)
@@ -1060,27 +1198,87 @@ class Cursor:
                 )
         return self
 
-    def _execute_in_memory(self, sql: str, plan: Plan) -> "Cursor":
+    def _execute_in_memory(
+        self, sql: str, plan: Plan, capture: bool = False
+    ) -> "Cursor":
         connection = self._connection
+        executor = (
+            connection.parallel_executor if plan.strategy == "parallel" else None
+        )
         try:
-            result = run_in_memory_plan(
-                connection.raw.execute,
-                plan,
-                executor=(
-                    connection.parallel_executor
-                    if plan.strategy == "parallel"
-                    else None
-                ),
-            )
+            if capture:
+                result, winner_base = run_in_memory_plan_capturing(
+                    connection.raw.execute, plan, executor=executor
+                )
+            else:
+                result = run_in_memory_plan(
+                    connection.raw.execute, plan, executor=executor
+                )
         except sqlite3.Error as error:
             raise DriverError(
                 f"host database rejected pushdown SQL: {error}\n{plan.pushdown_sql}"
             ) from error
+        if capture:
+            connection._store_session(plan.statement, winner_base)
         self._result = _LocalResult(result)
         self.executed_sql = plan.pushdown_sql
         self.was_rewritten = True
         connection.trace.append(
             (sql, f"{plan.pushdown_sql} /* + in-memory {plan.strategy} */")
+        )
+        return self
+
+    def _execute_session(self, sql: str, plan: Plan) -> "Cursor":
+        """Answer a provably-refined query from the session cache.
+
+        No base-table rescan: the cached winner base (filtered by any
+        added grouping-column conjuncts via the residual's first pass) is
+        unioned with the bounded delta rows — fetched by
+        ``session_delta_sql`` only when the WHERE was weakened — and
+        re-winnowed under the *new* preference.  The resulting winner
+        base replaces the served entry, so a whole drill-down chain keeps
+        re-winnowing ever-smaller sets.
+        """
+        connection = self._connection
+        match = plan.session_match
+        winners = match.entry.winners
+        delta_rows: list[tuple] = []
+        if plan.session_delta_sql is not None:
+            try:
+                cursor = connection.raw.execute(plan.session_delta_sql)
+            except sqlite3.Error as error:
+                raise DriverError(
+                    f"host database rejected session delta SQL: {error}\n"
+                    f"{plan.session_delta_sql}"
+                ) from error
+            delta_rows = cursor.fetchall()
+        pool = Relation(
+            columns=winners.columns,
+            rows=list(winners.rows) + [tuple(row) for row in delta_rows],
+        )
+        residual = plan.residual
+        name = residual.sources[0].name
+        engine = PreferenceEngine({name: pool}, algorithm="auto")
+        stage_one = replace(
+            residual,
+            items=(ast.Star(),),
+            where=conjoin(match.added),
+            order_by=(),
+            limit=None,
+            offset=None,
+            distinct=False,
+        )
+        winner_base = engine.execute_select(stage_one)
+        engine.register(name, winner_base)
+        result = engine.execute_select(residual)
+        connection._store_session(plan.statement, winner_base)
+        connection.session_cache.served += 1
+        self._result = _LocalResult(result)
+        self.executed_sql = plan.session_delta_sql
+        self.was_rewritten = True
+        delta_note = plan.session_delta_sql or "/* no delta scan */"
+        connection.trace.append(
+            (sql, f"{delta_note} /* + session reuse: {', '.join(match.rules)} */")
         )
         return self
 
@@ -1133,6 +1331,7 @@ class Cursor:
             workers=connection._effective_workers(),
             views=connection._view_matcher() if not params else None,
             constraints=connection.constraints,
+            session=connection._session_matcher() if algorithm is None else None,
         )
         stats = connection.plan_cache_stats()
         cache_note = (

@@ -19,7 +19,7 @@ computed here by the algorithms in :mod:`repro.engine.algorithms`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.errors import EvaluationError, PreferenceConstructionError
@@ -204,6 +204,48 @@ def run_in_memory_plan(
         rank_columns=ranks,
     )
     return engine.execute_select(plan.residual)
+
+
+def run_in_memory_plan_capturing(
+    execute,
+    plan,
+    executor: "ParallelExecutor | None" = None,
+) -> tuple[Relation, Relation]:
+    """Like :func:`run_in_memory_plan`, but also capture the winner base.
+
+    Returns ``(result, winner_base)`` from a **single** pushdown scan.
+    The winner base is the full BMO set with the scan's complete column
+    set — computed by a first pass whose query block strips projection,
+    ORDER BY, LIMIT, OFFSET and DISTINCT (the residual's WHERE is already
+    consumed by the pushdown).  The second pass then runs the true
+    residual over the winner base: winnowing is idempotent per GROUPING
+    partition, so the winners are unchanged and only the query surface
+    (projection, ordering, quotas) is applied.  The session cache stores
+    the winner base so a later *refined* query — possibly with a
+    different surface — can be answered from it.
+    """
+    candidates, ranks = _fetch_with_ranks(
+        execute, plan.pushdown_sql, plan.residual, plan.rank_width
+    )
+    name = plan.residual.sources[0].name
+    engine = PreferenceEngine(
+        {name: candidates},
+        algorithm=plan.strategy,
+        executor=executor,
+        rank_columns=ranks,
+    )
+    base_select = replace(
+        plan.residual,
+        items=(ast.Star(),),
+        order_by=(),
+        limit=None,
+        offset=None,
+        distinct=False,
+    )
+    winner_base = engine.execute_select(base_select)
+    engine.register(name, winner_base)
+    result = engine.execute_select(plan.residual)
+    return result, winner_base
 
 
 def run_prejoin_plan(execute, plan, on_fallback=None) -> Relation:

@@ -23,6 +23,8 @@ applied.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.sql import ast
 
 
@@ -97,6 +99,244 @@ def _drop_adjacent_duplicates(parts: list[ast.PrefTerm]) -> list[ast.PrefTerm]:
         if not result or result[-1] != part:
             result.append(part)
     return result
+
+
+# ---------------------------------------------------------------------------
+# Refinement: does the strict order of ``old`` embed into that of ``new``?
+#
+# Chomicki ("Database Querying under Changing Preferences") calls ``new``
+# a refinement of ``old`` when every old dominance still holds under the
+# new preference (``x >_old y  =>  x >_new y``).  Then the new BMO set of
+# any candidate set C is contained in BMO_old(C): a session can answer the
+# refined query by re-winnowing the cached winners plus a bounded delta.
+#
+# Only *syntactically checkable* rules are admitted, each proven against
+# the model layer's dominance semantics (see tests/test_sessions.py for
+# the property suite and the counterexamples that shaped the rules):
+#
+# * identical           — trivially a refinement.
+# * explicit extended   — EXPLICIT over the same operand with extra pairs
+#                         whose transitive closure contains the old one and
+#                         stays acyclic.  ``is_equal`` of EXPLICIT is plain
+#                         value equality, independent of the pairs, so this
+#                         rule is also safe *inside* a cascade prefix.
+# * cascade appended    — tie-breakers appended at the tail; prefix layers
+#                         must keep ``is_equal`` exactly (identical or
+#                         explicit-extended), because a cascade falls
+#                         through on equality.
+# * else appended       — an alternative appended to a POS/NEG ELSE chain
+#                         over one operand, with values disjoint from every
+#                         earlier bucket.  (Without disjointness the new
+#                         bucket can *promote* a value that used to sit in
+#                         a bucket after OTHERS: POS(a) ELSE NEG(b) plus
+#                         ELSE POS(b) reverses ``others > b`` into
+#                         ``b > others``.)
+#
+# A detected-but-unsound relationship (a Pareto dimension added) is
+# reported with ``order_preserving=False`` so EXPLAIN can surface it, but
+# callers must never serve cached winners from it: with old = LOWEST(a)
+# and new = LOWEST(a) AND LOWEST(b), the rows a=(0,5), b=(5,0), c=(1,1)
+# make c a new winner that no old winner dominates.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Refinement:
+    """The algebraic judgment ``refines(old, new)`` evaluates to.
+
+    ``order_preserving`` is True exactly when every old dominance is
+    preserved (``>_old``  subset of ``>_new``) — the precondition for
+    answering from cached winners.  False marks a recognised but unsound
+    relationship, kept for EXPLAIN diagnostics only.
+    """
+
+    rules: tuple[str, ...]
+    order_preserving: bool = True
+
+    @property
+    def description(self) -> str:
+        return ", ".join(self.rules) if self.rules else "identical"
+
+
+def refines(old: ast.PrefTerm, new: ast.PrefTerm) -> Refinement | None:
+    """Judge whether ``new`` refines ``old`` (after normalisation).
+
+    Returns ``None`` when no relationship is recognised; a
+    :class:`Refinement` with ``order_preserving=False`` when the trees are
+    related in a way that does *not* preserve the old order (added Pareto
+    dimension); otherwise the set of rules that prove the refinement.
+    """
+    old = normalize(old)
+    new = normalize(new)
+    rules = _tail_refines(old, new)
+    if rules is not None:
+        return Refinement(rules=tuple(sorted(rules)) or ("identical",))
+    if _pareto_dimension_added(old, new):
+        return Refinement(
+            rules=("pareto dimension added",), order_preserving=False
+        )
+    return None
+
+
+def _tail_refines(old: ast.PrefTerm, new: ast.PrefTerm) -> set[str] | None:
+    """Rules proving ``>_old subset of >_new`` at a tail position.
+
+    A *tail* has nothing cascaded after it in the old tree, so the new
+    preference may both grow ``is_better`` and shrink ``is_equal``.
+    Returns the (possibly empty) rule set, or None when unprovable.
+    """
+    if old == new:
+        return set()
+    if isinstance(old, ast.ExplicitPref) and isinstance(new, ast.ExplicitPref):
+        if _explicit_extends(old, new):
+            return {"explicit chain extended"}
+        return None
+    if isinstance(new, ast.CascadePref):
+        rules = _cascade_append(old, new)
+        if rules is not None:
+            return rules
+    if isinstance(new, ast.ElsePref):
+        rules = _else_append(old, new)
+        if rules is not None:
+            return rules
+    return None
+
+
+def _interior_refines(old: ast.PrefTerm, new: ast.PrefTerm) -> set[str] | None:
+    """Rules proving refinement at an *interior* cascade position.
+
+    Layers with later tie-breakers must preserve ``is_equal`` exactly —
+    a cascade falls through on equality, so an interior layer may only
+    grow ``is_better`` without touching the equivalence.  Identity and
+    EXPLICIT extension (whose ``is_equal`` ignores the pairs) qualify.
+    """
+    if old == new:
+        return set()
+    if isinstance(old, ast.ExplicitPref) and isinstance(new, ast.ExplicitPref):
+        if _explicit_extends(old, new):
+            return {"explicit chain extended"}
+    return None
+
+
+def _cascade_append(old: ast.PrefTerm, new: ast.CascadePref) -> set[str] | None:
+    old_parts = old.parts if isinstance(old, ast.CascadePref) else (old,)
+    if len(new.parts) < len(old_parts):
+        return None
+    rules: set[str] = set()
+    for old_part, new_part in zip(old_parts[:-1], new.parts):
+        inner = _interior_refines(old_part, new_part)
+        if inner is None:
+            return None
+        rules |= inner
+    last = _tail_refines(old_parts[-1], new.parts[len(old_parts) - 1])
+    if last is None:
+        return None
+    rules |= last
+    if len(new.parts) > len(old_parts):
+        rules.add("cascade tie-breaker appended")
+    return rules
+
+
+def _else_append(old: ast.PrefTerm, new: ast.ElsePref) -> set[str] | None:
+    old_parts = old.parts if isinstance(old, ast.ElsePref) else (old,)
+    if len(new.parts) <= len(old_parts):
+        return None
+    if tuple(new.parts[: len(old_parts)]) != tuple(old_parts):
+        return None
+    extras = new.parts[len(old_parts):]
+    operand = None
+    old_values: set[object] = set()
+    for part in old_parts:
+        values = _pos_neg_values(part)
+        if values is None:
+            return None
+        if operand is None:
+            operand = part.operand
+        elif part.operand != operand:
+            return None
+        old_values |= values
+    for part in extras:
+        values = _pos_neg_values(part)
+        if values is None or part.operand != operand:
+            return None
+        if values & old_values:
+            # A repeated value would be *promoted* out of a bucket behind
+            # OTHERS — that reverses dominance, not refines it.
+            return None
+        old_values |= values
+    return {"else alternative appended"}
+
+
+def _pos_neg_values(part: ast.PrefTerm) -> set[object] | None:
+    """The literal value set of a POS/NEG part, or None if not that shape."""
+    if not isinstance(part, (ast.PosPref, ast.NegPref)):
+        return None
+    values: set[object] = set()
+    for value in part.values:
+        if not isinstance(value, ast.Literal) or value.value is None:
+            return None
+        values.add(value.value)
+    return values
+
+
+def _pareto_dimension_added(old: ast.PrefTerm, new: ast.PrefTerm) -> bool:
+    """True when ``new`` is ``old`` with extra Pareto dimensions.
+
+    Deliberately *not* order preserving — the extra dimension resurrects
+    tuples the old winners never dominated — but worth reporting.
+    """
+    if not isinstance(new, ast.ParetoPref):
+        return False
+    old_parts = old.parts if isinstance(old, ast.ParetoPref) else (old,)
+    if len(new.parts) <= len(old_parts):
+        return False
+    return all(part in new.parts for part in old_parts)
+
+
+def _explicit_extends(old: ast.ExplicitPref, new: ast.ExplicitPref) -> bool:
+    """EXPLICIT extension: same operand, closure containment, acyclic."""
+    if old.operand != new.operand:
+        return False
+    old_edges = _literal_edges(old.pairs)
+    new_edges = _literal_edges(new.pairs)
+    if old_edges is None or new_edges is None:
+        return False
+    old_closure = _transitive_closure(old_edges)
+    new_closure = _transitive_closure(new_edges)
+    if any(better == worse for better, worse in new_closure):
+        return False  # the extended chain would introduce a cycle
+    return old_closure <= new_closure
+
+
+def _literal_edges(pairs) -> set[tuple[object, object]] | None:
+    edges: set[tuple[object, object]] = set()
+    for better, worse in pairs:
+        if not isinstance(better, ast.Literal) or not isinstance(worse, ast.Literal):
+            return None
+        if better.value is None or worse.value is None:
+            return None
+        edges.add((better.value, worse.value))
+    return edges
+
+
+def _transitive_closure(
+    edges: set[tuple[object, object]],
+) -> set[tuple[object, object]]:
+    adjacency: dict[object, set[object]] = {}
+    for better, worse in edges:
+        adjacency.setdefault(better, set()).add(worse)
+    closure: set[tuple[object, object]] = set()
+    for start in adjacency:
+        stack = list(adjacency[start])
+        seen: set[object] = set()
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            closure.add((start, node))
+            stack.extend(adjacency.get(node, ()))
+    return closure
 
 
 def describe(term: ast.PrefTerm, indent: int = 0) -> str:

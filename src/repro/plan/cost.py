@@ -51,8 +51,17 @@ STRATEGIES: tuple[str, ...] = ("rewrite",) + IN_MEMORY_STRATEGIES
 #: single-table queries.
 PREJOIN_STRATEGY: str = "prejoin"
 
+#: Session reuse: re-winnow the connection's cached winner base ∪ a
+#: bounded delta instead of rescanning.  Like :data:`PREJOIN_STRATEGY`
+#: it stays out of :data:`STRATEGIES` — it is only priceable when the
+#: session cache holds a provably refined entry, so generic "every
+#: strategy" loops must not force it.
+SESSION_STRATEGY: str = "session"
+
 #: Deterministic tie-breaking order across every priceable strategy.
-_TIE_ORDER: tuple[str, ...] = ("rewrite", PREJOIN_STRATEGY) + IN_MEMORY_STRATEGIES
+_TIE_ORDER: tuple[str, ...] = (
+    ("rewrite", PREJOIN_STRATEGY) + IN_MEMORY_STRATEGIES + (SESSION_STRATEGY,)
+)
 
 #: Assumed distinct count for preference dimensions whose operand is a
 #: computed expression (no column statistics available).
@@ -583,6 +592,55 @@ def semantic_pass_estimate(
     steps.append(("fetch winners", model.row_fetch * s))
     return CostEstimate(
         strategy="rewrite",
+        seconds=sum(seconds for _label, seconds in steps),
+        steps=tuple(steps),
+    )
+
+
+def session_reuse_estimate(
+    winners: float,
+    delta: float,
+    table_rows: float,
+    dimensions: int,
+    distinct_counts: Sequence[int | None] = (),
+    model: CostModel = DEFAULT_COST_MODEL,
+    delta_scan: bool = False,
+    row_width: int | None = None,
+) -> CostEstimate:
+    """Price answering from the session cache's winner base.
+
+    ``winners`` cached winner-base rows are already in memory; a WHERE
+    weakening additionally scans the table once for the delta rows
+    (``delta`` estimated survivors of the delta condition).  The
+    re-winnow then runs over ``winners + delta`` rows — for refinement
+    chains that is orders of magnitude below any full-scan strategy,
+    which is exactly why the strategy wins whenever it is priceable.
+    """
+    m = max(0.0, float(winners))
+    d_rows = max(0.0, float(delta)) if delta_scan else 0.0
+    pool = max(1.0, m + d_rows)
+    s = max(1.0, estimate_skyline_size(pool, dimensions, distinct_counts))
+    width_factor = max(1.0, (row_width or 8) / 8.0)
+    steps: list[tuple[str, float]] = [
+        ("reuse cached winners", 0.0),
+    ]
+    if delta_scan:
+        steps.append(
+            (
+                "delta scan",
+                model.sql_setup
+                + model.sql_probe * max(1.0, float(table_rows))
+                + model.row_fetch * width_factor * d_rows,
+            )
+        )
+    steps.append(
+        (
+            "re-winnow winners ∪ delta",
+            model.py_setup + model.py_dominance * pool * s * 0.35,
+        )
+    )
+    return CostEstimate(
+        strategy=SESSION_STRATEGY,
         seconds=sum(seconds for _label, seconds in steps),
         steps=tuple(steps),
     )

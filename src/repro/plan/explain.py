@@ -9,7 +9,7 @@ an indented text block, used by :meth:`repro.driver.Connection.explain`.
 from __future__ import annotations
 
 from repro.engine.relation import Relation
-from repro.plan.cost import PREJOIN_STRATEGY, STRATEGIES
+from repro.plan.cost import PREJOIN_STRATEGY, SESSION_STRATEGY, STRATEGIES
 from repro.plan.planner import Plan
 
 #: Column names of the EXPLAIN PREFERENCE result relation.
@@ -31,11 +31,15 @@ _STRATEGY_LABELS = {
     "view": "materialized preference view scan",
     "prejoin": "winnow pushdown — BMO on the preference table, then join "
     "only the winners",
+    "session": "session reuse — re-winnow cached winners ∪ bounded delta",
 }
 
 #: Cost-row order: rewrite first, then the join pushdown, then the
-#: in-memory strategies (mirrors the tie-breaking order of the model).
-_COST_ORDER = (STRATEGIES[0], PREJOIN_STRATEGY) + STRATEGIES[1:]
+#: in-memory strategies (mirrors the tie-breaking order of the model),
+#: then session reuse when the cache held a refined entry.
+_COST_ORDER = (
+    (STRATEGIES[0], PREJOIN_STRATEGY) + STRATEGIES[1:] + (SESSION_STRATEGY,)
+)
 
 
 def plan_relation(
@@ -60,6 +64,15 @@ def plan_relation(
     if plan.semantic_rule is not None:
         add("semantic rewrite", plan.semantic_rule)
         add("constraints used", ", ".join(plan.semantic_constraints))
+    if plan.session_match is not None:
+        add("refinement relation", plan.session_match.relation)
+        if plan.strategy == SESSION_STRATEGY:
+            winners = len(plan.session_match.entry.winners)
+            detail = f"re-winnow {winners} cached winners"
+            detail += " ∪ delta" if plan.session_delta_sql else " (no delta scan)"
+            add("session reuse", detail)
+        if plan.session_delta_sql:
+            add("delta SQL", plan.session_delta_sql)
     if plan.table:
         add("table", plan.table)
     if plan.join_tables:

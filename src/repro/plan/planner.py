@@ -36,6 +36,7 @@ from repro.plan.cost import (
     DEFAULT_COST_MODEL,
     IN_MEMORY_STRATEGIES,
     PREJOIN_STRATEGY,
+    SESSION_STRATEGY,
     STRATEGIES,
     CostEstimate,
     CostModel,
@@ -47,6 +48,7 @@ from repro.plan.cost import (
     estimate_skyline_size,
     planned_partitions,
     semantic_pass_estimate,
+    session_reuse_estimate,
 )
 from repro.plan.joins import (
     JoinScan,
@@ -61,6 +63,7 @@ from repro.plan.semantic import (
     SemanticRewrite,
     semantic_rewrite,
 )
+from repro.plan.session import SessionMatch
 from repro.plan.statistics import TableStatistics
 from repro.rewrite.levels import pushdown_rank_expressions
 from repro.rewrite.planner import Schema, pref_expressions, rewrite_statement
@@ -96,6 +99,11 @@ class MaterializedView:
 
 #: Matcher signature: SELECT statement → matching view, or None.
 ViewMatcher = Callable[[ast.Select], MaterializedView | None]
+
+#: Session matcher signature: (parameter-bound) SELECT → the judgment
+#: against the connection's session cache, or None.  Provided by the
+#: driver (:meth:`repro.driver.Connection._session_matcher`).
+SessionMatcher = Callable[[ast.Select], SessionMatch | None]
 
 
 @dataclass
@@ -156,6 +164,14 @@ class Plan:
     #: their declared/schema/observed provenance — that justified it.
     semantic_rule: str | None = None
     semantic_constraints: tuple[str, ...] = ()
+    #: Session-reuse judgment (see :mod:`repro.plan.session`): set
+    #: whenever the connection's session cache held a related entry —
+    #: servable or not, so EXPLAIN can surface the refinement relation
+    #: either way.  ``session_delta_sql`` is the bounded delta scan of a
+    #: chosen session plan (None when the old candidate set contains the
+    #: new one).
+    session_match: SessionMatch | None = None
+    session_delta_sql: str | None = None
 
     @property
     def uses_engine(self) -> bool:
@@ -182,6 +198,7 @@ def plan_statement(
     workers: int | None = None,
     views: ViewMatcher | None = None,
     constraints: ConstraintProvider | None = None,
+    session: SessionMatcher | None = None,
 ) -> Plan:
     """Plan one (parameter-bound) statement.
 
@@ -195,6 +212,11 @@ def plan_statement(
     executions always compute from the base tables).  ``constraints``
     enables the semantic-optimization pass (also skipped under
     ``force``, so pinned executions evaluate the original preference).
+    ``session`` consults the connection's session cache for a previous
+    winner base this query provably refines — a servable match adds a
+    ``session`` strategy to the priced candidates (and suppresses the
+    semantic pass, whose rewritten statement would no longer line up
+    with the cached entry's canonical form).
     """
     if isinstance(statement, ast.ExplainPreference):
         statement = statement.statement
@@ -209,12 +231,22 @@ def plan_statement(
         if hit is not None:
             return _view_plan(statement, hit, statistics)
 
+    session_match: SessionMatch | None = None
+    if (
+        session is not None
+        and force is None
+        and isinstance(statement, ast.Select)
+        and statement.preferring is not None
+    ):
+        session_match = session(statement)
+
     semantic: SemanticRewrite | None = None
     if (
         constraints is not None
         and force is None
         and isinstance(statement, ast.Select)
         and statement.preferring is not None
+        and (session_match is None or not session_match.servable)
     ):
         semantic = _try_semantic(statement, resolver, constraints)
         if semantic is not None:
@@ -354,6 +386,27 @@ def plan_statement(
             model=model,
         )
 
+    if (
+        session_match is not None
+        and session_match.servable
+        and table is not None
+    ):
+        delta_estimate = 0.0
+        if session_match.delta_where is not None:
+            delta_estimate = row_count * estimate_selectivity(
+                session_match.delta_where, lookup
+            )
+        estimates[SESSION_STRATEGY] = session_reuse_estimate(
+            winners=float(len(session_match.entry.winners)),
+            delta=delta_estimate,
+            table_rows=row_count,
+            dimensions=dimensions,
+            distinct_counts=distinct_counts,
+            model=model,
+            delta_scan=session_match.delta_where is not None,
+            row_width=_row_width(table, schema),
+        )
+
     if force is not None:
         if force not in STRATEGIES + (PREJOIN_STRATEGY,):
             raise PlanError(
@@ -417,6 +470,20 @@ def plan_statement(
             plan.notes.append(
                 "semantic reduction: PREFERRING "
                 + to_sql(semantic.select.preferring)
+            )
+    if session_match is not None:
+        plan.session_match = session_match
+        if strategy == SESSION_STRATEGY:
+            # The residual is the original query block over the cached
+            # winner base ∪ delta; no pushdown scan runs, so
+            # ``pushdown_sql`` stays None and rank columns (which only
+            # pay off on large scans) are recomputed in Python over the
+            # small re-winnow input.
+            _pushdown, plan.residual, _width = in_memory_parts(select, resolver)
+            if session_match.delta_select is not None:
+                plan.session_delta_sql = to_sql(session_match.delta_select)
+            plan.notes.append(
+                "answered from the session cache: " + session_match.relation
             )
     rank_exprs = (
         probe.sql_exprs
@@ -566,6 +633,12 @@ def rebind_plan(
         # Semantic SQL depends on the constraint analysis, not just the
         # bound literals; the driver re-plans instead of rebinding.
         raise PlanError("semantic plans must be re-planned, not rebound")
+    if plan.strategy == SESSION_STRATEGY:
+        # A session plan is only valid against the exact cached entry it
+        # was matched with; the driver never caches one (it stores the
+        # parsed statement with ``plan=None``), so reaching here means a
+        # stale-serve bug upstream.
+        raise PlanError("session-reuse plans must be re-planned, not rebound")
     if plan.strategy == "passthrough":
         return plan
     if plan.strategy == "view":

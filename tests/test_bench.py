@@ -38,7 +38,7 @@ class TestExperiments:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
-            "e11", "e12", "e13",
+            "e11", "e12", "e13", "e14",
         }
 
     def test_plan_alias(self):
@@ -50,6 +50,7 @@ class TestExperiments:
         assert ALIASES["columnar"] == "e11"
         assert ALIASES["joins"] == "e12"
         assert ALIASES["semantic"] == "e13"
+        assert ALIASES["sessions"] == "e14"
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):
@@ -70,6 +71,20 @@ class TestExperiments:
         assert main(["e2", "--json", str(out)]) == 0
         document = json.loads(out.read_text())
         assert document["experiment"] == "E2"
+
+    def test_cli_lives_in_harness(self, tmp_path):
+        """``__main__`` is a thin shim; the runner itself is ``run_cli``."""
+        import json
+
+        from repro.bench.__main__ import main
+        from repro.bench.harness import run_cli
+
+        assert main is run_cli
+
+        out = tmp_path / "multi.json"
+        assert run_cli(["e2", "e3", "--json", str(out)]) == 0
+        document = json.loads(out.read_text())
+        assert [payload["experiment"] for payload in document] == ["E2", "E3"]
 
     def test_e2_exact_match(self):
         report = e2_oldtimer()
@@ -96,6 +111,11 @@ class TestExperiments:
         for key, cell in report.data.items():
             if isinstance(key, tuple):
                 assert cell["bnl"] > 0 and cell["parallel"] > 0
+
+    def test_e14_quick_serves_and_gates(self):
+        report = run_experiment("e14", quick=True)
+        assert report.data["min_refinement_speedup"] >= report.data["speedup_floor"]
+        assert report.data["session_stats"]["served"] >= 4
 
     def test_e1_quick_shapes(self):
         report = run_experiment("e1", quick=True)

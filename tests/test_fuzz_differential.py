@@ -11,6 +11,8 @@ executable specification; any divergence is a bug in one of the paths,
 not in the fuzzer.
 """
 
+import random
+
 import hypothesis.strategies as st
 from hypothesis import event, given, settings
 
@@ -594,6 +596,198 @@ def test_semantic_must_not_fire_on_unprovable_pareto(rows, tree, data):
         assert plan.semantic_rule is None, plan.semantic_rule
     finally:
         connection.close()
+
+
+# ----------------------------------------------------------------------
+# Query-sequence session fuzzing
+#
+# PR 7 adds session-level reuse: a refined query may be answered by
+# re-winnowing cached BMO winners instead of rescanning.  These sequences
+# model one user session — provable refinements (cascade tie-breakers,
+# WHERE weakening, grouping-column strengthening), deliberate
+# non-refinements (relaxations, dimension swaps) and interleaved DML —
+# and assert EVERY step returns exactly the rows of (a) a fresh
+# connection with session reuse disabled and (b) the nested-loop oracle.
+# The oracle is O(n^2), so it runs on every step of the small sessions
+# and is skipped on the large ones (whose scans exist to make the cost
+# model actually choose the session strategy); the fresh-connection
+# comparison still covers every step.  A floor on the aggregate ``served``
+# counter proves the machinery fired rather than silently falling back.
+
+CARS_COLUMNS = ("id", "price", "mileage", "fuel", "make")
+_MAKES = ("vw", "opel", "bmw", "audi")
+_FUELS = ("diesel", "petrol", "hybrid")
+
+_SESSION_COUNT = 200
+_LARGE_EVERY = 10  # every 10th session is big enough for session reuse
+
+
+def _cars_rows(rng, count):
+    return [
+        (
+            i,
+            rng.randrange(5000, 90000),
+            rng.choice([None, rng.randrange(0, 300000)])
+            if rng.random() < 0.05
+            else rng.randrange(0, 300000),
+            rng.choice(_FUELS),
+            rng.choice(_MAKES),
+        )
+        for i in range(count)
+    ]
+
+
+def _cars_connection(rows):
+    connection = repro.connect(":memory:")
+    connection.execute(
+        "CREATE TABLE cars (id INTEGER, price INTEGER, mileage INTEGER, "
+        "fuel TEXT, make TEXT)"
+    )
+    if rows:
+        connection.cursor().executemany(
+            "INSERT INTO cars VALUES (?, ?, ?, ?, ?)", rows
+        )
+    connection.execute("ANALYZE")
+    return connection
+
+
+def _session_query(state):
+    sql = "SELECT * FROM cars"
+    if state["where"]:
+        sql += " WHERE " + " AND ".join(state["where"])
+    sql += " PREFERRING " + state["pref"]
+    for tie in state["cascade"]:
+        sql += f" CASCADE {tie}"
+    if state["grouping"]:
+        sql += " GROUPING fuel"
+    return sql
+
+
+def _oracle_rows(connection, query):
+    data = [
+        tuple(row)
+        for row in connection.raw.execute(
+            "SELECT id, price, mileage, fuel, make FROM cars"
+        ).fetchall()
+    ]
+    engine = PreferenceEngine(
+        {"cars": Relation(columns=CARS_COLUMNS, rows=data)},
+        algorithm="nested_loop",
+    )
+    return sorted(engine.execute(query).rows, key=repr)
+
+
+def _session_steps(rng, state, large):
+    """Plan one session: a list of ('query', sql) / ('dml', sql) steps."""
+    ties = [
+        f"make IN ('{make}')" for make in rng.sample(_MAKES, 2)
+    ] + [f"fuel IN ('{rng.choice(_FUELS)}')"]
+    steps = []
+    count = rng.randint(3, 8)
+    for position in range(count):
+        choices = ["cascade", "swap", "dml", "relax", "weaken", "strengthen"]
+        if large and position == 0:
+            op = "cascade"  # guarantee one provable refinement per big scan
+        else:
+            op = rng.choice(choices)
+        if op == "cascade" and ties:
+            state["cascade"].append(ties.pop(0))
+            steps.append(("query", _session_query(state)))
+        elif op == "relax" and state["cascade"]:
+            state["cascade"].pop()
+            steps.append(("query", _session_query(state)))
+        elif op == "weaken" and state["where"]:
+            state["where"].pop(rng.randrange(len(state["where"])))
+            steps.append(("query", _session_query(state)))
+        elif op == "strengthen" and state["grouping"] and not any(
+            "fuel" in conjunct for conjunct in state["where"]
+        ):
+            state["where"].append(f"fuel IN ('{rng.choice(_FUELS)}')")
+            steps.append(("query", _session_query(state)))
+        elif op == "swap":
+            swapped = dict(state, pref="HIGHEST(price) AND HIGHEST(mileage)")
+            steps.append(("swap", _session_query(swapped)))
+        elif op == "dml":
+            steps.append(
+                (
+                    "dml",
+                    rng.choice(
+                        [
+                            "INSERT INTO cars VALUES ({}, {}, {}, '{}', '{}')".format(
+                                9000 + position,
+                                rng.randrange(1, 90000),
+                                rng.randrange(0, 300000),
+                                rng.choice(_FUELS),
+                                rng.choice(_MAKES),
+                            ),
+                            "UPDATE cars SET price = price + 100 "
+                            f"WHERE make = '{rng.choice(_MAKES)}'",
+                            f"DELETE FROM cars WHERE id % 11 = {rng.randrange(11)}",
+                        ]
+                    ),
+                )
+            )
+        else:
+            steps.append(("query", _session_query(state)))
+    return steps
+
+
+def _run_session(seed):
+    """One fuzzed session; returns this session's ``served`` count."""
+    rng = random.Random(77000 + seed)
+    large = seed % _LARGE_EVERY == 0
+    rows = _cars_rows(rng, rng.randint(1100, 1400) if large else rng.randint(20, 80))
+    state = {
+        "pref": "LOWEST(price) AND LOWEST(mileage)",
+        "cascade": [],
+        "where": [],
+        "grouping": False,
+    }
+    if not large:
+        if rng.random() < 0.4:
+            state["grouping"] = True
+        if rng.random() < 0.4:
+            state["where"].append("price < 60000")
+    base = _session_query(state)
+    steps = [("query", base)] + _session_steps(rng, state, large)
+
+    live = _cars_connection(rows)
+    fresh = _cars_connection(rows)
+    fresh.session_reuse = False
+    seen_since_write = set()
+    try:
+        for kind, sql in steps:
+            if kind == "dml":
+                live.execute(sql)
+                fresh.execute(sql)
+                seen_since_write.clear()
+                continue
+            cursor = live.execute(sql)
+            got = sorted(cursor.fetchall(), key=repr)
+            expected = sorted(fresh.execute(sql).fetchall(), key=repr)
+            assert got == expected, f"session diverges from fresh eval on: {sql}"
+            if not large:
+                assert got == _oracle_rows(fresh, sql), (
+                    f"session diverges from nested-loop oracle on: {sql}"
+                )
+            if kind == "swap" and sql not in seen_since_write:
+                # A dimension swap refines nothing in the cache; it must
+                # never be answered from stored winners.
+                assert (
+                    cursor.plan is None or cursor.plan.strategy != "session"
+                ), f"non-refinement served from session cache: {sql}"
+            seen_since_write.add(sql)
+        return live.session_stats()["served"]
+    finally:
+        live.close()
+        fresh.close()
+
+
+def test_query_sequences_match_oracle_and_fresh_evaluation():
+    served = sum(_run_session(seed) for seed in range(_SESSION_COUNT))
+    # Every large session opens with scan + provable cascade refinement;
+    # if the session strategy never won, reuse has silently regressed.
+    assert served >= _SESSION_COUNT // _LARGE_EVERY, served
 
 
 @given(rows=rows_strategy, tree=trees_strategy, data=st.data())
