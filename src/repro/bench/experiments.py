@@ -1796,6 +1796,260 @@ def e14_sessions(quick: bool = False) -> Report:
     return report
 
 
+def e15_server(quick: bool = False) -> Report:
+    """The serving benchmark: process-pool skylines + concurrent traffic.
+
+    Two parts.  **Skyline offload** times one large ungrouped Pareto
+    partition three ways — the serial columnar kernel, the thread pool
+    (GIL-bound, the honest CPython baseline) and the process pool fed
+    through shared-memory rank transport — asserting identical winner
+    sets.  The ≥2x speedup floor applies only where it is physically
+    possible: with one schedulable core the process path cannot beat
+    serial and the report records an explicit waiver instead.
+
+    **Traffic** starts the asyncio server over one database holding all
+    three scenarios and replays a Zipfian mix of simulated user sessions
+    (see :mod:`repro.workloads.traffic`) through concurrent clients,
+    reporting p50/p99 latency, the cross-session plan-cache hit rate and
+    session-reuse counters, and asserting every distinct statement's
+    response row-identical to a fresh single-connection evaluation.
+    """
+    import asyncio
+    import os
+    import shutil
+    import tempfile
+
+    from repro.engine.columns import columnar_skyline, compute_rank_columns
+    from repro.engine.parallel import ParallelExecutor
+    from repro.server import PreferenceClient, PreferenceServer
+    from repro.workloads.traffic import (
+        load_traffic_database,
+        query_chains,
+        zipfian_schedule,
+    )
+
+    report = Report(
+        experiment="E15",
+        title="preference query server: process-pool skylines + traffic",
+    )
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cores = os.cpu_count() or 1
+    raw: dict = {"quick": quick, "cores": cores}
+
+    # ------------------------------------------------------------------
+    # Part A: one large ungrouped Pareto partition, three execution paths.
+    n = 16_000 if quick else 80_000
+    dimensions = 3
+    matrix = DISTRIBUTIONS["anticorrelated"](n, dimensions, seed=15)
+    vectors = [tuple(row) for row in matrix.tolist()]
+    preference = build_preference(
+        parse_preferring(lowest_preference_sql(dimensions))
+    )
+    ranks = compute_rank_columns(preference, vectors)
+    if ranks is None:
+        raise AssertionError("e15 preference must be rank-representable")
+    repeats = 1 if quick else 2
+    workers = max(2, cores)
+
+    serial, serial_timing = time_call(
+        lambda: sorted(columnar_skyline(ranks, range(n), flavor="sfs")),
+        repeats=repeats,
+    )
+    offload = Table(("path", "workers", "winners", "time [ms]", "speedup"))
+    offload.add("serial columnar", 1, len(serial), serial_timing.ms(), "1.00x")
+    cell = {"rows": n, "dimensions": dimensions, "serial": serial_timing.best}
+    for backend in ("thread", "process"):
+        with ParallelExecutor(max_workers=workers, backend=backend) as executor:
+            winners, timing = time_call(
+                lambda e=executor: sorted(
+                    e.maximal_indices(preference, vectors, ranks=ranks)
+                ),
+                repeats=repeats,
+            )
+            if executor.last_backend != backend:
+                raise AssertionError(
+                    f"forced {backend} backend ran as {executor.last_backend}"
+                )
+        if winners != serial:
+            raise AssertionError(
+                f"{backend} backend diverges from the serial kernel: "
+                f"{len(winners)} vs {len(serial)} winners"
+            )
+        speedup = serial_timing.best / timing.best
+        offload.add(
+            f"{backend} pool", workers, len(winners), timing.ms(), f"{speedup:.2f}x"
+        )
+        cell[backend] = timing.best
+    cell["process_speedup"] = cell["serial"] / cell["process"]
+    if cores >= 2 and not quick:
+        if cell["process_speedup"] < 2.0:
+            raise AssertionError(
+                f"process pool below the 2x floor on {cores} cores: "
+                f"{cell['process_speedup']:.2f}x"
+            )
+        cell["speedup_floor"] = "enforced (>= 2x)"
+    else:
+        cell["speedup_floor"] = (
+            f"waived: {cores} schedulable core(s)"
+            + (", quick mode" if quick else "")
+            + " — a process pool cannot out-schedule the serial kernel "
+            "without a second core"
+        )
+        report.note(f"2x speedup floor {cell['speedup_floor']}")
+    raw["offload"] = cell
+    report.add_table(
+        f"ungrouped Pareto skyline, n={n}, d={dimensions} (anticorrelated)",
+        offload,
+    )
+
+    # ------------------------------------------------------------------
+    # Part B: Zipfian session traffic through the asyncio server.
+    chains = query_chains()
+    sessions = 200 if quick else 2_000
+    clients = 8 if quick else 24
+    schedule = zipfian_schedule(len(chains), sessions, seed=29)
+    db_dir = tempfile.mkdtemp(prefix="repro-e15-")
+    database = os.path.join(db_dir, "traffic.db")
+    try:
+        loader = repro.connect(database)
+        load_traffic_database(loader, scale=0.25 if quick else 1.0)
+        loader.execute("ANALYZE")
+        loader.close()
+
+        latencies: list[float] = []
+        per_chain: dict[str, int] = {}
+
+        async def run_traffic():
+            async with PreferenceServer(
+                database,
+                pool_size=4,
+                max_inflight=4,
+                max_queue=2 * clients * max(len(c.statements) for c in chains),
+            ) as server:
+                pending: asyncio.Queue[int] = asyncio.Queue()
+                for index in schedule:
+                    pending.put_nowait(index)
+
+                async def simulate_client():
+                    client = await PreferenceClient.connect(
+                        server.host, server.port
+                    )
+                    try:
+                        while True:
+                            try:
+                                chain = chains[pending.get_nowait()]
+                            except asyncio.QueueEmpty:
+                                return
+                            per_chain[chain.name] = (
+                                per_chain.get(chain.name, 0)
+                                + len(chain.statements)
+                            )
+                            for sql in chain.statements:
+                                start = time.perf_counter()
+                                await client.query(sql)
+                                latencies.append(time.perf_counter() - start)
+                    finally:
+                        await client.close()
+
+                await asyncio.gather(
+                    *(simulate_client() for _ in range(clients))
+                )
+
+                # Row-parity spot check: every distinct statement in the
+                # mix, server response vs a fresh standalone connection.
+                fresh = repro.connect(database)
+                fresh.session_reuse = False
+                checker = await PreferenceClient.connect(
+                    server.host, server.port
+                )
+                checked = 0
+                try:
+                    for chain in chains:
+                        for sql in chain.statements:
+                            _columns, rows = await checker.query(sql)
+                            expected = [
+                                list(row)
+                                for row in fresh.execute(sql).fetchall()
+                            ]
+                            if sorted(rows, key=repr) != sorted(
+                                expected, key=repr
+                            ):
+                                raise AssertionError(
+                                    f"server response diverges from a fresh "
+                                    f"connection on: {sql}"
+                                )
+                            checked += 1
+                finally:
+                    await checker.close()
+                    fresh.close()
+                return server.stats(), checked
+
+        stats, checked = asyncio.run(run_traffic())
+    finally:
+        shutil.rmtree(db_dir, ignore_errors=True)
+
+    admission = stats["admission"]
+    if admission["errors"]:
+        raise AssertionError(
+            f"traffic produced {admission['errors']} query errors"
+        )
+    if admission["served"] != admission["admitted"]:
+        raise AssertionError("admitted and served request counts diverge")
+    plan_cache = stats["plan_cache"]
+    if plan_cache["hit_rate"] < 0.5:
+        raise AssertionError(
+            f"plan-cache hit rate {plan_cache['hit_rate']:.2f} below 0.5 — "
+            "cross-session caching is not taking effect"
+        )
+    session_stats = stats["sessions"]
+    if session_stats["served"] < 1:
+        raise AssertionError(
+            "no refined query was served from a session cache under traffic"
+        )
+
+    ordered = sorted(latencies)
+    p50 = ordered[len(ordered) // 2]
+    p99 = ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+    traffic = Table(("metric", "value"))
+    traffic.add("simulated sessions", sessions)
+    traffic.add("concurrent clients", clients)
+    traffic.add("queries", len(latencies))
+    traffic.add("p50 latency [ms]", f"{p50 * 1e3:.2f}")
+    traffic.add("p99 latency [ms]", f"{p99 * 1e3:.2f}")
+    traffic.add("plan-cache hit rate", f"{plan_cache['hit_rate']:.3f}")
+    traffic.add("session-reuse served", session_stats["served"])
+    traffic.add("rejected (overload)", admission["rejected"])
+    traffic.add("parity-checked statements", checked)
+    report.add_table("Zipfian session traffic through the server", traffic)
+
+    mix = Table(("chain", "queries"))
+    for name, count in sorted(per_chain.items(), key=lambda kv: -kv[1]):
+        mix.add(name, count)
+    report.add_table("traffic mix (Zipfian template popularity)", mix)
+
+    raw["traffic"] = {
+        "sessions": sessions,
+        "clients": clients,
+        "queries": len(latencies),
+        "p50_ms": p50 * 1e3,
+        "p99_ms": p99 * 1e3,
+        "plan_cache": plan_cache,
+        "session_stats": session_stats,
+        "admission": admission,
+        "per_chain": per_chain,
+        "parity_checked": checked,
+    }
+    report.note(
+        "row parity asserted for every distinct statement in the mix "
+        "against a fresh standalone connection; winner-set parity asserted "
+        "between serial, thread and process skyline paths"
+    )
+    report.data = raw
+    return report
+
+
 def _leaf_offsets(preference):
     """(base preference, operand offset) pairs in tree order."""
     offset = 0
@@ -1829,6 +2083,7 @@ EXPERIMENTS = {
     "e12": e12_joins,
     "e13": e13_semantic,
     "e14": e14_sessions,
+    "e15": e15_server,
 }
 
 #: Friendly aliases accepted by ``run_experiment`` and the CLI.
@@ -1840,6 +2095,7 @@ ALIASES = {
     "joins": "e12",
     "semantic": "e13",
     "sessions": "e14",
+    "server": "e15",
 }
 
 

@@ -427,23 +427,42 @@ class _CachedStatement:
 
 
 def connect(
-    database: str = ":memory:", max_workers: int | None = None, **kwargs
+    database: str = ":memory:",
+    max_workers: int | None = None,
+    shared=None,
+    **kwargs,
 ) -> "Connection":
     """Open a Preference SQL connection to a sqlite database.
 
     ``max_workers`` caps the worker degree of the parallel execution
     strategy (None lets the hardware decide); it can be changed later via
-    :attr:`Connection.max_workers`.
+    :attr:`Connection.max_workers`.  ``shared`` attaches the connection
+    to a :class:`repro.server.shared.SharedState`: the parse+plan cache
+    and statistics store become cross-session, and the data/catalog
+    version counters delegate to the shared write epochs so a write
+    through any attached connection invalidates every sibling's caches.
+    Extra ``kwargs`` (e.g. ``check_same_thread=False`` for pooled
+    connections handed across threads) pass through to
+    :func:`sqlite3.connect`.
     """
     raw = sqlite3.connect(database, **kwargs)
-    return Connection(raw, max_workers=max_workers)
+    return Connection(raw, max_workers=max_workers, shared=shared)
 
 
 class Connection:
     """A connection through the Preference driver."""
 
-    def __init__(self, raw: sqlite3.Connection, max_workers: int | None = None):
+    def __init__(
+        self,
+        raw: sqlite3.Connection,
+        max_workers: int | None = None,
+        shared=None,
+    ):
         self._raw = raw
+        #: The cross-session serving state this connection is attached to
+        #: (a :class:`repro.server.shared.SharedState`), or None for a
+        #: standalone connection with private caches.
+        self._shared = shared
         self._catalog: PreferenceCatalog | None = None
         #: (original, executed) statement pairs, newest last; for tests
         #: and the answer-explanation examples.
@@ -460,7 +479,9 @@ class Connection:
         self._parallel: ParallelExecutor | None = None
         self._statistics: StatisticsCache | None = None
         self._constraints: ConstraintCache | None = None
-        self._plan_cache: PlanCache[_CachedStatement] = PlanCache()
+        self._plan_cache: PlanCache[_CachedStatement] = (
+            shared.plan_cache if shared is not None else PlanCache()
+        )
         self._schema_cache: tuple[int, dict[str, list[str]]] | None = None
         self._maintainer: ViewMaintainer | None = None
         self._session = SessionCache()
@@ -480,12 +501,31 @@ class Connection:
 
     @property
     def data_version(self) -> int:
-        """Bumped by every statement that may change table contents."""
+        """Bumped by every statement that may change table contents.
+
+        Attached connections read the shared write epoch instead of a
+        private counter, so a write through *any* pooled sibling is
+        visible here — and therefore to the plan-cache staleness check,
+        the statistics cache and the session cache, whose entries are
+        all stamped with this version.  sqlite's own ``PRAGMA
+        data_version`` cannot carry that signal: it never moves for a
+        connection's *own* writes, and in-process sibling writes are
+        exactly what a pooled server produces.
+        """
+        if self._shared is not None:
+            return self._shared.data_epoch
         return self._data_version
 
     @property
     def catalog_version(self) -> int:
-        """Bumped by CREATE/DROP PREFERENCE; part of the plan-cache key."""
+        """Bumped by CREATE/DROP PREFERENCE; part of the plan-cache key.
+
+        Attached connections delegate to the shared catalog epoch so a
+        catalog change on one pooled connection orphans every sibling's
+        cached plans.
+        """
+        if self._shared is not None:
+            return self._shared.catalog_epoch
         return self._catalog_version
 
     @property
@@ -519,9 +559,12 @@ class Connection:
 
     def _plan_version(self) -> tuple[int, int | None]:
         """The plan-cache version key: catalog version + worker degree."""
-        return (self._catalog_version, self._max_workers)
+        return (self.catalog_version, self._max_workers)
 
     def _bump_catalog_version(self) -> None:
+        if self._shared is not None:
+            self._shared.bump_catalog()
+            return
         self._catalog_high_water = (
             max(self._catalog_high_water, self._catalog_version) + 1
         )
@@ -540,11 +583,11 @@ class Connection:
         head = sql.lstrip().split(None, 1)
         keyword = head[0].upper() if head else ""
         if keyword in ("COMMIT", "END"):
-            self._committed_catalog_version = self._catalog_version
+            self._committed_catalog_version = self.catalog_version
         elif keyword == "ROLLBACK":
             self._note_data_change()
             self._bump_catalog_version()
-            self._committed_catalog_version = self._catalog_version
+            self._committed_catalog_version = self.catalog_version
 
     def _catalog_is_transactional(self) -> bool:
         """True when rollback() actually reverts catalog writes.
@@ -567,9 +610,20 @@ class Connection:
     def statistics(self) -> StatisticsCache:
         """The per-connection table statistics cache."""
         if self._statistics is None:
-            self._statistics = StatisticsCache(
-                self._raw, version=lambda: self._data_version
-            )
+            if self._shared is not None:
+                # Pooled connections share one entry store (scans still
+                # run on this connection's own sqlite handle), so a table
+                # scanned for one session is known to all of them.
+                self._statistics = StatisticsCache(
+                    self._raw,
+                    version=lambda: self.data_version,
+                    entries=self._shared.statistics_entries,
+                    lock=self._shared.statistics_lock,
+                )
+            else:
+                self._statistics = StatisticsCache(
+                    self._raw, version=lambda: self.data_version
+                )
         return self._statistics
 
     @property
@@ -578,9 +632,9 @@ class Connection:
         if self._constraints is None:
             self._constraints = ConstraintCache(
                 self._raw,
-                version=lambda: self._data_version,
+                version=lambda: self.data_version,
                 declared=self.catalog.constraints,
-                catalog_version=lambda: self._catalog_version,
+                catalog_version=lambda: self.catalog_version,
             )
         return self._constraints
 
@@ -615,9 +669,9 @@ class Connection:
 
     def _session_versions(self) -> tuple[int, int, int]:
         return (
-            self._data_version,
+            self.data_version,
             self._pragma_data_version(),
-            self._catalog_version,
+            self.catalog_version,
         )
 
     def _canonical_term(self, term: ast.PrefTerm) -> ast.PrefTerm | None:
@@ -657,9 +711,9 @@ class Connection:
                 select=select,
                 term=term,
                 winners=winners,
-                data_version=self._data_version,
+                data_version=self.data_version,
                 pragma_version=self._pragma_data_version(),
-                catalog_version=self._catalog_version,
+                catalog_version=self.catalog_version,
                 text=to_sql(select),
             )
         )
@@ -679,6 +733,12 @@ class Connection:
         self._plan_cache.clear()
 
     def _note_data_change(self) -> None:
+        if self._shared is not None:
+            # The explicit write epoch every pooled sibling reads; see
+            # :attr:`data_version` for why PRAGMA data_version cannot
+            # carry this signal.
+            self._shared.bump_data()
+            return
         self._data_version += 1
 
     # ------------------------------------------------------------------
@@ -788,7 +848,7 @@ class Connection:
 
     def commit(self) -> None:
         self._raw.commit()
-        self._committed_catalog_version = self._catalog_version
+        self._committed_catalog_version = self.catalog_version
 
     def rollback(self) -> None:
         self._raw.rollback()
@@ -803,7 +863,15 @@ class Connection:
         # (the high-water mark guarantees those versions are never
         # reissued for a different catalog).
         self._note_data_change()
-        if self._catalog_is_transactional():
+        if self._shared is not None:
+            # The shared catalog epoch is monotonic across sessions:
+            # siblings may have planned against versions issued since
+            # this transaction began, so the rollback orphans cached
+            # plans conservatively instead of restoring an epoch that
+            # could now describe a different catalog.
+            self._bump_catalog_version()
+            self._committed_catalog_version = self.catalog_version
+        elif self._catalog_is_transactional():
             self._catalog_high_water = max(
                 self._catalog_high_water, self._catalog_version
             )
@@ -812,7 +880,7 @@ class Connection:
             # Autocommit mode: the catalog kept every change, so cached
             # plans must be orphaned, not restored.
             self._bump_catalog_version()
-            self._committed_catalog_version = self._catalog_version
+            self._committed_catalog_version = self.catalog_version
 
     def close(self) -> None:
         if self._parallel is not None:
@@ -841,7 +909,7 @@ class Connection:
         refreshes it.
         """
         cached = self._schema_cache
-        if cached is not None and cached[0] == self._data_version:
+        if cached is not None and cached[0] == self.data_version:
             return cached[1]
         tables = self._raw.execute(
             "SELECT name FROM sqlite_master WHERE type IN ('table', 'view')"
@@ -850,7 +918,7 @@ class Connection:
         for (name,) in tables:
             info = self._raw.execute(f"PRAGMA table_info({_quote(name)})").fetchall()
             result[name] = [row[1] for row in info]
-        self._schema_cache = (self._data_version, result)
+        self._schema_cache = (self.data_version, result)
         return result
 
     def plan(
@@ -1435,7 +1503,7 @@ class Cursor:
         # sqlite3's executescript implicitly COMMITs any pending
         # transaction, so the current catalog state is durable now.
         self._connection._committed_catalog_version = (
-            self._connection._catalog_version
+            self._connection.catalog_version
         )
         # A script can touch any table in any way; every materialized
         # view is recomputed rather than trusting a delta.

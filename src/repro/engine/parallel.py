@@ -48,9 +48,11 @@ exactly (see :func:`~repro.engine.columns.rank_row_skyline`).
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence
 
 from repro.engine.columns import (
@@ -59,6 +61,7 @@ from repro.engine.columns import (
     compute_rank_columns,
 )
 from repro.engine.compiled import best_better
+from repro.engine.shm import RankTransport, skyline_worker, transport_available
 from repro.errors import EvaluationError
 from repro.model.preference import Preference
 
@@ -69,10 +72,44 @@ DEFAULT_MIN_PARTITION_ROWS = 64
 #: scheduling overhead outgrows what one query can amortise.
 MAX_DEFAULT_WORKERS = 8
 
+#: Below this many candidates the process backend's fixed costs (segment
+#: creation, rank-matrix copy, task dispatch, result pickling) outweigh
+#: what genuine core overlap can save, even with a warm pool.
+PROCESS_MIN_ROWS = 4096
+
+#: The execution backends a :class:`ParallelExecutor` can be pinned to.
+BACKENDS = ("auto", "thread", "process")
+
 
 def default_worker_count() -> int:
     """The automatic worker degree: CPU count, bounded to a sane range."""
     return max(1, min(MAX_DEFAULT_WORKERS, os.cpu_count() or 1))
+
+
+def process_backend_eligible(
+    mode: str | None,
+    candidates: float,
+    workers: int,
+    backend: str = "auto",
+) -> bool:
+    """Whether the process-pool backend may run a partitioned skyline.
+
+    Shared by the executor (to pick a backend at run time) and the cost
+    model (to price the same choice at plan time), so EXPLAIN's predicted
+    backend matches what execution actually does.  The process path
+    requires a flat rank-comparison ``mode`` (workers rebuild the kernel
+    from the shared rank matrix alone — closure-compared trees would need
+    the preference and vectors pickled over) and numpy for the
+    shared-memory views; ``backend="process"`` skips only the row floor,
+    never the structural requirements.
+    """
+    if backend == "thread" or workers <= 1 or mode is None:
+        return False
+    if not transport_available():
+        return False
+    if backend == "process":
+        return True
+    return candidates >= PROCESS_MIN_ROWS
 
 
 def partition_count(
@@ -134,6 +171,24 @@ _shared_executor: "ParallelExecutor | None" = None
 _shared_lock = threading.Lock()
 
 
+def _reset_shared_executor_after_fork() -> None:
+    """Forget the shared executor in a freshly forked child.
+
+    A fork can happen while another thread holds ``_shared_lock`` (the
+    child would deadlock on first use) and the child inherits pool
+    *objects* whose worker threads and processes only ever existed in
+    the parent.  Dropping both and minting a fresh lock makes
+    :func:`shared_executor` lazily rebuild a working pool in the child;
+    the parent's executor is untouched.
+    """
+    global _shared_executor, _shared_lock
+    _shared_lock = threading.Lock()
+    _shared_executor = None
+
+
+os.register_at_fork(after_in_child=_reset_shared_executor_after_fork)
+
+
 def shared_executor() -> "ParallelExecutor":
     """The lazily-created process-wide default executor."""
     global _shared_executor
@@ -155,23 +210,36 @@ class ParallelExecutor:
         self,
         max_workers: int | None = None,
         min_partition_rows: int = DEFAULT_MIN_PARTITION_ROWS,
+        backend: str = "auto",
     ):
         if max_workers is not None and max_workers < 1:
             raise EvaluationError("max_workers must be at least 1")
+        if backend not in BACKENDS:
+            raise EvaluationError(
+                f"backend must be one of {', '.join(BACKENDS)}"
+            )
         self.max_workers = max_workers or default_worker_count()
         self.min_partition_rows = min_partition_rows
+        self.backend = backend
+        #: The backend the most recent ``*maximal_indices`` call actually
+        #: used: ``"serial"``, ``"thread"`` or ``"process"``.
+        self.last_backend: str | None = None
         self._pool: ThreadPoolExecutor | None = None
+        self._processes: ProcessPoolExecutor | None = None
         self._closed = False
 
     # ------------------------------------------------------------------
     # Pool lifecycle
 
     def close(self) -> None:
-        """Shut the worker pool down; the executor is unusable afterwards."""
+        """Shut the worker pools down; the executor is unusable afterwards."""
         self._closed = True
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._processes is not None:
+            self._processes.shutdown(wait=True)
+            self._processes = None
 
     def __enter__(self) -> "ParallelExecutor":
         return self
@@ -190,6 +258,48 @@ class ParallelExecutor:
                 max_workers=self.max_workers, thread_name_prefix="skyline"
             )
         return list(self._pool.map(lambda task: task(), tasks))
+
+    def _process_pool(self) -> ProcessPoolExecutor:
+        """The lazily-created (and then cached) worker-process pool."""
+        if self._processes is None:
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - platforms without fork
+                context = multiprocessing.get_context()
+            self._processes = ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=context
+            )
+        return self._processes
+
+    def _run_process(
+        self, ranks: RankColumns, indices: Sequence[int], count: int
+    ) -> list[list[int]] | None:
+        """Local skylines on the process pool; None means fall back.
+
+        Publishes the rank matrix and candidate indices once through a
+        shared-memory segment; each worker takes the strided slice
+        ``indices[k::count]`` — the same round-robin partitioning
+        :func:`hash_partitions` produces.  A broken pool (a killed
+        worker, fork failure, exhausted /dev/shm) must not fail the
+        query: the pool is dropped and the caller re-runs the partitions
+        on the thread path.
+        """
+        if self._closed:
+            raise EvaluationError("parallel executor is closed")
+        try:
+            pool = self._process_pool()
+            with RankTransport(ranks, indices) as transport:
+                tasks = [transport.task(k, count) for k in range(count)]
+                return [
+                    winners
+                    for winners in pool.map(skyline_worker, tasks)
+                    if winners
+                ]
+        except (OSError, BrokenProcessPool):
+            if self._processes is not None:
+                self._processes.shutdown(wait=False, cancel_futures=True)
+                self._processes = None
+            return None
 
     # ------------------------------------------------------------------
     # Execution
@@ -212,14 +322,41 @@ class ParallelExecutor:
             if candidates is None
             else list(candidates)
         )
-        evaluate = self._partition_evaluator(preference, vectors, indices, ranks)
-        if len(indices) <= self.min_partition_rows:
-            return sorted(evaluate(indices))
-        parts = hash_partitions(
-            indices,
-            partition_count(len(indices), self.max_workers, self.min_partition_rows),
+        resolved = self._resolve_ranks(preference, vectors, indices, ranks)
+        evaluate = self._partition_evaluator(
+            preference, vectors, indices, ranks, resolved
         )
-        local = self._run([lambda p=p: evaluate(p) for p in parts])
+        if len(indices) <= self.min_partition_rows and self.backend != "process":
+            self.last_backend = "serial"
+            return sorted(evaluate(indices))
+        count = partition_count(
+            len(indices), self.max_workers, self.min_partition_rows
+        )
+        local: list[list[int]] | None = None
+        shared, remap = resolved
+        if count > 1 and self._process_eligible(shared, len(indices)):
+            if remap is None:
+                local = self._run_process(shared, indices, count)
+            else:
+                # Locally computed ranks are compact (row k of the matrix
+                # is candidate k): ship matrix positions, translate the
+                # winners back to global indices.
+                positions = self._run_process(
+                    shared, list(range(len(indices))), count
+                )
+                local = (
+                    [[indices[p] for p in winners] for winners in positions]
+                    if positions is not None
+                    else None
+                )
+        if local is not None:
+            self.last_backend = "process"
+        else:
+            parts = hash_partitions(indices, count)
+            self.last_backend = (
+                "thread" if len(parts) > 1 and self.max_workers > 1 else "serial"
+            )
+            local = self._run([lambda p=p: evaluate(p) for p in parts])
         if len(local) == 1:
             # A single partition's skyline is already global: no merge.
             return sorted(local[0])
@@ -244,6 +381,7 @@ class ParallelExecutor:
             if candidates is None
             else list(candidates)
         )
+        self.last_backend = "thread" if self.max_workers > 1 else "serial"
         groups: dict[object, list[int]] = {}
         for i in indices:
             groups.setdefault(group_keys[i], []).append(i)
@@ -260,41 +398,75 @@ class ParallelExecutor:
         ]
         return sorted(i for winners in self._run(tasks) for i in winners)
 
+    def _process_eligible(
+        self, ranks: RankColumns | None, candidates: int
+    ) -> bool:
+        """Whether this query may run on the process backend.
+
+        ``ranks`` is the query's resolved shared rank columns (adopted
+        from the SQL pushdown or computed here); a flat comparison mode
+        is required because workers rebuild the kernel from the shared
+        rank matrix alone — closure-compared trees stay on threads.
+        """
+        if ranks is None:
+            return False
+        return process_backend_eligible(
+            ranks.mode, candidates, self.max_workers, self.backend
+        )
+
+    def _resolve_ranks(
+        self,
+        preference: Preference,
+        vectors: Sequence[tuple] | None,
+        candidates: Sequence[int],
+        ranks: RankColumns | None,
+    ) -> tuple[RankColumns | None, dict[int, int] | None]:
+        """The query's shared rank columns plus the global→row remap.
+
+        Caller-supplied ``ranks`` (the SQL rank pushdown path) are
+        globally indexed and adopted as-is (remap None).  Otherwise only
+        the ``candidates`` rows are ranked — rows a BUT ONLY threshold
+        already discarded never reach a rank() implementation, matching
+        the serial algorithms (which slice survivors first) — and the
+        remap translates a global index to its matrix row.
+        """
+        if ranks is not None:
+            return ranks, None
+        if len(candidates) == len(vectors):
+            return compute_rank_columns(preference, vectors), None
+        subset = [vectors[i] for i in candidates]
+        remap = {index: position for position, index in enumerate(candidates)}
+        return compute_rank_columns(preference, subset), remap
+
     def _partition_evaluator(
         self,
         preference: Preference,
         vectors: Sequence[tuple] | None,
         candidates: Sequence[int],
         ranks: RankColumns | None = None,
+        resolved: tuple[RankColumns | None, dict[int, int] | None] | None = None,
     ) -> Callable[[Sequence[int]], list[int]]:
         """The per-partition skyline core, compiled once per query.
 
-        When the caller supplies globally-indexed ``ranks`` (the SQL rank
-        pushdown path), the host database already ranked every row, so
-        they are adopted as-is.  Otherwise only the ``candidates`` rows
-        are ranked — rows a BUT ONLY threshold already discarded never
-        reach a rank() implementation, matching the serial algorithms
-        (which slice survivors first).  The returned evaluator always
-        addresses rows by their *global* index, so partitions can be
-        passed around untranslated.
+        The returned evaluator always addresses rows by their *global*
+        index, so partitions can be passed around untranslated;
+        ``resolved`` reuses a :meth:`_resolve_ranks` outcome the caller
+        already has (the process backend shares the same rank columns).
         """
+        if resolved is None:
+            resolved = self._resolve_ranks(preference, vectors, candidates, ranks)
+        shared, remap = resolved
+        if shared is not None and shared.mode is not None:
+            return lambda indices: columnar_skyline(
+                shared, indices, position=remap
+            )
         if ranks is not None:
-            if ranks.mode is not None:
-                return lambda indices: columnar_skyline(ranks, indices)
             better = best_better(preference, vectors, ranks=ranks)
             return lambda indices: local_skyline(better, indices)
-        if len(candidates) == len(vectors):
-            subset = vectors
-            remap = None
-        else:
-            subset = [vectors[i] for i in candidates]
-            remap = {index: position for position, index in enumerate(candidates)}
-        local = compute_rank_columns(preference, subset)
-        if local is not None and local.mode is not None:
-            return lambda indices: columnar_skyline(
-                local, indices, position=remap
-            )
-        compact = best_better(preference, subset, ranks=local)
+        subset = (
+            vectors if remap is None else [vectors[i] for i in candidates]
+        )
+        compact = best_better(preference, subset, ranks=shared)
         if remap is None:
             better = compact
         else:

@@ -15,11 +15,15 @@ cached against it become servable again.
 
 The cache is deliberately tiny and dependency-free — an ``OrderedDict``
 in LRU discipline with hit/miss/eviction counters surfaced through
-:class:`CacheStats` (``Connection.plan_cache_stats()``).
+:class:`CacheStats` (``Connection.plan_cache_stats()``).  A lock guards
+every operation: the server shares one cache across its whole connection
+pool (see :mod:`repro.server.shared`), so gets and puts arrive from many
+threads at once.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Generic, Hashable, TypeVar
@@ -54,37 +58,43 @@ class PlanCache(Generic[Entry]):
         self._hits = 0
         self._misses = 0
         self._evictions = 0
+        self._lock = threading.Lock()
 
     def get(self, text: str, version: Hashable) -> Entry | None:
         key = (text, version)
-        entry = self._entries.get(key)
-        if entry is None:
-            self._misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self._hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
 
     def put(self, text: str, version: Hashable, entry: Entry) -> None:
         key = (text, version)
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self._maxsize:
-            self._entries.popitem(last=False)
-            self._evictions += 1
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
 
     def clear(self) -> None:
         """Drop all entries; counters keep accumulating."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> CacheStats:
-        return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            size=len(self._entries),
-            maxsize=self._maxsize,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+                maxsize=self._maxsize,
+            )
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)

@@ -29,7 +29,11 @@ import math
 from dataclasses import dataclass, replace
 from typing import Callable, Mapping, Sequence
 
-from repro.engine.parallel import default_worker_count, partition_count
+from repro.engine.parallel import (
+    default_worker_count,
+    partition_count,
+    process_backend_eligible,
+)
 from repro.errors import PlanError
 from repro.sql import ast
 
@@ -93,14 +97,28 @@ class CostModel:
     pool_setup: float = 0.6e-3
     #: Per partition/group task: scheduling plus the local window state.
     partition_overhead: float = 25e-6
-    #: Fraction of the ideal per-worker speedup the pool delivers.  Zero
-    #: on CPython: the comparison work is pure Python, so the GIL lets
-    #: thread workers overlap none of it (measured: 4 workers are
-    #: *slower* than 1 on the E9 workloads) — the parallel strategy's
-    #: real advantage is the partitioned flat-rank core, priced below.
-    #: Raise this only for a runtime whose workers genuinely overlap
-    #: (free-threaded builds, a future process pool).
+    #: Fraction of the ideal per-worker speedup the *thread* pool
+    #: delivers.  Zero on CPython: the comparison work is pure Python, so
+    #: the GIL lets thread workers overlap none of it (measured: 4
+    #: workers are *slower* than 1 on the E9 workloads) — the thread
+    #: backend's real advantage is the partitioned flat-rank core, priced
+    #: below.  Raise this only for a runtime whose threads genuinely
+    #: overlap (free-threaded builds).
     parallel_efficiency: float = 0.0
+    #: Fraction of the ideal per-worker speedup the *process* pool
+    #: delivers.  Worker processes run local skylines on separate cores
+    #: with no GIL between them; the discount below 1.0 covers partition
+    #: skew, the serial merge filter and winner-list pickling (measured
+    #: on the e15 partition benchmark at 2-4 workers).
+    process_efficiency: float = 0.7
+    #: Per-query fixed cost of the process backend: creating (and
+    #: unlinking) the shared-memory segment plus cross-process task
+    #: dispatch.  The worker pool itself is cached on the executor, so
+    #: its fork cost amortises across queries and is not priced here.
+    process_setup: float = 2.5e-3
+    #: Copying one float64 cell (rank matrix plus candidate vector) into
+    #: the shared-memory segment — memcpy rate, far below a rank() call.
+    shm_cell: float = 2.0e-9
     #: Rank-tuple comparison in the columnar skyline kernels (serial and
     #: partitioned) — C-level tuple arithmetic, cheaper than a
     #: compiled-closure dominance test (calibrated against E9/E11: ~3x
@@ -291,6 +309,49 @@ def planned_partitions(
     return partition_count(candidates, workers)
 
 
+def parallel_backend_choice(
+    candidates: float,
+    dimensions: int,
+    distinct_counts: Sequence[int | None] = (),
+    workers: int = 1,
+    groups: float | None = None,
+    rank_mode: str | None = None,
+    model: CostModel = DEFAULT_COST_MODEL,
+) -> tuple[str, float, float]:
+    """The parallel strategy's ``(backend, degree, dispatch seconds)``.
+
+    Prices the degreed partition work (sort plus local skylines) under
+    the thread pool — whose degree only earns ``parallel_efficiency``,
+    zero on CPython — and under the process pool — real core overlap at
+    ``process_efficiency``, but paying the shared-memory export and the
+    per-query dispatch — and picks the cheaper.  Grouped queries and
+    non-flat trees are thread-only: the same
+    :func:`repro.engine.parallel.process_backend_eligible` predicate the
+    executor applies at run time, so EXPLAIN's prediction matches what
+    execution does.
+    """
+    n = max(1.0, float(candidates))
+    partitions = float(planned_partitions(n, workers, groups))
+    thread_degree = max(1.0, min(workers, partitions) * model.parallel_efficiency)
+    thread_dispatch = model.pool_setup + model.partition_overhead * partitions
+    if groups is not None or not process_backend_eligible(rank_mode, n, workers):
+        return "thread", thread_degree, thread_dispatch
+    log_n = math.log2(n) if n > 1.0 else 1.0
+    local_s = max(
+        1.0, estimate_skyline_size(n / partitions, dimensions, distinct_counts)
+    )
+    work = model.flat_dominance * n * (log_n + local_s)
+    process_degree = max(1.0, min(workers, partitions) * model.process_efficiency)
+    process_dispatch = (
+        thread_dispatch
+        + model.process_setup
+        + model.shm_cell * n * (max(1, dimensions) + 1)
+    )
+    if process_dispatch + work / process_degree < thread_dispatch + work / thread_degree:
+        return "process", process_degree, process_dispatch
+    return "thread", thread_degree, thread_dispatch
+
+
 def rank_source_costs(
     candidates: float,
     dimensions: int,
@@ -344,6 +405,7 @@ def estimate_costs(
     groups: float | None = None,
     columnar: bool = False,
     rank_source: str | None = None,
+    rank_mode: str | None = None,
     prejoin: PrejoinShape | None = None,
 ) -> dict[str, CostEstimate]:
     """Price every strategy in ``include`` for the given input shape.
@@ -360,10 +422,14 @@ def estimate_costs(
     against the partitioned executor's comparison structure: local
     skylines over rank rows shared across partitions, plus — for
     hash-partitioned ungrouped queries — the merge filter over the union
-    of local skylines.  Worker degree only earns a discount through
-    ``model.parallel_efficiency``, which defaults to zero because CPython
-    threads cannot overlap the pure-Python comparison work (GIL); the
-    strategy's modelled advantage is the cheaper flat-rank comparisons.
+    of local skylines.  The strategy prices both execution backends and
+    takes the cheaper (see :func:`parallel_backend_choice`): on threads
+    the worker degree only earns ``model.parallel_efficiency`` (zero on
+    CPython — the GIL serialises the pure-Python comparison work, so the
+    modelled advantage is the cheaper flat-rank comparisons), while the
+    process pool genuinely overlaps local skylines on separate cores for
+    large flat-mode partitions (``rank_mode``, see
+    :func:`repro.engine.parallel.process_backend_eligible`).
 
     ``columnar`` marks a rank-based preference tree: the in-memory
     strategies then price their comparisons at the columnar kernels'
@@ -434,7 +500,15 @@ def estimate_costs(
             )
         elif strategy == "parallel":
             partitions = float(planned_partitions(n, workers, groups))
-            degree = max(1.0, min(workers, partitions) * model.parallel_efficiency)
+            backend, degree, dispatch = parallel_backend_choice(
+                n,
+                dimensions,
+                distinct_counts,
+                workers=workers,
+                groups=groups,
+                rank_mode=rank_mode,
+                model=model,
+            )
             local_n = n / partitions
             local_s = max(
                 1.0, estimate_skyline_size(local_n, dimensions, distinct_counts)
@@ -444,8 +518,10 @@ def estimate_costs(
                 ("engine setup", model.py_setup),
                 ("fetch candidates", row_fetch * n),
                 (
-                    "pool spin-up + task dispatch",
-                    model.pool_setup + model.partition_overhead * partitions,
+                    "process-pool dispatch + shared-memory export"
+                    if backend == "process"
+                    else "pool spin-up + task dispatch",
+                    dispatch,
                 ),
                 # Rank rows materialise once globally — via the chosen
                 # rank source for columnar trees, Python-level rank()

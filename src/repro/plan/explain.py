@@ -103,6 +103,8 @@ def plan_relation(
         kind = "GROUPING" if plan.group_estimate is not None else "hash"
         add("parallel partitions (est)", f"{plan.partitions} ({kind})")
         add("parallel worker degree", plan.workers)
+        if plan.parallel_backend is not None:
+            add("parallel backend", plan.parallel_backend)
     for name in _COST_ORDER:
         estimate = plan.estimates.get(name)
         if estimate is None:

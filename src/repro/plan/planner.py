@@ -46,6 +46,7 @@ from repro.plan.cost import (
     estimate_costs,
     estimate_selectivity,
     estimate_skyline_size,
+    parallel_backend_choice,
     planned_partitions,
     semantic_pass_estimate,
     session_reuse_estimate,
@@ -136,6 +137,11 @@ class Plan:
     partitions: int = 0
     workers: int = 0
     group_estimate: float | None = None
+    #: Execution backend the parallel strategy was priced for:
+    #: ``"process"`` when the cost model expects the process pool's real
+    #: core overlap to win (large ungrouped flat-mode partitions),
+    #: ``"thread"`` otherwise, None for host-only plans.
+    parallel_backend: str | None = None
     #: Columnar execution shape of the in-memory strategies: how the rank
     #: columns are obtained (``'sql'`` pushdown / ``'python'`` /
     #: ``'closure'`` fallback, None for host-only plans), how many rank
@@ -371,6 +377,7 @@ def plan_statement(
         groups=groups,
         columnar=probe.columnar if probe is not None else False,
         rank_source=rank_source,
+        rank_mode=probe.mode if probe is not None else None,
         prejoin=prejoin_shape,
     )
     if semantic is not None and semantic.single_pass_sql is not None:
@@ -457,6 +464,19 @@ def plan_statement(
         partitions=partitions,
         workers=effective_workers if in_memory else 0,
         group_estimate=groups,
+        parallel_backend=(
+            parallel_backend_choice(
+                candidates,
+                dimensions,
+                distinct_counts,
+                workers=effective_workers,
+                groups=groups,
+                rank_mode=probe.mode if probe is not None else None,
+                model=model,
+            )[0]
+            if in_memory
+            else None
+        ),
         rank_source=rank_source,
         columnar=probe.label if probe is not None else None,
         join_tables=join_tables,

@@ -18,8 +18,9 @@ path — never re-scans.
 from __future__ import annotations
 
 import sqlite3
+import threading
 from dataclasses import dataclass
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Mapping, MutableMapping, Sequence
 
 from repro.errors import PlanError
 from repro.sql.printer import quote_identifier as _quote
@@ -45,12 +46,28 @@ class StatisticsCache:
     remembered under an older version are considered stale.  ``scan_count``
     counts the ``COUNT`` queries actually issued, so tests (and curious
     operators) can observe cache effectiveness.
+
+    ``entries`` and ``lock`` let a server share one entry store across a
+    whole connection pool (see :class:`repro.server.shared.SharedState`):
+    each pooled connection keeps its own instance — scans run on its own
+    sqlite handle — but a table scanned for one session is known to all
+    of them.  The shared version callable (the pool's write epoch) keeps
+    the entries honest under cross-session DML.
     """
 
-    def __init__(self, connection: sqlite3.Connection, version: Callable[[], int]):
+    def __init__(
+        self,
+        connection: sqlite3.Connection,
+        version: Callable[[], int],
+        entries: MutableMapping[str, tuple[int, TableStatistics]] | None = None,
+        lock: threading.Lock | None = None,
+    ):
         self._connection = connection
         self._version = version
-        self._entries: dict[str, tuple[int, TableStatistics]] = {}
+        self._entries: MutableMapping[str, tuple[int, TableStatistics]] = (
+            entries if entries is not None else {}
+        )
+        self._lock = lock if lock is not None else threading.Lock()
         #: Number of statistics scans issued against the host database.
         self.scan_count = 0
 
@@ -62,39 +79,44 @@ class StatisticsCache:
         only pay for the columns they add.
         """
         key = table.lower()
-        version = self._version()
-        cached = self._entries.get(key)
         wanted = {column.lower() for column in columns}
+        with self._lock:
+            version = self._version()
+            cached = self._entries.get(key)
 
-        distinct: dict[str, int] = {}
-        if cached is not None and cached[0] == version:
-            stats = cached[1]
-            missing = sorted(wanted - set(stats.distinct))
-            if not missing:
-                return stats
-            distinct = dict(stats.distinct)
-            row_count = stats.row_count
-        else:
-            missing = sorted(wanted)
-            row_count = self._scalar(f"SELECT COUNT(*) FROM {_quote(table)}")
+            distinct: dict[str, int] = {}
+            if cached is not None and cached[0] == version:
+                stats = cached[1]
+                missing = sorted(wanted - set(stats.distinct))
+                if not missing:
+                    return stats
+                distinct = dict(stats.distinct)
+                row_count = stats.row_count
+            else:
+                missing = sorted(wanted)
+                row_count = self._scalar(f"SELECT COUNT(*) FROM {_quote(table)}")
 
-        for column in missing:
-            distinct[column] = self._scalar(
-                f"SELECT COUNT(DISTINCT {_quote(column)}) FROM {_quote(table)}"
+            for column in missing:
+                distinct[column] = self._scalar(
+                    f"SELECT COUNT(DISTINCT {_quote(column)}) FROM {_quote(table)}"
+                )
+            stats = TableStatistics(
+                table=table, row_count=row_count, distinct=distinct
             )
-        stats = TableStatistics(table=table, row_count=row_count, distinct=distinct)
-        self._entries[key] = (version, stats)
-        return stats
+            self._entries[key] = (version, stats)
+            return stats
 
     def invalidate(self, table: str | None = None) -> None:
         """Drop cached entries (all of them when ``table`` is None)."""
-        if table is None:
-            self._entries.clear()
-        else:
-            self._entries.pop(table.lower(), None)
+        with self._lock:
+            if table is None:
+                self._entries.clear()
+            else:
+                self._entries.pop(table.lower(), None)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def _scalar(self, sql: str) -> int:
         self.scan_count += 1

@@ -1,0 +1,22 @@
+"""The serving layer: pooled connections behind an asyncio front end.
+
+The paper ran Preference SQL as resident middleware between web
+applications and the host database.  This package is that layer for the
+reproduction: a :class:`SharedState` of cross-session caches and write
+epochs, a :class:`ConnectionPool` of driver connections attached to it,
+a :class:`PreferenceServer` speaking newline-delimited JSON over TCP
+with admission control, and a :class:`PreferenceClient` to talk to it.
+"""
+
+from repro.server.app import PreferenceServer
+from repro.server.client import PreferenceClient, ServerError
+from repro.server.pool import ConnectionPool
+from repro.server.shared import SharedState
+
+__all__ = [
+    "ConnectionPool",
+    "PreferenceClient",
+    "PreferenceServer",
+    "ServerError",
+    "SharedState",
+]

@@ -1,0 +1,229 @@
+"""The asyncio front end: a preference query server over a line protocol.
+
+The paper deployed Preference SQL as a resident middleware between web
+applications and the host database (COSIMA's product advisors); this is
+that serving layer for the reproduction.  One asyncio event loop accepts
+clients and frames requests; actual query evaluation is synchronous
+driver work (sqlite calls, rank kernels), so each admitted request is
+handed to a worker thread that checks a connection out of the
+:class:`~repro.server.pool.ConnectionPool`, executes, and replies.
+
+**Protocol** — newline-delimited JSON, one object per line:
+
+* ``{"sql": "...", "params": [...]}`` → ``{"columns": [...], "rows":
+  [...]}`` (or ``{"rowcount": n}`` for statements with no result set),
+* ``{"op": "stats"}`` → the server's counters: plan-cache and
+  session-reuse effectiveness across the whole pool, admission totals,
+* ``{"op": "ping"}`` → ``{"ok": true}``,
+* any failure → ``{"error": "..."}``; rejected requests additionally
+  carry ``"overloaded": true``.
+
+**Admission control** — at most ``max_inflight`` requests evaluate at
+once (a semaphore); up to ``max_queue`` more may wait for a slot, and
+anything beyond that is rejected *immediately* — under overload a bounded
+queue plus fast rejection keeps p99 latency finite, where an unbounded
+queue would grow it without limit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
+
+from repro.server.pool import ConnectionPool
+from repro.server.shared import SharedState
+
+
+class PreferenceServer:
+    """A preference query server over one pooled database."""
+
+    def __init__(
+        self,
+        database: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        pool_size: int = 4,
+        max_inflight: int | None = None,
+        max_queue: int = 32,
+        max_workers: int | None = None,
+        shared: SharedState | None = None,
+    ):
+        self.pool = ConnectionPool(
+            database, size=pool_size, max_workers=max_workers, shared=shared
+        )
+        self.host = host
+        self.port = port
+        self.max_inflight = max_inflight if max_inflight is not None else pool_size
+        self.max_queue = max_queue
+        self._semaphore: asyncio.Semaphore | None = None
+        self._server: asyncio.AbstractServer | None = None
+        # Query evaluation blocks a thread for its full duration, so the
+        # executor is sized to the admission limit, not the default.
+        self._threads = ThreadPoolExecutor(
+            max_workers=self.max_inflight, thread_name_prefix="prefsql"
+        )
+        self._handlers: set[asyncio.Task] = set()
+        self._waiting = 0
+        self._inflight = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.served = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and listen; returns the (host, port) actually bound."""
+        self._semaphore = asyncio.Semaphore(self.max_inflight)
+        self._server = await asyncio.start_server(
+            self._serve_client, self.host, self.port
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        """Stop accepting, drop client handlers, close the pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._handlers):
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        self._threads.shutdown(wait=True)
+        self.pool.close()
+
+    async def __aenter__(self) -> "PreferenceServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Client handling
+
+    async def _serve_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                    if not isinstance(request, dict):
+                        raise ValueError("request must be a JSON object")
+                except ValueError as error:
+                    response = {"error": f"bad request: {error}"}
+                else:
+                    response = await self._dispatch(request)
+                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Deliberate shutdown cancel from stop().  Returning (rather
+            # than re-raising) matters on 3.11: asyncio.streams attaches a
+            # done-callback that calls task.exception() unguarded, which
+            # itself raises on a task that finished cancelled.
+            pass
+        finally:
+            if task is not None:
+                self._handlers.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch(self, request: dict) -> dict:
+        op = request.get("op", "query")
+        if op == "ping":
+            return {"ok": True}
+        if op == "stats":
+            return self.stats()
+        if op != "query":
+            return {"error": f"unknown op {op!r}"}
+        sql = request.get("sql")
+        if not isinstance(sql, str):
+            return {"error": "missing sql"}
+        params = request.get("params") or ()
+        if not isinstance(params, (list, tuple)):
+            return {"error": "params must be a list"}
+        # Admission control: the counters live on the event loop thread,
+        # so test-and-set needs no lock.
+        if self._inflight >= self.max_inflight and self._waiting >= self.max_queue:
+            self.rejected += 1
+            return {"error": "server overloaded, retry later", "overloaded": True}
+        assert self._semaphore is not None  # started
+        self._waiting += 1
+        try:
+            async with self._semaphore:
+                self._waiting -= 1
+                self._inflight += 1
+                self.admitted += 1
+                try:
+                    loop = asyncio.get_running_loop()
+                    response = await loop.run_in_executor(
+                        self._threads, self._execute, sql, tuple(params)
+                    )
+                finally:
+                    self._inflight -= 1
+        except asyncio.CancelledError:
+            self._waiting = max(0, self._waiting)
+            raise
+        if "error" in response:
+            self.errors += 1
+        else:
+            self.served += 1
+        return response
+
+    def _execute(self, sql: str, params: Sequence[object]) -> dict:
+        """One query on a pooled connection (runs in a worker thread)."""
+        try:
+            with self.pool.connection() as connection:
+                cursor = connection.execute(sql, params)
+                if cursor.description is None:
+                    return {"columns": [], "rows": [], "rowcount": cursor.rowcount}
+                columns = [entry[0] for entry in cursor.description]
+                rows = [list(row) for row in cursor.fetchall()]
+                return {"columns": columns, "rows": rows}
+        except Exception as error:  # surfaced to the client, not the loop
+            return {"error": f"{type(error).__name__}: {error}"}
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    def stats(self) -> dict:
+        """Serving counters: caches, sessions, admission, load."""
+        plan = self.pool.shared.plan_cache.stats()
+        return {
+            "plan_cache": {
+                "hits": plan.hits,
+                "misses": plan.misses,
+                "evictions": plan.evictions,
+                "size": plan.size,
+                "hit_rate": plan.hit_rate,
+            },
+            "sessions": self.pool.session_stats(),
+            "statistics_entries": len(self.pool.shared.statistics_entries),
+            "admission": {
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "served": self.served,
+                "errors": self.errors,
+                "max_inflight": self.max_inflight,
+                "max_queue": self.max_queue,
+            },
+            "data_epoch": self.pool.shared.data_epoch,
+            "catalog_epoch": self.pool.shared.catalog_epoch,
+        }

@@ -1,0 +1,81 @@
+"""An asyncio client for :class:`~repro.server.app.PreferenceServer`.
+
+Speaks the server's newline-delimited JSON protocol: one request object
+per line out, one response object per line back.  One client holds one
+TCP connection; requests on a single client are serialized (a lock pairs
+each request line with its response line), so a traffic simulator opens
+one client per simulated session.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Sequence
+
+from repro.errors import DriverError
+
+
+class ServerError(DriverError):
+    """A query failed server-side; ``overloaded`` marks admission rejects."""
+
+    def __init__(self, message: str, overloaded: bool = False):
+        super().__init__(message)
+        self.overloaded = overloaded
+
+
+class PreferenceClient:
+    """One connection to a preference query server."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._lock = asyncio.Lock()
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "PreferenceClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def _roundtrip(self, request: dict) -> dict:
+        async with self._lock:
+            self._writer.write(json.dumps(request).encode("utf-8") + b"\n")
+            await self._writer.drain()
+            line = await self._reader.readline()
+        if not line:
+            raise DriverError("server closed the connection")
+        response = json.loads(line)
+        if "error" in response:
+            raise ServerError(
+                response["error"], overloaded=bool(response.get("overloaded"))
+            )
+        return response
+
+    async def query(
+        self, sql: str, params: Sequence[object] = ()
+    ) -> tuple[list[str], list[list[object]]]:
+        """Run one statement; returns (column names, rows)."""
+        response = await self._roundtrip(
+            {"op": "query", "sql": sql, "params": list(params)}
+        )
+        return response.get("columns", []), response.get("rows", [])
+
+    async def stats(self) -> dict:
+        """The server's serving counters (see ``PreferenceServer.stats``)."""
+        return await self._roundtrip({"op": "stats"})
+
+    async def ping(self) -> bool:
+        return bool((await self._roundtrip({"op": "ping"})).get("ok"))
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> "PreferenceClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()

@@ -1,0 +1,112 @@
+"""A fixed pool of driver connections over one shared database.
+
+The server's worker threads never open connections of their own: they
+check one out of this pool, run a query, and put it back.  Three
+properties make the handoff safe:
+
+* every pooled connection is opened with ``check_same_thread=False`` —
+  the default (ownership pinned to the opening thread) would raise
+  ``ProgrammingError`` the first time the asyncio front end handed a
+  connection to a different executor thread.  Exclusive use is enforced
+  by the checkout queue instead: a connection is owned by exactly one
+  thread between :meth:`ConnectionPool.connection` enter and exit.
+* every pooled connection runs in autocommit (``isolation_level=None``),
+  so a write applied through one connection is immediately visible to
+  queries on its siblings — there is no open transaction to hide it.
+* all pooled connections attach to one
+  :class:`~repro.server.shared.SharedState`, so plans and statistics are
+  cached once for the whole pool and any write bumps the epochs every
+  sibling validates its caches against.
+
+A plain ``":memory:"`` database is rejected: sqlite gives every
+connection its own private in-memory database, so a pool over it would
+serve N disjoint (empty) databases.  Use a file path, or a shared-cache
+URI (``file:name?mode=memory&cache=shared``) for an in-memory pool.
+"""
+
+from __future__ import annotations
+
+import queue
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.driver.dbapi import Connection, connect
+from repro.errors import DriverError
+from repro.server.shared import SharedState
+
+
+class ConnectionPool:
+    """``size`` driver connections over one database, checkout-queued."""
+
+    def __init__(
+        self,
+        database: str,
+        size: int = 4,
+        max_workers: int | None = None,
+        shared: SharedState | None = None,
+    ):
+        if size < 1:
+            raise DriverError("connection pool needs at least one connection")
+        if database in ("", ":memory:"):
+            raise DriverError(
+                "a connection pool needs a shared database: use a file "
+                "path or a shared-cache URI "
+                "(file:name?mode=memory&cache=shared), not ':memory:'"
+            )
+        self.database = database
+        self.shared = shared if shared is not None else SharedState()
+        self.size = size
+        self._connections: list[Connection] = [
+            connect(
+                database,
+                max_workers=max_workers,
+                shared=self.shared,
+                check_same_thread=False,
+                isolation_level=None,
+                uri=database.startswith("file:"),
+            )
+            for _ in range(size)
+        ]
+        # LIFO: the most recently used connection is handed out next, so
+        # a lightly loaded pool keeps reusing warm executors and session
+        # caches instead of round-robining through cold ones.
+        self._free: queue.LifoQueue[Connection] = queue.LifoQueue()
+        for connection in self._connections:
+            self._free.put(connection)
+        self._closed = False
+
+    @contextmanager
+    def connection(self, timeout: float | None = None) -> Iterator[Connection]:
+        """Check a connection out for exclusive use by this thread."""
+        if self._closed:
+            raise DriverError("connection pool is closed")
+        try:
+            checked_out = self._free.get(timeout=timeout)
+        except queue.Empty:
+            raise DriverError(
+                f"no pooled connection became free within {timeout}s"
+            ) from None
+        try:
+            yield checked_out
+        finally:
+            self._free.put(checked_out)
+
+    def session_stats(self) -> dict[str, int]:
+        """Session-cache counters summed across the whole pool."""
+        totals: dict[str, int] = {}
+        for connection in self._connections:
+            for key, value in connection.session_stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def close(self) -> None:
+        """Close every pooled connection; the pool is unusable after."""
+        self._closed = True
+        for connection in self._connections:
+            connection.close()
+
+    def __enter__(self) -> "ConnectionPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

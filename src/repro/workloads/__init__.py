@@ -13,7 +13,9 @@
   meta-search simulation of section 4.3,
 * :mod:`repro.workloads.distributions` — independent / correlated /
   anti-correlated data generators in the style of [BKS01] for the skyline
-  algorithm ablations.
+  algorithm ablations,
+* :mod:`repro.workloads.traffic` — the Zipfian server-traffic mix of
+  query-chain sessions over all three scenarios (e15).
 
 All generators are deterministic under an explicit seed.
 """
@@ -44,6 +46,12 @@ from repro.workloads.shop import (
     washing_machines_relation,
 )
 from repro.workloads.cosima import MetaSearch, SimulatedShop, make_catalog, make_shops
+from repro.workloads.traffic import (
+    QueryChain,
+    load_traffic_database,
+    query_chains,
+    zipfian_schedule,
+)
 
 __all__ = [
     "oldtimer_relation",
@@ -67,4 +75,8 @@ __all__ = [
     "MetaSearch",
     "make_shops",
     "make_catalog",
+    "QueryChain",
+    "load_traffic_database",
+    "query_chains",
+    "zipfian_schedule",
 ]

@@ -38,7 +38,7 @@ class TestExperiments:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
-            "e11", "e12", "e13", "e14",
+            "e11", "e12", "e13", "e14", "e15",
         }
 
     def test_plan_alias(self):
@@ -51,6 +51,7 @@ class TestExperiments:
         assert ALIASES["joins"] == "e12"
         assert ALIASES["semantic"] == "e13"
         assert ALIASES["sessions"] == "e14"
+        assert ALIASES["server"] == "e15"
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):
@@ -116,6 +117,18 @@ class TestExperiments:
         report = run_experiment("e14", quick=True)
         assert report.data["min_refinement_speedup"] >= report.data["speedup_floor"]
         assert report.data["session_stats"]["served"] >= 4
+
+    def test_e15_quick_traffic_and_offload_parity(self):
+        report = run_experiment("e15", quick=True)
+        offload = report.data["offload"]
+        # Winner-set parity between serial/thread/process is asserted
+        # inside the experiment; the timings must be real measurements.
+        assert offload["serial"] > 0 and offload["process"] > 0
+        traffic = report.data["traffic"]
+        assert traffic["plan_cache"]["hit_rate"] >= 0.5
+        assert traffic["session_stats"]["served"] >= 1
+        assert traffic["admission"]["errors"] == 0
+        assert traffic["parity_checked"] >= 10
 
     def test_e1_quick_shapes(self):
         report = run_experiment("e1", quick=True)

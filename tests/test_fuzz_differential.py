@@ -806,3 +806,107 @@ def test_named_preferences_agree_on_all_paths(rows, tree, data):
     grouping = data.draw(st.sampled_from(["", " GROUPING g"]))
     query = f"SELECT * FROM items PREFERRING {use}{grouping}"
     assert_identical(all_paths(rows, query, setup=setup), query)
+
+
+# ----------------------------------------------------------------------
+# Concurrent pool stress (PR 8)
+#
+# The serving layer hands pooled connections to many threads while DML
+# arrives between bursts.  Rounds alternate a write phase (one thread,
+# random DML through the pool) with a read phase (N threads hammering the
+# pool with the full query mix); every response in a read phase must be
+# row-identical to a fresh standalone connection evaluating the same
+# query against the same database state.
+
+_STRESS_QUERIES = (
+    "SELECT * FROM cars PREFERRING LOWEST(price) AND LOWEST(mileage)",
+    "SELECT * FROM cars PREFERRING LOWEST(price) AND LOWEST(mileage) "
+    "CASCADE fuel IN ('diesel')",
+    "SELECT * FROM cars WHERE price < 60000 "
+    "PREFERRING HIGHEST(price) AND HIGHEST(mileage) GROUPING fuel",
+    "SELECT * FROM cars PREFERRING LOWEST(mileage) CASCADE LOWEST(price)",
+    "SELECT COUNT(*) FROM cars",
+)
+
+
+def _stress_dml(rng, position):
+    return rng.choice(
+        [
+            "INSERT INTO cars VALUES ({}, {}, {}, '{}', '{}')".format(
+                7000 + position,
+                rng.randrange(1, 90000),
+                rng.randrange(0, 300000),
+                rng.choice(_FUELS),
+                rng.choice(_MAKES),
+            ),
+            f"UPDATE cars SET price = price + 250 "
+            f"WHERE make = '{rng.choice(_MAKES)}'",
+            f"DELETE FROM cars WHERE id % 13 = {rng.randrange(13)}",
+        ]
+    )
+
+
+def test_concurrent_pool_with_interleaved_dml_matches_fresh(tmp_path):
+    import threading
+
+    from repro.server import ConnectionPool
+
+    rng = random.Random(88)
+    database = str(tmp_path / "stress.db")
+    setup = repro.connect(database)
+    setup.execute(
+        "CREATE TABLE cars (id INTEGER, price INTEGER, mileage INTEGER, "
+        "fuel TEXT, make TEXT)"
+    )
+    setup.cursor().executemany(
+        "INSERT INTO cars VALUES (?, ?, ?, ?, ?)", _cars_rows(rng, 300)
+    )
+    setup.commit()
+    setup.execute("ANALYZE")
+    setup.close()
+
+    pool = ConnectionPool(database, size=3)
+    workers = 6
+    failures: list[str] = []
+    try:
+        for round_number in range(5):
+            # Write phase: DML through the pool, one statement per round.
+            with pool.connection() as writer:
+                writer.execute(_stress_dml(rng, round_number))
+
+            # The expected answer set for this round's database state.
+            fresh = repro.connect(database)
+            fresh.session_reuse = False
+            expected = {
+                sql: sorted(fresh.execute(sql).fetchall(), key=repr)
+                for sql in _STRESS_QUERIES
+            }
+            fresh.close()
+
+            barrier = threading.Barrier(workers)
+
+            def read_burst():
+                try:
+                    barrier.wait(timeout=10)
+                    for sql in _STRESS_QUERIES:
+                        with pool.connection() as connection:
+                            got = sorted(
+                                connection.execute(sql).fetchall(), key=repr
+                            )
+                        if got != expected[sql]:
+                            failures.append(
+                                f"round {round_number} diverges on: {sql}"
+                            )
+                except Exception as error:  # pragma: no cover - failure path
+                    failures.append(f"round {round_number}: {error!r}")
+
+            threads = [
+                threading.Thread(target=read_burst) for _ in range(workers)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert failures == []
+    finally:
+        pool.close()

@@ -6,6 +6,8 @@ the worker-pool lifecycle, and the engine/driver integration of
 ``algorithm="parallel"``.
 """
 
+import os
+
 import hypothesis.strategies as st
 import pytest
 from hypothesis import given, settings
@@ -262,3 +264,188 @@ class TestEngineIntegration:
         assert fixture_connection.parallel_executor is first
         fixture_connection.max_workers = 2
         assert fixture_connection.parallel_executor is not first
+
+
+class TestProcessBackend:
+    """The process-pool path: shared-memory transport, parity, fallback."""
+
+    PARETO = "LOWEST(d0) AND HIGHEST(d1)"
+    CASCADE = "LOWEST(d0) CASCADE LOWEST(d1)"
+
+    @staticmethod
+    def _vectors(n=700):
+        return [((i * 13) % 97, (i * 29) % 89) for i in range(n)]
+
+    def test_backend_validation(self):
+        with pytest.raises(EvaluationError, match="backend"):
+            ParallelExecutor(backend="quantum")
+
+    def test_transport_roundtrip_in_process(self):
+        from repro.engine.columns import columnar_skyline, compute_rank_columns
+        from repro.engine.shm import RankTransport, skyline_worker
+
+        preference = build_preference(parse_preferring(self.PARETO))
+        vectors = self._vectors(400)
+        ranks = compute_rank_columns(preference, vectors)
+        candidates = list(range(len(vectors)))
+        with RankTransport(ranks, candidates) as transport:
+            local = [
+                winners
+                for k in range(3)
+                if (winners := skyline_worker(transport.task(k, 3)))
+            ]
+        union = sorted(i for part in local for i in part)
+        survivors = sorted(columnar_skyline(ranks, union))
+        assert survivors == sorted(columnar_skyline(ranks, candidates))
+
+    @pytest.mark.parametrize("clause", [PARETO, CASCADE])
+    def test_forced_process_backend_matches_oracle(self, clause):
+        preference = build_preference(parse_preferring(clause))
+        vectors = self._vectors()
+        oracle = sorted(nested_loop_maximal(preference, vectors))
+        with ParallelExecutor(
+            max_workers=2, min_partition_rows=32, backend="process"
+        ) as executor:
+            assert executor.maximal_indices(preference, vectors) == oracle
+            assert executor.last_backend == "process"
+
+    def test_process_backend_on_candidate_subset(self):
+        preference = build_preference(parse_preferring(self.PARETO))
+        vectors = self._vectors()
+        subset = [i for i in range(len(vectors)) if i % 3 != 0]
+        restricted = [vectors[i] for i in subset]
+        oracle = sorted(
+            subset[j] for j in nested_loop_maximal(preference, restricted)
+        )
+        with ParallelExecutor(
+            max_workers=2, min_partition_rows=32, backend="process"
+        ) as executor:
+            assert (
+                executor.maximal_indices(preference, vectors, candidates=subset)
+                == oracle
+            )
+            assert executor.last_backend == "process"
+
+    def test_process_backend_with_caller_ranks(self):
+        from repro.engine.columns import compute_rank_columns
+
+        preference = build_preference(parse_preferring(self.PARETO))
+        vectors = self._vectors()
+        ranks = compute_rank_columns(preference, vectors)
+        oracle = sorted(nested_loop_maximal(preference, vectors))
+        with ParallelExecutor(
+            max_workers=2, min_partition_rows=32, backend="process"
+        ) as executor:
+            assert (
+                executor.maximal_indices(preference, None, ranks=ranks)
+                == oracle
+            )
+            assert executor.last_backend == "process"
+
+    def test_process_backend_nan_ranks(self):
+        from repro.model.composite import ParetoPreference
+        from repro.model.preference import WeakOrderBase
+        from repro.sql import ast as _ast
+
+        class NanLowest(WeakOrderBase):
+            kind = "NAN-LOWEST"
+
+            def rank(self, value):
+                return float("nan") if value is None else float(value)
+
+        preference = ParetoPreference(
+            [NanLowest(_ast.Column(name=c)) for c in ("a", "b")]
+        )
+        vectors = [
+            ((i % 7) if i % 11 else None, (i * 3) % 5) for i in range(600)
+        ]
+        oracle = sorted(nested_loop_maximal(preference, vectors))
+        with ParallelExecutor(
+            max_workers=2, min_partition_rows=32, backend="process"
+        ) as executor:
+            assert executor.maximal_indices(preference, vectors) == oracle
+            assert executor.last_backend == "process"
+
+    def test_auto_backend_needs_scale_and_mode(self):
+        from repro.engine.parallel import (
+            PROCESS_MIN_ROWS,
+            process_backend_eligible,
+        )
+
+        assert process_backend_eligible("pareto", PROCESS_MIN_ROWS, 4)
+        assert not process_backend_eligible("pareto", PROCESS_MIN_ROWS - 1, 4)
+        assert not process_backend_eligible(None, PROCESS_MIN_ROWS, 4)
+        assert not process_backend_eligible("pareto", PROCESS_MIN_ROWS, 1)
+        assert not process_backend_eligible(
+            "pareto", PROCESS_MIN_ROWS, 4, backend="thread"
+        )
+        assert process_backend_eligible("pareto", 10, 4, backend="process")
+
+    def test_auto_backend_stays_serial_on_small_inputs(self):
+        preference = build_preference(parse_preferring(self.PARETO))
+        with ParallelExecutor(max_workers=2) as executor:
+            executor.maximal_indices(preference, self._vectors(50))
+            assert executor.last_backend == "serial"
+
+    def test_explicit_preferences_never_take_process_path(self):
+        # EXPLICIT trees have no rank columns (mode None): even a forced
+        # process backend must fall back to the thread/closure core.
+        preference = build_preference(
+            parse_preferring("EXPLICIT(d0, 'a' > 'b') AND LOWEST(d1)")
+        )
+        vectors = [("a" if i % 2 else "b", i % 17) for i in range(500)]
+        oracle = sorted(nested_loop_maximal(preference, vectors))
+        with ParallelExecutor(
+            max_workers=2, min_partition_rows=32, backend="process"
+        ) as executor:
+            assert executor.maximal_indices(preference, vectors) == oracle
+            assert executor.last_backend != "process"
+
+    def test_broken_transport_falls_back_to_threads(self, monkeypatch):
+        import repro.engine.parallel as parallel_module
+
+        class ExplodingTransport:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no shared memory left")
+
+        monkeypatch.setattr(parallel_module, "RankTransport", ExplodingTransport)
+        preference = build_preference(parse_preferring(self.PARETO))
+        vectors = self._vectors()
+        oracle = sorted(nested_loop_maximal(preference, vectors))
+        with ParallelExecutor(
+            max_workers=2, min_partition_rows=32, backend="process"
+        ) as executor:
+            assert executor.maximal_indices(preference, vectors) == oracle
+            assert executor.last_backend != "process"
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="needs os.fork")
+    def test_fork_after_parallel_query_resets_shared_executor(self):
+        """The satellite bugfix: a forked child inherits the parent's
+        thread-pool state but none of its worker threads; without the
+        after-fork reset, the child's first parallel query deadlocks on
+        a pool whose threads do not exist."""
+        import repro.engine.parallel as parallel_module
+        from repro.engine.parallel import parallel_maximal_indices, shared_executor
+
+        preference = build_preference(parse_preferring(self.PARETO))
+        vectors = self._vectors(900)
+        expected = parallel_maximal_indices(preference, vectors)
+        parent_executor = shared_executor()
+        # Force pool creation so the child inherits a "warm" executor.
+        parent_executor.maximal_indices(preference, vectors)
+
+        pid = os.fork()
+        if pid == 0:  # pragma: no cover - exercised in the child process
+            status = 1
+            try:
+                assert parallel_module._shared_executor is None
+                child_result = parallel_maximal_indices(preference, vectors)
+                if child_result == expected:
+                    status = 0
+            finally:
+                os._exit(status)
+        _pid, wait_status = os.waitpid(pid, 0)
+        assert os.WIFEXITED(wait_status) and os.WEXITSTATUS(wait_status) == 0
+        # The parent's executor is untouched by the child's reset.
+        assert shared_executor() is parent_executor
+        assert parent_executor.maximal_indices(preference, vectors) == expected

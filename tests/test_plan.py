@@ -138,6 +138,15 @@ class TestExplainExecution:
         assert "NOT EXISTS" in report
         assert "host plan" in report
 
+    def test_reports_parallel_backend(self, fixture_connection):
+        cursor = fixture_connection.execute(
+            "EXPLAIN PREFERENCE SELECT * FROM oldtimer PREFERRING LOWEST(age)"
+        )
+        report = dict(cursor.fetchall())
+        assert "parallel worker degree" in report
+        assert report["parallel backend"] in ("thread", "process")
+        assert cursor.plan.parallel_backend == report["parallel backend"]
+
 
 # ----------------------------------------------------------------------
 # Statistics cache
@@ -465,6 +474,35 @@ class TestCostModel:
         wide = estimate_costs(600, 4, row_width=74)
         assert wide["bnl"].seconds > narrow["bnl"].seconds
         assert wide["rewrite"].seconds == narrow["rewrite"].seconds
+
+    def test_backend_choice_prices_process_overlap(self):
+        from repro.engine.parallel import process_backend_eligible
+        from repro.plan.cost import parallel_backend_choice
+
+        backend, degree, _dispatch = parallel_backend_choice(
+            200_000, 3, workers=4, rank_mode="pareto"
+        )
+        if process_backend_eligible("pareto", 200_000, 4):
+            # Real core overlap beats a GIL-bound thread degree of 1.
+            assert backend == "process"
+            assert degree > 1.0
+        else:  # pragma: no cover - numpy-less environments
+            assert backend == "thread"
+
+    def test_backend_choice_is_thread_only_off_the_process_path(self):
+        from repro.plan.cost import parallel_backend_choice
+
+        # Grouped queries, closure trees and single workers never price
+        # the process pool — mirroring process_backend_eligible.
+        for kwargs in (
+            {"groups": 40.0, "rank_mode": "pareto"},
+            {"rank_mode": None},
+            {"rank_mode": "pareto", "workers": 1},
+        ):
+            kwargs.setdefault("workers", 4)
+            backend, degree, _ = parallel_backend_choice(200_000, 3, **kwargs)
+            assert backend == "thread"
+            assert degree == 1.0  # parallel_efficiency is zero on CPython
 
 
 class TestAutoAlgorithm:

@@ -1,0 +1,342 @@
+"""The serving layer: shared state, the connection pool, the asyncio server."""
+
+import asyncio
+import threading
+
+import pytest
+
+import repro
+from repro.errors import DriverError
+from repro.server import (
+    ConnectionPool,
+    PreferenceClient,
+    PreferenceServer,
+    ServerError,
+    SharedState,
+)
+
+
+@pytest.fixture
+def database(tmp_path):
+    """A file database with a small preference-queryable table."""
+    path = str(tmp_path / "server.db")
+    connection = repro.connect(path)
+    connection.execute(
+        "CREATE TABLE offers (offer_id INTEGER, price REAL, rating INTEGER)"
+    )
+    connection.cursor().executemany(
+        "INSERT INTO offers VALUES (?, ?, ?)",
+        [(i, float((i * 37) % 500) + 10.0, (i * 13) % 6) for i in range(1, 401)],
+    )
+    connection.commit()
+    connection.close()
+    return path
+
+
+SKYLINE = "SELECT * FROM offers PREFERRING LOWEST(price) AND HIGHEST(rating)"
+
+
+def serve(coroutine):
+    """Run one async test body to completion."""
+    return asyncio.run(coroutine)
+
+
+class TestSharedState:
+    def test_epochs_start_at_zero_and_advance(self):
+        shared = SharedState()
+        assert shared.data_epoch == 0
+        assert shared.catalog_epoch == 0
+        assert shared.bump_data() == 1
+        assert shared.bump_catalog() == 1
+        assert (shared.data_epoch, shared.catalog_epoch) == (1, 1)
+
+    def test_attached_connection_reports_shared_epochs(self, database):
+        shared = SharedState()
+        connection = repro.connect(database, shared=shared)
+        before = connection.data_version
+        shared.bump_data()
+        assert connection.data_version == before + 1
+        connection.close()
+
+    def test_own_write_bumps_shared_epoch(self, database):
+        shared = SharedState()
+        connection = repro.connect(
+            database, shared=shared, isolation_level=None
+        )
+        connection.execute("INSERT INTO offers VALUES (999, 1.0, 5)")
+        assert shared.data_epoch >= 1
+        connection.close()
+
+
+class TestConnectionPool:
+    def test_rejects_private_memory_database(self):
+        with pytest.raises(DriverError, match="shared database"):
+            ConnectionPool(":memory:")
+
+    def test_rejects_empty_size(self, database):
+        with pytest.raises(DriverError, match="at least one"):
+            ConnectionPool(database, size=0)
+
+    def test_checkout_is_exclusive(self, database):
+        with ConnectionPool(database, size=1) as pool:
+            with pool.connection() as first:
+                with pytest.raises(DriverError, match="no pooled connection"):
+                    with pool.connection(timeout=0.05):
+                        pass
+                assert first.execute("SELECT 1").fetchall() == [(1,)]
+            # Returned to the queue: the next checkout succeeds.
+            with pool.connection(timeout=0.05) as again:
+                assert again is first
+
+    def test_pooled_connections_cross_threads(self, database):
+        """The satellite bugfix: sqlite's default thread pinning would
+        raise ProgrammingError the first time a pooled connection served
+        a request on a different thread."""
+        pool = ConnectionPool(database, size=2)
+        errors: list[Exception] = []
+
+        def worker():
+            try:
+                for _ in range(5):
+                    with pool.connection() as connection:
+                        rows = connection.execute(SKYLINE).fetchall()
+                        assert rows
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        pool.close()
+
+    def test_write_on_one_connection_visible_to_sibling(self, database):
+        with ConnectionPool(database, size=2) as pool:
+            with pool.connection() as writer:
+                writer.execute("INSERT INTO offers VALUES (1000, 1.5, 5)")
+            # LIFO would hand back the same connection; drain it first so
+            # the read provably runs on the sibling.
+            with pool.connection() as same, pool.connection() as sibling:
+                assert same is writer
+                rows = sibling.execute(
+                    "SELECT * FROM offers WHERE offer_id = 1000"
+                ).fetchall()
+                assert len(rows) == 1
+
+    def test_plan_cache_is_shared_across_pool(self, database):
+        with ConnectionPool(database, size=2) as pool:
+            with pool.connection() as a, pool.connection() as b:
+                a.execute(SKYLINE).fetchall()
+                b.execute(SKYLINE).fetchall()
+            stats = pool.shared.plan_cache.stats()
+            assert stats.hits >= 1
+
+    def test_session_stats_aggregates(self, database):
+        with ConnectionPool(database, size=2) as pool:
+            totals = pool.session_stats()
+            assert set(totals) >= {"stores", "served"}
+
+
+class TestCrossSessionInvalidation:
+    """The satellite bugfix: ``PRAGMA data_version`` never moves for a
+    connection's own writes, so version-stamped caches need the shared
+    write epochs to see sibling writes."""
+
+    def test_sibling_dml_invalidates_cached_plan_results(self, database):
+        with ConnectionPool(database, size=2) as pool:
+            with pool.connection() as a, pool.connection() as b:
+                before = sorted(a.execute(SKYLINE).fetchall())
+                # A strictly dominating offer: cheapest and best-rated.
+                b.execute("INSERT INTO offers VALUES (2000, 0.5, 5)")
+                after = sorted(a.execute(SKYLINE).fetchall())
+                assert after != before
+                assert [row for row in after if row[0] == 2000]
+
+    def test_sibling_ddl_refreshes_schema_cache(self, database):
+        with ConnectionPool(database, size=2) as pool:
+            with pool.connection() as a, pool.connection() as b:
+                a.execute(SKYLINE).fetchall()  # warm a's schema cache
+                b.execute("CREATE TABLE extras (x INTEGER, y INTEGER)")
+                b.execute("INSERT INTO extras VALUES (1, 2), (3, 1)")
+                rows = a.execute(
+                    "SELECT * FROM extras PREFERRING LOWEST(y)"
+                ).fetchall()
+                assert rows == [(3, 1)]
+
+    def test_sibling_catalog_change_is_seen(self, database):
+        with ConnectionPool(database, size=2) as pool:
+            with pool.connection() as a, pool.connection() as b:
+                b.execute(
+                    "CREATE PREFERENCE cheap ON offers AS LOWEST(price)"
+                )
+                rows = a.execute(
+                    "SELECT * FROM offers PREFERRING PREFERENCE cheap"
+                ).fetchall()
+                assert rows
+                prices = {row[1] for row in rows}
+                assert prices == {min(
+                    p for (p,) in a.execute("SELECT price FROM offers").fetchall()
+                )}
+
+    def test_sibling_dml_invalidates_statistics(self, database):
+        with ConnectionPool(database, size=2) as pool:
+            with pool.connection() as a, pool.connection() as b:
+                first = a.statistics.for_table("offers")
+                b.execute("INSERT INTO offers VALUES (3000, 9.0, 1)")
+                second = a.statistics.for_table("offers")
+                assert second.row_count == first.row_count + 1
+
+    def test_statistics_entries_shared_across_pool(self, database):
+        with ConnectionPool(database, size=2) as pool:
+            with pool.connection() as a, pool.connection() as b:
+                a.statistics.for_table("offers")
+                scans_before = b.statistics.scan_count
+                b.statistics.for_table("offers")
+                assert b.statistics.scan_count == scans_before
+
+
+class TestServer:
+    def test_ping_query_and_stats(self, database):
+        async def body():
+            async with PreferenceServer(database, pool_size=2) as server:
+                client = await PreferenceClient.connect(
+                    server.host, server.port
+                )
+                assert await client.ping()
+                columns, rows = await client.query(SKYLINE)
+                assert columns == ["offer_id", "price", "rating"]
+                assert rows
+                await client.query(SKYLINE)
+                stats = await client.stats()
+                assert stats["plan_cache"]["hits"] >= 1
+                assert stats["admission"]["served"] >= 2
+                assert stats["admission"]["errors"] == 0
+                await client.close()
+                return rows
+
+        rows = serve(body())
+        fresh = repro.connect(database)
+        expected = [list(row) for row in fresh.execute(SKYLINE).fetchall()]
+        fresh.close()
+        assert sorted(rows, key=repr) == sorted(expected, key=repr)
+
+    def test_query_error_is_reported_not_fatal(self, database):
+        async def body():
+            async with PreferenceServer(database, pool_size=1) as server:
+                client = await PreferenceClient.connect(
+                    server.host, server.port
+                )
+                with pytest.raises(ServerError, match="nosuch"):
+                    await client.query("SELECT * FROM nosuch")
+                # The connection survives the error.
+                assert await client.ping()
+                await client.close()
+
+        serve(body())
+
+    def test_malformed_and_unknown_requests(self, database):
+        async def body():
+            async with PreferenceServer(database, pool_size=1) as server:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                import json
+
+                for payload in (b"not json\n", b"[1, 2]\n", b'{"op": "bogus"}\n', b'{"op": "query"}\n'):
+                    writer.write(payload)
+                    await writer.drain()
+                    response = json.loads(await reader.readline())
+                    assert "error" in response
+                writer.close()
+                await writer.wait_closed()
+
+        serve(body())
+
+    def test_dml_through_server_bumps_epoch_and_is_visible(self, database):
+        async def body():
+            async with PreferenceServer(database, pool_size=2) as server:
+                client = await PreferenceClient.connect(
+                    server.host, server.port
+                )
+                await client.query(
+                    "INSERT INTO offers VALUES (5000, 0.25, 5)"
+                )
+                stats = await client.stats()
+                assert stats["data_epoch"] >= 1
+                # Visible regardless of which pooled connection answers.
+                for _ in range(4):
+                    _columns, rows = await client.query(
+                        "SELECT * FROM offers WHERE offer_id = 5000"
+                    )
+                    assert len(rows) == 1
+                await client.close()
+
+        serve(body())
+
+    def test_overload_fast_reject(self, database):
+        async def body():
+            server = PreferenceServer(
+                database, pool_size=1, max_inflight=1, max_queue=0
+            )
+            release = threading.Event()
+
+            def slow_execute(sql, params):
+                release.wait(timeout=5.0)
+                return {"columns": [], "rows": []}
+
+            server._execute = slow_execute
+            await server.start()
+            try:
+                slow = await PreferenceClient.connect(server.host, server.port)
+                fast = await PreferenceClient.connect(server.host, server.port)
+                pending = asyncio.ensure_future(slow.query(SKYLINE))
+                # Wait until the slow query actually occupies the slot.
+                for _ in range(100):
+                    if server._inflight >= 1:
+                        break
+                    await asyncio.sleep(0.01)
+                with pytest.raises(ServerError) as excinfo:
+                    await fast.query(SKYLINE)
+                assert excinfo.value.overloaded
+                release.set()
+                await pending
+                assert server.rejected == 1
+                await slow.close()
+                await fast.close()
+            finally:
+                release.set()
+                await server.stop()
+
+        serve(body())
+
+    def test_concurrent_clients_agree_with_fresh_connection(self, database):
+        async def body():
+            async with PreferenceServer(database, pool_size=3) as server:
+                async def one_client():
+                    client = await PreferenceClient.connect(
+                        server.host, server.port
+                    )
+                    try:
+                        results = []
+                        for _ in range(3):
+                            _columns, rows = await client.query(SKYLINE)
+                            results.append(sorted(rows, key=repr))
+                        return results
+                    finally:
+                        await client.close()
+
+                gathered = await asyncio.gather(
+                    *(one_client() for _ in range(6))
+                )
+                return [rows for results in gathered for rows in results]
+
+        all_results = serve(body())
+        fresh = repro.connect(database)
+        expected = sorted(
+            ([list(row) for row in fresh.execute(SKYLINE).fetchall()]),
+            key=repr,
+        )
+        fresh.close()
+        assert all(result == expected for result in all_results)
