@@ -1,0 +1,111 @@
+"""E16 — fault-tolerant serving: inert-harness cost and chaos traffic.
+
+Benchmarks the two costs the robustness tentpole must keep honest: an
+inert injection point (one module-global ``None`` check — the price
+production pays for the chaos harness being compiled in) and a burst of
+Zipfian session traffic under a ~5% fault mix with client retries,
+asserting zero client-visible wrong answers against a fresh-connection
+oracle.  The E16 experiment in miniature.
+"""
+
+import asyncio
+import os
+import shutil
+import sqlite3
+import tempfile
+
+import pytest
+
+import repro
+from repro.testing import FaultPlan, FaultRule, faults, injected
+from repro.testing.faults import break_pooled_connection
+from repro.workloads.traffic import (
+    load_traffic_database,
+    query_chains,
+    zipfian_schedule,
+)
+
+
+def test_inert_injection_point(benchmark):
+    faults.uninstall()
+    assert benchmark(lambda: faults.fire("driver.execute", sql="x")) is False
+
+
+@pytest.fixture()
+def traffic_database():
+    directory = tempfile.mkdtemp(prefix="repro-bench-e16-")
+    database = os.path.join(directory, "traffic.db")
+    loader = repro.connect(database)
+    load_traffic_database(loader, scale=0.25)
+    loader.execute("ANALYZE")
+    loader.close()
+    yield database
+    shutil.rmtree(directory, ignore_errors=True)
+
+
+def test_chaos_traffic_burst(benchmark, traffic_database):
+    from repro.server import PreferenceClient, PreferenceServer, ServerError
+
+    chains = query_chains()
+    schedule = zipfian_schedule(len(chains), sessions=30, seed=29)
+
+    oracle = {}
+    fresh = repro.connect(traffic_database)
+    fresh.session_reuse = False
+    for chain in chains:
+        for sql in chain.statements:
+            if sql not in oracle:
+                oracle[sql] = sorted(
+                    [list(row) for row in fresh.execute(sql).fetchall()],
+                    key=repr,
+                )
+    fresh.close()
+
+    def plan():
+        return FaultPlan(
+            [
+                FaultRule(
+                    "driver.execute",
+                    times=None,
+                    probability=0.03,
+                    error=lambda: sqlite3.OperationalError("chaos"),
+                ),
+                FaultRule(
+                    "pool.checkout",
+                    times=None,
+                    probability=0.02,
+                    action=break_pooled_connection,
+                ),
+            ],
+            seed=16,
+        )
+
+    async def burst():
+        async with PreferenceServer(traffic_database, pool_size=2) as server:
+            client = await PreferenceClient.connect(server.host, server.port)
+            wrong = served = surfaced = 0
+            try:
+                with injected(plan()):
+                    for index in schedule:
+                        for sql in chains[index].statements:
+                            try:
+                                _columns, rows = await client.query(
+                                    sql, retries=3, backoff=0.02
+                                )
+                            except ServerError:
+                                surfaced += 1
+                                continue
+                            served += 1
+                            if sorted(rows, key=repr) != oracle[sql]:
+                                wrong += 1
+            finally:
+                await client.close()
+            return wrong, served, surfaced, server.stats()
+
+    wrong, served, surfaced, stats = benchmark(lambda: asyncio.run(burst()))
+    assert wrong == 0
+    assert served >= 1
+    admission = stats["admission"]
+    assert admission["admitted"] == (
+        admission["served"] + admission["errors"] + admission["cancelled"]
+    )

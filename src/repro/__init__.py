@@ -25,6 +25,7 @@ paper sections to modules.
 """
 
 from repro import errors
+from repro.deadline import Deadline
 from repro.driver import Connection, Cursor, connect
 from repro.engine import PreferenceEngine, Relation
 from repro.model import build_preference
@@ -38,6 +39,7 @@ __all__ = [
     "connect",
     "Connection",
     "Cursor",
+    "Deadline",
     "PreferenceEngine",
     "Relation",
     "build_preference",

@@ -44,6 +44,11 @@ import sqlite3
 from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
+from repro.deadline import (
+    Deadline,
+    deadline_scope,
+    sqlite_interrupt,
+)
 from repro.engine.bmo import (
     PreferenceEngine,
     run_in_memory_plan,
@@ -59,7 +64,9 @@ from repro.errors import (
     PlanError,
     PreferenceConstructionError,
     PreferenceSQLError,
+    QueryTimeout,
 )
+from repro.testing import faults
 from repro.model.algebra import normalize
 from repro.pdl.catalog import PreferenceCatalog, ViewEntry
 from repro.plan.cache import CacheStats, PlanCache
@@ -840,10 +847,26 @@ class Connection:
         sql: str,
         params: Sequence[object] = (),
         algorithm: str | None = None,
+        timeout_ms: float | None = None,
+        deadline: Deadline | None = None,
     ) -> "Cursor":
-        """Convenience: open a cursor and execute one statement."""
+        """Convenience: open a cursor and execute one statement.
+
+        ``timeout_ms`` bounds the statement's wall clock: planning, host
+        scans and the in-memory skyline loops all observe the deadline
+        and abort with :class:`~repro.errors.QueryTimeout` (retryable)
+        once it passes.  ``deadline`` passes an already-armed
+        :class:`~repro.deadline.Deadline` instead (the server shares one
+        across retries of the same request).
+        """
         cursor = self.cursor()
-        cursor.execute(sql, params, algorithm=algorithm)
+        cursor.execute(
+            sql,
+            params,
+            algorithm=algorithm,
+            timeout_ms=timeout_ms,
+            deadline=deadline,
+        )
         return cursor
 
     def commit(self) -> None:
@@ -1061,13 +1084,65 @@ class Cursor:
         sql: str,
         params: Sequence[object] = (),
         algorithm: str | None = None,
+        timeout_ms: float | None = None,
+        deadline: Deadline | None = None,
     ) -> "Cursor":
         """Execute one statement (preference-extended or plain SQL).
 
         ``algorithm`` pins the execution strategy (``rewrite``, ``bnl``,
         ``sfs``, ``dnc``, ``parallel``) instead of letting the cost model
         choose; pinned executions bypass the plan cache.
+
+        ``timeout_ms`` (or a pre-armed ``deadline``) bounds wall clock.
+        The deadline is installed as the thread's active scope — the
+        planner, the skyline kernels and the worker pools poll it — and a
+        watchdog interrupts the raw sqlite connection so rewrite and
+        pushdown scans abort mid-scan.  Expiry surfaces as
+        :class:`~repro.errors.QueryTimeout` (code ``timeout``,
+        ``retryable``); statements without a timeout take the exact
+        pre-deadline code path.
         """
+        faults.fire("driver.execute", sql=sql)
+        if deadline is None and timeout_ms is not None:
+            deadline = Deadline.after_ms(timeout_ms)
+        if deadline is None:
+            return self._execute_inner(sql, params, algorithm)
+        deadline.check()
+        raw = self._connection._raw
+        try:
+            with deadline_scope(deadline), sqlite_interrupt(raw, deadline):
+                self._execute_inner(sql, params, algorithm)
+                # Rewrite and pass-through results are normally fetched
+                # lazily, which would move the host's scan work *outside*
+                # the deadline (sqlite steps the statement at fetch
+                # time).  A timed statement therefore materialises here,
+                # while the watchdog is still armed.
+                if self._result is None and self._raw.description is not None:
+                    self._result = _LocalResult(
+                        Relation(
+                            columns=[
+                                entry[0] for entry in self._raw.description
+                            ],
+                            rows=self._raw.fetchall(),
+                        )
+                    )
+                return self
+        except QueryTimeout:
+            raise
+        except (DriverError, sqlite3.Error) as exc:
+            # The watchdog surfaces as "interrupted" from sqlite (wrapped
+            # in DriverError by the execution paths) — report it as the
+            # timeout it is, but only when the deadline really expired.
+            if deadline.expired():
+                raise QueryTimeout() from exc
+            raise
+
+    def _execute_inner(
+        self,
+        sql: str,
+        params: Sequence[object] = (),
+        algorithm: str | None = None,
+    ) -> "Cursor":
         self.plan = None
         self._result = None
         if not _PREFERENCE_HINT.search(sql):

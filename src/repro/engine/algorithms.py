@@ -44,6 +44,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.deadline import CHECK_EVERY, active_deadline
 from repro.errors import EvaluationError
 from repro.engine.columns import (
     RankColumns,
@@ -88,9 +89,12 @@ def nested_loop_maximal(
     the columnar kernels.
     """
     better = best_better(preference, vectors, ranks=ranks)
+    deadline = active_deadline()
     result = []
     count = len(vectors)
     for i in range(count):
+        if deadline is not None:
+            deadline.check()
         dominated = any(better(j, i) for j in range(count) if j != i)
         if not dominated:
             result.append(i)
@@ -115,9 +119,12 @@ def block_nested_loops(
     if use_columns and ranks is not None and ranks.mode is not None:
         return sorted(columnar_skyline(ranks, range(len(ranks)), "bnl"))
     better = best_better(preference, vectors, ranks=ranks)
+    deadline = active_deadline()
     count = len(vectors) if vectors is not None else len(ranks)
     window: list[int] = []
     for i in range(count):
+        if deadline is not None and not i % CHECK_EVERY:
+            deadline.check()
         dominated = False
         survivors: list[int] = []
         for j in window:
@@ -197,8 +204,11 @@ def sort_filter_skyline(
             range(len(vectors)),
             key=lambda i: dominance_key(preference, vectors[i]),
         )
+    deadline = active_deadline()
     skyline: list[int] = []
-    for i in order:
+    for position, i in enumerate(order):
+        if deadline is not None and not position % CHECK_EVERY:
+            deadline.check()
         if not any(better(j, i) for j in skyline):
             skyline.append(i)
     return sorted(skyline)
@@ -222,9 +232,12 @@ def divide_and_conquer(
     if use_columns and ranks is not None and ranks.mode is not None:
         return sorted(columnar_skyline(ranks, range(len(ranks)), "dnc"))
     better = best_better(preference, vectors, ranks=ranks)
+    deadline = active_deadline()
     count = len(vectors) if vectors is not None else len(ranks)
 
     def recurse(indices: list[int]) -> list[int]:
+        if deadline is not None:
+            deadline.check()
         if len(indices) <= 16:
             return [
                 i
@@ -234,12 +247,20 @@ def divide_and_conquer(
         mid = len(indices) // 2
         left = recurse(indices[:mid])
         right = recurse(indices[mid:])
-        surviving_left = [
-            i for i in left if not any(better(j, i) for j in right)
-        ]
-        surviving_right = [
-            i for i in right if not any(better(j, i) for j in left)
-        ]
+        # The cross filters carry the quadratic worst case: poll the
+        # deadline per outer row, one clock read against an inner scan.
+        surviving_left = []
+        for i in left:
+            if deadline is not None:
+                deadline.check()
+            if not any(better(j, i) for j in right):
+                surviving_left.append(i)
+        surviving_right = []
+        for i in right:
+            if deadline is not None:
+                deadline.check()
+            if not any(better(j, i) for j in left):
+                surviving_right.append(i)
         return surviving_left + surviving_right
 
     return sorted(recurse(list(range(count))))

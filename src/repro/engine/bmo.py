@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable, Sequence
 
+from repro.deadline import CHECK_EVERY, active_deadline
 from repro.errors import EvaluationError, PreferenceConstructionError
 from repro.engine.algorithms import maximal_indices
 from repro.engine.columns import (
@@ -65,10 +66,21 @@ def bmo_filter(
     process-wide shared executor of
     :func:`repro.engine.parallel.shared_executor` is reused).
     """
+    deadline = active_deadline()
+    if deadline is not None:
+        deadline.check()
     count = len(vectors) if vectors is not None else len(ranks or ())
     indices = list(range(count))
     if threshold is not None:
-        indices = [i for i in indices if threshold(i)]
+        # BUT ONLY evaluates one expression per candidate row — poll the
+        # deadline at the same amortised cadence as the skyline loops.
+        survivors = []
+        for i in indices:
+            if deadline is not None and not i % CHECK_EVERY:
+                deadline.check()
+            if threshold(i):
+                survivors.append(i)
+        indices = survivors
 
     if algorithm == "parallel":
         from repro.engine.parallel import shared_executor
@@ -595,13 +607,20 @@ class PreferenceEngine:
             )
             vectors: list[tuple] | None = None
             if ranks is None or quality_calls:
-                vectors = [
-                    tuple(
-                        evaluator.evaluate(op, env)
-                        for op in preference.operands
+                # Operand evaluation walks an expression tree per row —
+                # on wide candidate sets it rivals the skyline itself,
+                # so it polls the deadline at the same cadence.
+                deadline = active_deadline()
+                vectors = []
+                for position, env in enumerate(row_environments()):
+                    if deadline is not None and not position % CHECK_EVERY:
+                        deadline.check()
+                    vectors.append(
+                        tuple(
+                            evaluator.evaluate(op, env)
+                            for op in preference.operands
+                        )
                     )
-                    for env in row_environments()
-                ]
 
             group_keys = None
             if select.grouping:

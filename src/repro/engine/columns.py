@@ -51,6 +51,7 @@ try:  # numpy accelerates the Pareto kernel; the pure-Python loops remain
 except ImportError:  # pragma: no cover - numpy ships with the toolchain
     _np = None
 
+from repro.deadline import CHECK_EVERY, active_deadline
 from repro.model.categorical import OTHERS, LayeredPreference
 from repro.model.composite import ParetoPreference, PrioritizationPreference
 from repro.model.numeric import (
@@ -384,8 +385,11 @@ def _dominates(a: tuple, b: tuple) -> bool:
 
 def _bnl_keys(keys: Sequence[tuple]) -> list[tuple]:
     """BNL over distinct rank tuples: self-cleaning window, short-circuit."""
+    deadline = active_deadline()
     window: list[tuple] = []
-    for row in keys:
+    for position, row in enumerate(keys):
+        if deadline is not None and not position % CHECK_EVERY:
+            deadline.check()
         dominated = False
         survivors: list[tuple] = []
         for kept in window:
@@ -410,8 +414,11 @@ def _sfs_keys(keys: Sequence[tuple]) -> list[tuple]:
     test is inlined (no function call) — this is the hottest loop of the
     pure-Python kernel.
     """
+    deadline = active_deadline()
     skyline: list[tuple] = []
-    for row in sorted(keys):
+    for position, row in enumerate(sorted(keys)):
+        if deadline is not None and not position % CHECK_EVERY:
+            deadline.check()
         for kept in skyline:
             for x, y in zip(kept, row):
                 if x > y:
@@ -425,6 +432,9 @@ def _sfs_keys(keys: Sequence[tuple]) -> list[tuple]:
 
 def _dnc_keys(keys: list[tuple]) -> list[tuple]:
     """Divide & conquer over distinct rank tuples with cross-filtering."""
+    deadline = active_deadline()
+    if deadline is not None:
+        deadline.check()
     if len(keys) <= 16:
         return [
             a
@@ -436,12 +446,21 @@ def _dnc_keys(keys: list[tuple]) -> list[tuple]:
     mid = len(keys) // 2
     left = _dnc_keys(keys[:mid])
     right = _dnc_keys(keys[mid:])
-    surviving_left = [
-        a for a in left if not any(_dominates(b, a) for b in right)
-    ]
-    surviving_right = [
-        b for b in right if not any(_dominates(a, b) for a in left)
-    ]
+    # The cross filters are the quadratic part (O(|left|·|right|) with
+    # anti-correlated data), so they poll the deadline per outer row —
+    # one clock read against a whole inner scan.
+    surviving_left = []
+    for a in left:
+        if deadline is not None:
+            deadline.check()
+        if not any(_dominates(b, a) for b in right):
+            surviving_left.append(a)
+    surviving_right = []
+    for b in right:
+        if deadline is not None:
+            deadline.check()
+        if not any(_dominates(a, b) for a in left):
+            surviving_right.append(b)
     return surviving_left + surviving_right
 
 
@@ -561,18 +580,25 @@ def _pareto_winner_offsets(matrix, positions) -> list[int]:
     bucket_of = _np.cumsum(first) - 1
     count = len(unique)
 
+    deadline = active_deadline()
     maximal = _np.zeros(count, dtype=bool)
     skyline = unique[:0]
     start = 0
     block_size = _NUMPY_FIRST_BLOCK
     while start < count:
+        if deadline is not None:
+            deadline.check()
         block = unique[start : start + block_size]
         if len(skyline):
             alive = _np.ones(len(block), dtype=bool)
             # Bounded chunks keep the broadcast temporaries small even
             # for anti-correlated data with huge skylines.  Rows are
             # distinct, so componentwise <= is already strict dominance.
+            # One deadline poll per chunk bounds cancellation latency to
+            # a single (block × chunk) broadcast.
             for chunk_start in range(0, len(skyline), _NUMPY_MAX_BLOCK):
+                if deadline is not None:
+                    deadline.check()
                 chunk = skyline[chunk_start : chunk_start + _NUMPY_MAX_BLOCK]
                 candidates = block[alive]
                 dominated = (
@@ -592,7 +618,9 @@ def _pareto_winner_offsets(matrix, positions) -> list[int]:
             # skyline filter above).
             new_rows: list[tuple] = []
             new_offsets: list[int] = []
-            for offset in alive_offsets.tolist():
+            for survivor, offset in enumerate(alive_offsets.tolist()):
+                if deadline is not None and not survivor % 256:
+                    deadline.check()
                 row = tuple(block[offset])
                 for kept in new_rows:
                     # ``not (x <= y)`` rather than ``x > y``: NaN rows

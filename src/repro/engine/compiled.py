@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from repro.deadline import CHECK_EVERY, active_deadline
 from repro.engine.columns import RankColumns, compute_rank_columns
 from repro.model.preference import Preference
 
@@ -143,12 +144,33 @@ def compile_better(
 def generic_better(
     preference: Preference, vectors: Sequence[tuple]
 ) -> BetterFn:
-    """The uncompiled fallback with the same index-based signature."""
+    """The uncompiled fallback with the same index-based signature.
 
-    def better(i: int, j: int) -> bool:
+    When a query deadline is active at compile time, the comparator
+    polls it every :data:`~repro.deadline.CHECK_EVERY` calls: the
+    skyline loops only poll per *outer* row, and for generic trees each
+    inner scan is O(n) ``is_better`` evaluations — far too long a gap
+    for a runaway EXPLICIT-preference query to honor its timeout.  The
+    counter is a closure cell, negligible next to ``is_better`` itself;
+    deadline-free queries get the bare comparator.
+    """
+    deadline = active_deadline()
+    if deadline is None:
+
+        def better(i: int, j: int) -> bool:
+            return preference.is_better(vectors[i], vectors[j])
+
+        return better
+
+    calls = [0]
+
+    def checked_better(i: int, j: int) -> bool:
+        calls[0] += 1
+        if not calls[0] % CHECK_EVERY:
+            deadline.check()
         return preference.is_better(vectors[i], vectors[j])
 
-    return better
+    return checked_better
 
 
 def best_better(

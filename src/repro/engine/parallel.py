@@ -55,6 +55,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence
 
+from repro.deadline import CHECK_EVERY, active_deadline, run_with_deadline
 from repro.engine.columns import (
     RankColumns,
     columnar_skyline,
@@ -64,6 +65,7 @@ from repro.engine.compiled import best_better
 from repro.engine.shm import RankTransport, skyline_worker, transport_available
 from repro.errors import EvaluationError
 from repro.model.preference import Preference
+from repro.testing import faults
 
 #: Below this many candidates a partitioned run costs more than it saves.
 DEFAULT_MIN_PARTITION_ROWS = 64
@@ -147,8 +149,11 @@ def local_skyline(
     ``better`` is indexed by global row position, so partitions share one
     compiled comparator instead of each recompiling over a vector slice.
     """
+    deadline = active_deadline()
     window: list[int] = []
-    for i in indices:
+    for position, i in enumerate(indices):
+        if deadline is not None and not position % CHECK_EVERY:
+            deadline.check()
         dominated = False
         survivors: list[int] = []
         for j in window:
@@ -227,6 +232,9 @@ class ParallelExecutor:
         self._pool: ThreadPoolExecutor | None = None
         self._processes: ProcessPoolExecutor | None = None
         self._closed = False
+        #: Process-pool failures survived (broken pool, shm exhaustion);
+        #: each one fell back to threads and the pool was rebuilt lazily.
+        self.process_failures = 0
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -257,7 +265,15 @@ class ParallelExecutor:
             self._pool = ThreadPoolExecutor(
                 max_workers=self.max_workers, thread_name_prefix="skyline"
             )
-        return list(self._pool.map(lambda task: task(), tasks))
+        # Pool threads never saw the caller's deadline scope; capture it
+        # here and re-enter it inside each task so the kernels' polls see
+        # the same deadline the query was admitted under.
+        deadline = active_deadline()
+        return list(
+            self._pool.map(
+                lambda task: run_with_deadline(task, deadline), tasks
+            )
+        )
 
     def _process_pool(self) -> ProcessPoolExecutor:
         """The lazily-created (and then cached) worker-process pool."""
@@ -286,16 +302,27 @@ class ParallelExecutor:
         """
         if self._closed:
             raise EvaluationError("parallel executor is closed")
+        deadline = active_deadline()
+        expires_at = deadline.expires_at if deadline is not None else None
         try:
             pool = self._process_pool()
+            faults.fire("process.task", pool=pool)
             with RankTransport(ranks, indices) as transport:
-                tasks = [transport.task(k, count) for k in range(count)]
+                tasks = [
+                    transport.task(k, count, deadline_ts=expires_at)
+                    for k in range(count)
+                ]
                 return [
                     winners
                     for winners in pool.map(skyline_worker, tasks)
                     if winners
                 ]
         except (OSError, BrokenProcessPool):
+            # QueryTimeout deliberately propagates past this clause: a
+            # worker hitting the deadline is a cancelled *query*, not a
+            # broken *pool* — rerunning it on threads would double the
+            # time a timed-out request holds its worker.
+            self.process_failures += 1
             if self._processes is not None:
                 self._processes.shutdown(wait=False, cancel_futures=True)
                 self._processes = None

@@ -35,6 +35,7 @@ with trackers of their own, which never happens on this executor.
 
 from __future__ import annotations
 
+import threading
 from multiprocessing import shared_memory
 from typing import Sequence
 
@@ -43,11 +44,30 @@ try:  # numpy is required for the shared-memory views; the thread and
 except ImportError:  # pragma: no cover - numpy ships with the toolchain
     _np = None
 
+from repro.deadline import Deadline, deadline_scope
 from repro.engine import columns as _columns
 from repro.engine.columns import RankColumns, rank_row_skyline
+from repro.testing import faults
 
 _FLOAT_BYTES = 8  # float64 rank cells
 _INDEX_BYTES = 8  # int64 candidate indices
+
+# Parent-side segment bookkeeping: every RankTransport counts its create
+# and its unlink, so the chaos suite can assert no segment outlives its
+# query on *any* failure path (broken pool, worker crash, timeout).
+_segment_lock = threading.Lock()
+_segments_created = 0
+_segments_unlinked = 0
+
+
+def segment_counters() -> dict[str, int]:
+    """Parent-process shared-memory segment totals (created/unlinked)."""
+    with _segment_lock:
+        return {
+            "created": _segments_created,
+            "unlinked": _segments_unlinked,
+            "leaked": _segments_created - _segments_unlinked,
+        }
 
 
 def transport_available() -> bool:
@@ -68,6 +88,7 @@ class RankTransport:
     def __init__(self, ranks: RankColumns, candidates: Sequence[int]):
         if _np is None:  # pragma: no cover - guarded by callers
             raise RuntimeError("shared-memory rank transport requires numpy")
+        faults.fire("shm.create")
         matrix = _np.ascontiguousarray(ranks.matrix(), dtype=_np.float64)
         indices = _np.fromiter(
             candidates, dtype=_np.int64, count=len(candidates)
@@ -80,6 +101,9 @@ class RankTransport:
         total = self._matrix_bytes + self.count * _INDEX_BYTES
         self._shm = shared_memory.SharedMemory(create=True, size=max(1, total))
         self.name = self._shm.name
+        global _segments_created
+        with _segment_lock:
+            _segments_created += 1
         _np.ndarray(
             (self.rows, self.width), dtype=_np.float64, buffer=self._shm.buf
         )[...] = matrix
@@ -91,9 +115,19 @@ class RankTransport:
         )[...] = indices
 
     def task(
-        self, partition: int, stride: int, flavor: str = "sfs"
+        self,
+        partition: int,
+        stride: int,
+        flavor: str = "sfs",
+        deadline_ts: float | None = None,
     ) -> tuple:
-        """The picklable descriptor for one worker-side local skyline."""
+        """The picklable descriptor for one worker-side local skyline.
+
+        ``deadline_ts`` carries the query deadline as an absolute
+        ``time.monotonic()`` timestamp — ``CLOCK_MONOTONIC`` is
+        system-wide on Linux, so forked workers read the same clock the
+        parent armed the deadline on.
+        """
         return (
             self.name,
             self.rows,
@@ -104,15 +138,19 @@ class RankTransport:
             partition,
             stride,
             flavor,
+            deadline_ts,
         )
 
     def close(self) -> None:
         """Release the parent mapping and remove the segment."""
         self._shm.close()
+        global _segments_unlinked
         try:
             self._shm.unlink()
         except FileNotFoundError:  # pragma: no cover - already removed
             pass
+        with _segment_lock:
+            _segments_unlinked += 1
 
     def __enter__(self) -> "RankTransport":
         return self
@@ -128,7 +166,7 @@ def _local_skyline_from_buffer(buf, task: tuple) -> list[int]:
     the shared buffer dies with this frame — :meth:`SharedMemory.close`
     raises ``BufferError`` while exported views are still alive.
     """
-    (_, rows, width, count, mode, nan_free, partition, stride, flavor) = task
+    (_, rows, width, count, mode, nan_free, partition, stride, flavor, _ts) = task
     matrix = _np.ndarray((rows, width), dtype=_np.float64, buffer=buf)
     candidates = _np.ndarray(
         (count,),
@@ -154,10 +192,19 @@ def skyline_worker(task: tuple) -> list[int]:
     Top-level (hence picklable) so :class:`ProcessPoolExecutor` can ship
     it; attaches the parent's segment by name and always unmaps before
     returning (the parent owns the unlink — see the module docstring for
-    why no resource-tracker bookkeeping happens here).
+    why no resource-tracker bookkeeping happens here).  The task's
+    deadline timestamp is re-entered as a worker-local deadline scope, so
+    the kernels poll it exactly as they would in the parent; a worker
+    past the deadline raises :class:`~repro.errors.QueryTimeout`, which
+    pickles back and cancels the whole map.
     """
+    deadline_ts = task[9]
+    deadline = Deadline(deadline_ts) if deadline_ts is not None else None
+    if deadline is not None:
+        deadline.check()
     shm = shared_memory.SharedMemory(name=task[0])
     try:
-        return _local_skyline_from_buffer(shm.buf, task)
+        with deadline_scope(deadline):
+            return _local_skyline_from_buffer(shm.buf, task)
     finally:
         shm.close()

@@ -10,7 +10,21 @@ from __future__ import annotations
 
 
 class PreferenceSQLError(Exception):
-    """Base class for all Preference SQL errors."""
+    """Base class for all Preference SQL errors.
+
+    Every error carries a stable machine-readable ``code`` (what failed)
+    and a ``retryable`` flag (whether an identical retry can plausibly
+    succeed).  The serving layer ships both over the wire so clients can
+    implement retry policy without parsing error text; transient faults
+    (deadline expiry, pool exhaustion) are the retryable ones, while
+    semantic failures (parse errors, unknown tables) are not — retrying
+    those burns server capacity for the same answer.
+    """
+
+    #: Stable machine-readable error code, shipped over the wire.
+    code = "error"
+    #: Whether an identical retry can plausibly succeed.
+    retryable = False
 
 
 class LexerError(PreferenceSQLError):
@@ -19,6 +33,8 @@ class LexerError(PreferenceSQLError):
     Carries the offending position so interactive callers (the paper's
     GUI-generated queries) can point at the bad character.
     """
+
+    code = "parse"
 
     def __init__(self, message: str, position: int, line: int, column: int):
         super().__init__(f"{message} (line {line}, column {column})")
@@ -29,6 +45,8 @@ class LexerError(PreferenceSQLError):
 
 class ParseError(PreferenceSQLError):
     """Raised when tokens do not form a valid Preference SQL statement."""
+
+    code = "parse"
 
     def __init__(self, message: str, line: int = 0, column: int = 0):
         if line:
@@ -46,6 +64,8 @@ class UnsupportedPreferenceSQL(PreferenceSQLError):
     clauses (paper section 2.2.5).
     """
 
+    code = "unsupported"
+
 
 class PreferenceConstructionError(PreferenceSQLError):
     """Raised when a preference term cannot be built.
@@ -55,6 +75,8 @@ class PreferenceConstructionError(PreferenceSQLError):
     cycle, which would violate the strict-partial-order requirement).
     """
 
+    code = "preference"
+
 
 class NotAStrictPartialOrder(PreferenceConstructionError):
     """The better-than relation violates irreflexivity/asymmetry/transitivity."""
@@ -62,6 +84,8 @@ class NotAStrictPartialOrder(PreferenceConstructionError):
 
 class RewriteError(PreferenceSQLError):
     """The Preference SQL Optimizer could not produce standard SQL."""
+
+    code = "rewrite"
 
 
 class PlanError(PreferenceSQLError):
@@ -71,14 +95,54 @@ class PlanError(PreferenceSQLError):
     not eligible for (e.g. an in-memory skyline on a multi-table query).
     """
 
+    code = "plan"
+
 
 class EvaluationError(PreferenceSQLError):
     """The in-memory engine failed to evaluate an expression over a row."""
+
+    code = "evaluation"
 
 
 class CatalogError(PreferenceSQLError):
     """Problems with persistent preference definitions (the PDL catalog)."""
 
+    code = "catalog"
+
 
 class DriverError(PreferenceSQLError):
     """PEP 249-level failures in the Preference driver layer."""
+
+    code = "driver"
+
+
+class QueryTimeout(DriverError):
+    """A query ran past its deadline and was cancelled, not hung.
+
+    Raised cooperatively by the in-memory kernels, by the sqlite
+    interrupt watchdog for host-side scans, and by process-backend
+    workers; always retryable — a retry under lighter load (or with a
+    larger ``timeout_ms``) can succeed.  The single-argument constructor
+    keeps the exception picklable across the process-pool boundary.
+    """
+
+    code = "timeout"
+    retryable = True
+
+    def __init__(self, message: str = "query deadline exceeded"):
+        super().__init__(message)
+
+
+class PoolTimeout(DriverError):
+    """No pooled connection became free within the checkout timeout.
+
+    The serving layer maps this to a fast ``overloaded`` reply: the pool
+    being saturated is a load condition, not a query defect, so clients
+    should back off and retry.
+    """
+
+    code = "overloaded"
+    retryable = True
+
+    def __init__(self, message: str = "no pooled connection became free"):
+        super().__init__(message)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
+from repro.deadline import active_deadline
 from repro.errors import (
     CatalogError,
     PlanError,
@@ -224,6 +225,9 @@ def plan_statement(
     semantic pass, whose rewritten statement would no longer line up
     with the cached entry's canonical form).
     """
+    deadline = active_deadline()
+    if deadline is not None:
+        deadline.check()
     if isinstance(statement, ast.ExplainPreference):
         statement = statement.statement
 

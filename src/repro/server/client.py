@@ -5,23 +5,44 @@ per line out, one response object per line back.  One client holds one
 TCP connection; requests on a single client are serialized (a lock pairs
 each request line with its response line), so a traffic simulator opens
 one client per simulated session.
+
+Server-side failures surface as :class:`ServerError` carrying the wire
+taxonomy — ``code`` (``timeout``, ``overloaded``, ``database``, ...) and
+``retryable``.  :meth:`PreferenceClient.query` can retry retryable
+failures itself: bounded attempts with exponential backoff plus jitter,
+so a fleet of clients backing off a transient fault does not stampede
+the server in lockstep.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import random
 from typing import Sequence
 
 from repro.errors import DriverError
 
 
 class ServerError(DriverError):
-    """A query failed server-side; ``overloaded`` marks admission rejects."""
+    """A query failed server-side.
 
-    def __init__(self, message: str, overloaded: bool = False):
+    ``code`` and ``retryable`` mirror the server's error taxonomy
+    (:mod:`repro.errors`); ``overloaded`` marks admission rejects and
+    pool starvation.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        overloaded: bool = False,
+        code: str = "error",
+        retryable: bool | None = None,
+    ):
         super().__init__(message)
         self.overloaded = overloaded
+        self.code = code
+        self.retryable = overloaded if retryable is None else retryable
 
 
 class PreferenceClient:
@@ -31,6 +52,9 @@ class PreferenceClient:
         self._reader = reader
         self._writer = writer
         self._lock = asyncio.Lock()
+        #: Retries actually performed by :meth:`query` (observability
+        #: for the chaos suite and the robustness benchmark).
+        self.retries_used = 0
 
     @classmethod
     async def connect(cls, host: str, port: int) -> "PreferenceClient":
@@ -47,18 +71,50 @@ class PreferenceClient:
         response = json.loads(line)
         if "error" in response:
             raise ServerError(
-                response["error"], overloaded=bool(response.get("overloaded"))
+                response["error"],
+                overloaded=bool(response.get("overloaded")),
+                code=response.get("code", "error"),
+                retryable=response.get("retryable"),
             )
         return response
 
     async def query(
-        self, sql: str, params: Sequence[object] = ()
+        self,
+        sql: str,
+        params: Sequence[object] = (),
+        timeout_ms: float | None = None,
+        retries: int = 0,
+        backoff: float = 0.05,
+        max_backoff: float = 1.0,
     ) -> tuple[list[str], list[list[object]]]:
-        """Run one statement; returns (column names, rows)."""
-        response = await self._roundtrip(
-            {"op": "query", "sql": sql, "params": list(params)}
-        )
-        return response.get("columns", []), response.get("rows", [])
+        """Run one statement; returns (column names, rows).
+
+        ``timeout_ms`` asks the server to bound the query's wall clock.
+        ``retries`` re-sends the request up to that many extra times when
+        the failure is marked retryable (timeout, overload, transient
+        database error), sleeping an exponentially growing, jittered
+        delay between attempts: ``backoff * 2**attempt`` capped at
+        ``max_backoff``, each scaled by a uniform factor in [0.5, 1.0] so
+        synchronised clients spread out.  Non-retryable failures raise
+        immediately.
+        """
+        request: dict = {"op": "query", "sql": sql, "params": list(params)}
+        if timeout_ms is not None:
+            request["timeout_ms"] = timeout_ms
+        attempt = 0
+        while True:
+            try:
+                response = await self._roundtrip(request)
+            except ServerError as error:
+                if not error.retryable or attempt >= retries:
+                    raise
+                delay = min(backoff * (2**attempt), max_backoff)
+                delay *= 0.5 + random.random() / 2
+                attempt += 1
+                self.retries_used += 1
+                await asyncio.sleep(delay)
+                continue
+            return response.get("columns", []), response.get("rows", [])
 
     async def stats(self) -> dict:
         """The server's serving counters (see ``PreferenceServer.stats``)."""

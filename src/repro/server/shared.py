@@ -50,6 +50,22 @@ class SharedState:
         #: by every attached connection's StatisticsCache.
         self.statistics_entries: dict[str, tuple[int, TableStatistics]] = {}
         self.statistics_lock = threading.Lock()
+        #: Recovery observability: named event counters bumped by the
+        #: serving layer when a component self-heals (e.g. a pooled
+        #: connection replaced, a process pool rebuilt).  The chaos
+        #: suite reads these to assert faults were *detected*, not just
+        #: survived.
+        self.events: dict[str, int] = {}
+
+    def record_event(self, name: str, count: int = 1) -> None:
+        """Bump a named recovery/observability counter (thread-safe)."""
+        with self._lock:
+            self.events[name] = self.events.get(name, 0) + count
+
+    def event_counts(self) -> dict[str, int]:
+        """A snapshot of the recovery event counters."""
+        with self._lock:
+            return dict(self.events)
 
     @property
     def data_epoch(self) -> int:

@@ -1,0 +1,208 @@
+"""Deterministic fault injection for the serving stack.
+
+The interesting serving failures are not wrong answers but wedged
+servers: a broken pooled connection silently poisoning the pool, a
+crashed process worker taking the parallel backend down, a shared-memory
+segment that never gets unlinked.  None of those occur naturally in a
+test run, so this module threads **named injection points** through the
+production code and lets a test install a :class:`FaultPlan` that makes
+them misbehave deterministically.
+
+Injection points currently wired in (each ``fire`` call names its
+point; the context keys are what rules' ``action`` callables receive):
+
+=================== ===================================================
+point               fired
+=================== ===================================================
+``driver.execute``  on entry to every driver ``Cursor.execute``
+                    (context: ``sql``)
+``pool.checkout``   after a pooled connection is checked out, *before*
+                    the health check (context: ``connection``)
+``process.task``    before process-pool task dispatch (context:
+                    ``pool`` — the ``ProcessPoolExecutor``)
+``shm.create``      before the shared-memory segment is created
+``server.slow_query`` in the server's worker thread, before pool
+                    checkout (context: ``sql``)
+``client.disconnect`` decision point consulted by chaos clients — the
+                    server never fires it; a test client that does can
+                    drop its connection mid-exchange
+=================== ===================================================
+
+**Disabled cost.**  Every injection point compiles to one module-global
+``None`` check (``fire`` returns immediately when no plan is installed),
+so the harness costs nothing measurable in production — the e16
+benchmark asserts exactly that.  Points are deliberately placed at
+request/task granularity, never inside comparison loops.
+
+**Determinism.**  A rule fires on a counted schedule (``skip`` misses,
+then ``times`` hits, optionally only every ``every``-th call) or with a
+``probability`` drawn from the plan's own seeded RNG; either way a plan
+replays identically for a given seed and call sequence.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+
+@dataclass
+class FaultRule:
+    """One way one injection point misbehaves.
+
+    ``error`` is an exception instance **factory** (a zero-argument
+    callable returning the exception to raise) so every firing raises a
+    fresh object; ``action`` receives the fire context and mutates state
+    instead of raising (e.g. breaking the checked-out connection);
+    ``delay`` sleeps before returning.  A rule may combine ``delay``
+    with ``error``/``action``.
+    """
+
+    point: str
+    #: Fire at most this many times (None = unlimited).
+    times: int | None = 1
+    #: Skip this many matching calls before the first fire.
+    skip: int = 0
+    #: Fire only on every Nth matching call (after ``skip``).
+    every: int = 1
+    #: Independent fire probability per call (overrides the counted
+    #: schedule when set; still bounded by ``times``).
+    probability: float | None = None
+    error: Callable[[], BaseException] | None = None
+    action: Callable[[dict], None] | None = None
+    delay: float | None = None
+    # Mutable firing state (managed by the plan).
+    seen: int = field(default=0, compare=False)
+    fired: int = field(default=0, compare=False)
+
+    def _should_fire(self, rng: random.Random) -> bool:
+        self.seen += 1
+        if self.times is not None and self.fired >= self.times:
+            return False
+        if self.probability is not None:
+            return rng.random() < self.probability
+        if self.seen <= self.skip:
+            return False
+        return (self.seen - self.skip - 1) % max(1, self.every) == 0
+
+
+class FaultPlan:
+    """A deterministic set of :class:`FaultRule` for one chaos run.
+
+    Thread-safe: injection points fire from the asyncio loop thread,
+    server worker threads and executor threads concurrently, so rule
+    state and the RNG are guarded by one lock.  ``hits``/``fires`` count
+    per point — the chaos suite asserts conservation against them.
+    """
+
+    def __init__(self, rules: list[FaultRule] | None = None, seed: int = 0):
+        self.rules = list(rules or ())
+        self._rng = random.Random(seed)
+        self._lock = threading.Lock()
+        self.hits: dict[str, int] = {}
+        self.fires: dict[str, int] = {}
+
+    def add(self, rule: FaultRule) -> "FaultPlan":
+        self.rules.append(rule)
+        return self
+
+    def fire(self, point: str, context: dict) -> bool:
+        """Apply the first matching rule; True when a fault fired."""
+        with self._lock:
+            self.hits[point] = self.hits.get(point, 0) + 1
+            chosen: FaultRule | None = None
+            for rule in self.rules:
+                if rule.point == point and rule._should_fire(self._rng):
+                    chosen = rule
+                    rule.fired += 1
+                    self.fires[point] = self.fires.get(point, 0) + 1
+                    break
+        if chosen is None:
+            return False
+        if chosen.delay is not None:
+            time.sleep(chosen.delay)
+        if chosen.action is not None:
+            chosen.action(context)
+        if chosen.error is not None:
+            raise chosen.error()
+        return True
+
+
+#: The installed plan; None means every injection point is inert.
+_plan: FaultPlan | None = None
+
+
+def fire(point: str, **context) -> bool:
+    """The injection point hook production code calls.
+
+    Returns True when a fault fired (so decision points like
+    ``client.disconnect`` can branch); raises whatever the matching
+    rule's ``error`` factory builds.  With no plan installed this is a
+    single global-None check.
+    """
+    if _plan is None:
+        return False
+    return _plan.fire(point, context)
+
+
+def install(plan: FaultPlan) -> None:
+    """Install ``plan`` process-wide (replacing any previous plan)."""
+    global _plan
+    _plan = plan
+
+
+def uninstall() -> None:
+    """Make every injection point inert again."""
+    global _plan
+    _plan = None
+
+
+@contextmanager
+def injected(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Install ``plan`` for the duration of the block."""
+    install(plan)
+    try:
+        yield plan
+    finally:
+        uninstall()
+
+
+# ----------------------------------------------------------------------
+# Canned fault behaviours for the common chaos scenarios
+
+
+def _exit_worker() -> None:  # pragma: no cover - runs in a pool worker
+    """Die the way a segfaulting worker does (no cleanup, no excuse)."""
+    os._exit(1)
+
+
+def crash_pool_worker(context: dict) -> None:
+    """A ``process.task`` action: hard-kill one worker of the pool.
+
+    Submitting ``os._exit`` gives a *genuine* worker death — the
+    subsequent task dispatch observes ``BrokenProcessPool`` exactly as a
+    segfault would produce it, exercising the executor's real recovery
+    path rather than a simulated exception.
+    """
+    pool = context["pool"]
+    future = pool.submit(_exit_worker)
+    try:
+        future.result(timeout=30)
+    except Exception:
+        pass  # BrokenProcessPool here is the point
+
+
+def break_pooled_connection(context: dict) -> None:
+    """A ``pool.checkout`` action: wreck the connection under the user.
+
+    Closing the underlying sqlite handle makes every later statement
+    raise ``ProgrammingError: Cannot operate on a closed database`` —
+    the shape a dropped server-side handle presents — which the pool's
+    checkout health check must catch and heal.
+    """
+    context["connection"].raw.close()

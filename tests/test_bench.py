@@ -38,7 +38,7 @@ class TestExperiments:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10",
-            "e11", "e12", "e13", "e14", "e15",
+            "e11", "e12", "e13", "e14", "e15", "e16",
         }
 
     def test_plan_alias(self):
@@ -52,6 +52,7 @@ class TestExperiments:
         assert ALIASES["semantic"] == "e13"
         assert ALIASES["sessions"] == "e14"
         assert ALIASES["server"] == "e15"
+        assert ALIASES["robustness"] == "e16"
 
     def test_unknown_experiment_raises(self):
         with pytest.raises(KeyError):
@@ -129,6 +130,18 @@ class TestExperiments:
         assert traffic["session_stats"]["served"] >= 1
         assert traffic["admission"]["errors"] == 0
         assert traffic["parity_checked"] >= 10
+
+    def test_e16_quick_chaos_traffic(self):
+        report = run_experiment("e16", quick=True)
+        # Wrong answers, conservation, recovery and shm leaks are
+        # asserted inside the experiment; the data must show real chaos.
+        assert report.data["wrong_answers"] == 0
+        assert sum(report.data["fires"].values()) >= 1
+        assert report.data["recovery_requests"] == 1
+        assert report.data["p50_ratio"] <= 1.10
+        assert report.data["shm_leaked"] == 0
+        for code in report.data["error_codes"]:
+            assert code in {"database", "overloaded", "timeout"}
 
     def test_e1_quick_shapes(self):
         report = run_experiment("e1", quick=True)

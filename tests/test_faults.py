@@ -1,0 +1,115 @@
+"""The fault-injection harness itself: schedules, determinism, bookkeeping."""
+
+import threading
+
+import pytest
+
+from repro.testing import FaultPlan, FaultRule, faults, fire, injected, install, uninstall
+
+
+class Boom(RuntimeError):
+    pass
+
+
+class TestFaultRuleSchedule:
+    def test_counted_schedule_times_skip_every(self):
+        plan = FaultPlan([FaultRule("p", times=2, skip=1, every=2)])
+        # call 1: skipped; calls 2 and 4 fire; call 6 exhausted (times=2).
+        outcomes = [plan.fire("p", {}) for _ in range(6)]
+        assert outcomes == [False, True, False, True, False, False]
+
+    def test_unlimited_times(self):
+        plan = FaultPlan([FaultRule("p", times=None)])
+        assert all(plan.fire("p", {}) for _ in range(5))
+
+    def test_probability_replays_identically_for_a_seed(self):
+        def draw():
+            plan = FaultPlan(
+                [FaultRule("p", times=None, probability=0.5)], seed=42
+            )
+            return [plan.fire("p", {}) for _ in range(64)]
+
+        first, second = draw(), draw()
+        assert first == second
+        assert True in first and False in first
+
+    def test_rules_match_their_point_only(self):
+        plan = FaultPlan([FaultRule("a", times=None)])
+        assert plan.fire("a", {})
+        assert not plan.fire("b", {})
+
+    def test_error_factory_raises_fresh_instances(self):
+        plan = FaultPlan([FaultRule("p", times=2, error=Boom)])
+        with pytest.raises(Boom) as first:
+            plan.fire("p", {})
+        with pytest.raises(Boom) as second:
+            plan.fire("p", {})
+        assert first.value is not second.value
+
+    def test_action_receives_the_context(self):
+        seen = {}
+        plan = FaultPlan([FaultRule("p", action=seen.update)])
+        plan.fire("p", {"sql": "SELECT 1"})
+        assert seen == {"sql": "SELECT 1"}
+
+    def test_hits_and_fires_bookkeeping(self):
+        plan = FaultPlan([FaultRule("p", times=1)])
+        plan.fire("p", {})
+        plan.fire("p", {})
+        plan.fire("q", {})
+        assert plan.hits == {"p": 2, "q": 1}
+        assert plan.fires == {"p": 1}
+
+    def test_first_matching_rule_wins(self):
+        order = []
+        plan = FaultPlan(
+            [
+                FaultRule("p", times=1, action=lambda c: order.append("first")),
+                FaultRule("p", times=None, action=lambda c: order.append("second")),
+            ]
+        )
+        plan.fire("p", {})
+        plan.fire("p", {})
+        assert order == ["first", "second"]
+
+    def test_plan_is_thread_safe(self):
+        plan = FaultPlan([FaultRule("p", times=None)])
+        fired = []
+
+        def caller():
+            fired.append(sum(plan.fire("p", {}) for _ in range(100)))
+
+        threads = [threading.Thread(target=caller) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert plan.hits["p"] == 400
+        assert plan.fires["p"] == 400
+
+
+class TestModuleHooks:
+    def test_fire_is_inert_without_a_plan(self):
+        uninstall()
+        assert fire("anything") is False
+
+    def test_install_uninstall(self):
+        plan = FaultPlan([FaultRule("p", times=None)])
+        install(plan)
+        try:
+            assert fire("p")
+        finally:
+            uninstall()
+        assert not fire("p")
+
+    def test_injected_scopes_the_plan(self):
+        with injected(FaultPlan([FaultRule("p", times=None)])) as plan:
+            assert fire("p", sql="x")
+            assert plan.hits["p"] == 1
+        assert not fire("p")
+
+    def test_injected_uninstalls_on_error(self):
+        with pytest.raises(Boom):
+            with injected(FaultPlan([FaultRule("p", error=Boom)])):
+                fire("p")
+        assert faults._plan is None

@@ -1,6 +1,8 @@
 """The serving layer: shared state, the connection pool, the asyncio server."""
 
 import asyncio
+import json
+import sqlite3
 import threading
 
 import pytest
@@ -14,6 +16,7 @@ from repro.server import (
     ServerError,
     SharedState,
 )
+from repro.testing import FaultPlan, FaultRule, injected
 
 
 @pytest.fixture
@@ -137,6 +140,40 @@ class TestConnectionPool:
         with ConnectionPool(database, size=2) as pool:
             totals = pool.session_stats()
             assert set(totals) >= {"stores", "served"}
+
+    def test_checkout_health_check_replaces_broken_connection(self, database):
+        """The tentpole: a connection that dies while pooled is
+        discarded and replaced at the next checkout, invisibly."""
+        with ConnectionPool(database, size=1) as pool:
+            with pool.connection() as victim:
+                victim.raw.close()  # dies while checked out
+            with pool.connection() as healed:
+                assert healed is not victim
+                assert healed.execute("SELECT 1").fetchall() == [(1,)]
+            assert pool.recycled == 1
+            assert pool.stats() == {"size": 1, "free": 1, "recycled": 1}
+            assert pool.shared.event_counts()["connection_recycled"] == 1
+
+    def test_close_is_safe_while_connections_checked_out(self, database):
+        """The satellite: close() must not yank a connection out from
+        under a worker; the late return retires it instead."""
+        pool = ConnectionPool(database, size=2)
+        with pool.connection() as held:
+            pool.close()
+            # The held connection keeps working until it is returned.
+            assert held.execute("SELECT 1").fetchall() == [(1,)]
+            with pytest.raises(DriverError, match="closed"):
+                with pool.connection():
+                    pass  # pragma: no cover - never handed out
+        # Returned after close: the connection was retired, not queued.
+        assert pool.stats()["free"] == 0
+        with pytest.raises(Exception):
+            held.raw.execute("SELECT 1")
+
+    def test_close_is_idempotent(self, database):
+        pool = ConnectionPool(database, size=1)
+        pool.close()
+        pool.close()
 
 
 class TestCrossSessionInvalidation:
@@ -282,7 +319,7 @@ class TestServer:
             )
             release = threading.Event()
 
-            def slow_execute(sql, params):
+            def slow_execute(sql, params, timeout_ms=None):
                 release.wait(timeout=5.0)
                 return {"columns": [], "rows": []}
 
@@ -308,6 +345,242 @@ class TestServer:
             finally:
                 release.set()
                 await server.stop()
+
+        serve(body())
+
+    def test_cancel_while_queued_releases_waiting_slot(self, database):
+        """The satellite bugfix: a request cancelled while still queued
+        for admission must decrement ``_waiting`` — leaking it slowly
+        eats the queue until every client gets fast-rejected."""
+
+        async def body():
+            server = PreferenceServer(
+                database, pool_size=1, max_inflight=1, max_queue=4
+            )
+            release = threading.Event()
+
+            def slow_execute(sql, params, timeout_ms=None):
+                release.wait(timeout=5.0)
+                return {"columns": [], "rows": []}
+
+            server._execute = slow_execute
+            await server.start()
+            try:
+                holder = asyncio.ensure_future(
+                    server._dispatch({"sql": SKYLINE})
+                )
+                for _ in range(100):
+                    if server._inflight >= 1:
+                        break
+                    await asyncio.sleep(0.01)
+                queued = asyncio.ensure_future(
+                    server._dispatch({"sql": SKYLINE})
+                )
+                for _ in range(100):
+                    if server._waiting >= 1:
+                        break
+                    await asyncio.sleep(0.01)
+                assert server._waiting == 1
+                queued.cancel()
+                await asyncio.gather(queued, return_exceptions=True)
+                assert server._waiting == 0
+                release.set()
+                await holder
+                # The cancelled request was never admitted; the ledger
+                # still balances.
+                assert server.admitted == (
+                    server.served + server.errors + server.cancelled
+                )
+                assert server._inflight == 0
+            finally:
+                release.set()
+                await server.stop()
+
+        serve(body())
+
+    def test_oversized_request_line_is_bounded(self, database):
+        """The satellite: request framing is bounded; an overrun gets a
+        structured reply and the connection is dropped, not an
+        unbounded buffer or a loop-thread exception."""
+
+        async def body():
+            async with PreferenceServer(
+                database, pool_size=1, max_line_bytes=1024
+            ) as server:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                padding = "x" * 4096
+                writer.write(
+                    json.dumps({"sql": f"SELECT '{padding}'"}).encode() + b"\n"
+                )
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                assert response["code"] == "bad_request"
+                assert "exceeds" in response["error"]
+                # The server dropped the connection afterwards.
+                assert await reader.readline() == b""
+                writer.close()
+                await writer.wait_closed()
+                # The server itself is unharmed.
+                client = await PreferenceClient.connect(
+                    server.host, server.port
+                )
+                assert await client.ping()
+                await client.close()
+
+        serve(body())
+
+    def test_undecodable_and_scalar_frames(self, database):
+        """Wire malice: invalid UTF-8 and JSON scalars where an object
+        is expected must produce error replies, never a loop-thread
+        exception."""
+
+        async def body():
+            async with PreferenceServer(database, pool_size=1) as server:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                for payload in (b"\xff\xfe\x00garbage\n", b"5\n", b'"sql"\n'):
+                    writer.write(payload)
+                    await writer.drain()
+                    response = json.loads(await reader.readline())
+                    assert response["code"] == "bad_request"
+                writer.close()
+                await writer.wait_closed()
+
+        serve(body())
+
+    def test_unserialisable_reply_degrades_to_error(self, database):
+        async def body():
+            async with PreferenceServer(database, pool_size=1) as server:
+                server._execute = lambda sql, params, timeout_ms=None: {
+                    "columns": ["x"],
+                    "rows": [[object()]],
+                }
+                client = await PreferenceClient.connect(
+                    server.host, server.port
+                )
+                with pytest.raises(ServerError, match="not serialisable"):
+                    await client.query(SKYLINE)
+                await client.close()
+
+        serve(body())
+
+    def test_disconnect_between_request_and_reply(self, database):
+        async def body():
+            async with PreferenceServer(database, pool_size=1) as server:
+                _reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                writer.write(json.dumps({"sql": SKYLINE}).encode() + b"\n")
+                await writer.drain()
+                writer.close()  # gone before the reply can be written
+                await writer.wait_closed()
+                for _ in range(200):
+                    if server.admitted and server._inflight == 0:
+                        break
+                    await asyncio.sleep(0.01)
+                assert server.admitted == (
+                    server.served + server.errors + server.cancelled
+                )
+                # A fresh client still gets served.
+                client = await PreferenceClient.connect(
+                    server.host, server.port
+                )
+                _columns, rows = await client.query(SKYLINE)
+                assert rows
+                await client.close()
+
+        serve(body())
+
+    def test_double_stop_is_idempotent(self, database):
+        async def body():
+            server = PreferenceServer(database, pool_size=1)
+            await server.start()
+            await server.stop()
+            await server.stop()
+
+        serve(body())
+
+    def test_invalid_timeout_ms_is_a_bad_request(self, database):
+        async def body():
+            async with PreferenceServer(database, pool_size=1) as server:
+                client = await PreferenceClient.connect(
+                    server.host, server.port
+                )
+                for bad in ("soon", -5, 0, True):
+                    with pytest.raises(ServerError) as excinfo:
+                        await client._roundtrip(
+                            {"op": "query", "sql": SKYLINE, "timeout_ms": bad}
+                        )
+                    assert excinfo.value.code == "bad_request"
+                    assert not excinfo.value.retryable
+                await client.close()
+
+        serve(body())
+
+    def test_timeout_surfaces_retryable_over_the_wire(self, database):
+        async def body():
+            plan = FaultPlan(
+                [FaultRule("server.slow_query", times=1, delay=0.4)]
+            )
+            async with PreferenceServer(database, pool_size=1) as server:
+                client = await PreferenceClient.connect(
+                    server.host, server.port
+                )
+                with injected(plan):
+                    with pytest.raises(ServerError) as excinfo:
+                        await client.query(SKYLINE, timeout_ms=100)
+                assert excinfo.value.code == "timeout"
+                assert excinfo.value.retryable is True
+                # Worker and pooled connection both reclaimed.
+                _columns, rows = await client.query(SKYLINE)
+                assert rows
+                await client.close()
+                assert server.pool.stats()["free"] == server.pool.size
+
+        serve(body())
+
+    def test_client_retries_transient_errors(self, database):
+        async def body():
+            plan = FaultPlan(
+                [
+                    FaultRule(
+                        "driver.execute",
+                        times=2,
+                        error=lambda: sqlite3.OperationalError(
+                            "transient failure"
+                        ),
+                    )
+                ]
+            )
+            async with PreferenceServer(database, pool_size=1) as server:
+                client = await PreferenceClient.connect(
+                    server.host, server.port
+                )
+                with injected(plan):
+                    _columns, rows = await client.query(
+                        SKYLINE, retries=3, backoff=0.01
+                    )
+                assert rows
+                assert client.retries_used == 2
+                # Without retries the same failure surfaces structured.
+                plan_again = FaultPlan(
+                    [
+                        FaultRule(
+                            "driver.execute",
+                            times=1,
+                            error=lambda: sqlite3.OperationalError("again"),
+                        )
+                    ]
+                )
+                with injected(plan_again):
+                    with pytest.raises(ServerError) as excinfo:
+                        await client.query(SKYLINE)
+                assert excinfo.value.code == "database"
+                assert excinfo.value.retryable is True
+                await client.close()
 
         serve(body())
 
