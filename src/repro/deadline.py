@@ -31,10 +31,11 @@ scope read returns ``None`` and every check short-circuits.
 
 from __future__ import annotations
 
+import sqlite3
 import threading
 import time
 from contextlib import contextmanager
-from typing import Callable, Iterator, TypeVar
+from typing import Callable, Iterator, TypeVar, cast
 
 from repro.errors import QueryTimeout
 
@@ -82,7 +83,7 @@ class Deadline:
 
 def active_deadline() -> Deadline | None:
     """The deadline of the innermost enclosing :func:`deadline_scope`."""
-    return getattr(_scope, "deadline", None)
+    return cast("Deadline | None", getattr(_scope, "deadline", None))
 
 
 @contextmanager
@@ -112,7 +113,7 @@ def run_with_deadline(task: Callable[[], _T], deadline: Deadline | None) -> _T:
 
 
 @contextmanager
-def sqlite_interrupt(raw, deadline: Deadline | None) -> Iterator[None]:
+def sqlite_interrupt(raw: sqlite3.Connection, deadline: Deadline | None) -> Iterator[None]:
     """Arm ``raw.interrupt()`` to fire at the deadline's expiry.
 
     ``sqlite3.Connection.interrupt`` is documented safe to call from

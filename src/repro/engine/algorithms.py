@@ -159,6 +159,7 @@ def dominance_key(preference: Preference, vector: Vector) -> tuple[float, ...]:
     return tuple(key)
 
 
+# prefcheck: disable=deadline-poll -- recursion over the preference tree: bounded by query width, not row count; per-row callers poll
 def _append_key(preference: Preference, vector: Sequence, key: list[float]) -> None:
     if isinstance(preference, _Composite):
         for part, sub in zip(

@@ -354,6 +354,7 @@ class _Bundle:
 
     segments: tuple[tuple[str, tuple[str, ...], tuple[object, ...]], ...]
 
+    # prefcheck: disable=deadline-poll -- loops over this row's joined-table segments (query width); per-row callers poll
     def environment(self, outer: RowEnvironment | None = None) -> RowEnvironment:
         scopes: dict[str, dict[str, object]] = {}
         for binding, columns, values in self.segments:
@@ -365,6 +366,7 @@ class _Bundle:
     def merged(self, other: "_Bundle") -> "_Bundle":
         return _Bundle(segments=self.segments + other.segments)
 
+    # prefcheck: disable=deadline-poll -- loops over this row's joined-table segments (query width); per-row callers poll
     def star_columns(self, table: str | None = None) -> list[tuple[str, object]]:
         """(name, value) pairs for ``*`` or ``table.*`` expansion."""
         pairs: list[tuple[str, object]] = []
@@ -417,6 +419,7 @@ class _TableBundles:
             segments=((self.binding, self.columns, self.rows[index]),)
         )
 
+    # prefcheck: disable=deadline-poll -- lazy generator: yields interleave with the consuming loops, which poll
     def __iter__(self):
         binding = self.binding
         columns = self.columns
@@ -433,6 +436,7 @@ class PreferenceEngine:
     database path.  It doubles as the semantics oracle for the rewriter.
     """
 
+    # prefcheck: disable=deadline-poll -- registers the caller's relations dict at construction; no query is running yet
     def __init__(
         self,
         relations: dict[str, Relation] | None = None,
@@ -512,6 +516,7 @@ class PreferenceEngine:
             return Relation(columns=("status",), rows=[("preference dropped",)])
         raise EvaluationError(f"cannot execute {type(statement).__name__}")
 
+    # prefcheck: disable=deadline-poll -- linear append pass over rows the polled SELECT/VALUES evaluation already materialised
     def _execute_insert(self, insert: ast.Insert, params: Sequence[object]) -> Relation:
         target = self.relation(insert.table)
         if insert.query is not None:
@@ -712,6 +717,7 @@ class PreferenceEngine:
         )
 
     @staticmethod
+    # prefcheck: disable=deadline-poll -- the explicit loop is over GROUP BY columns (query width); the row-scale slot reads are single linear comprehensions feeding the grouped kernel, which polls
     def _fast_group_keys(
         select: ast.Select, bundles: Sequence["_Bundle"], outer
     ) -> list[tuple] | None:
@@ -817,12 +823,21 @@ class PreferenceEngine:
         outer: RowEnvironment | None,
     ) -> list[_Bundle]:
         bundles: list[_Bundle] | None = None
+        deadline = active_deadline()
         for source in sources:
             current = self._source_rows(source, evaluator, params, outer)
             if bundles is None:
                 bundles = current
             else:
-                bundles = [a.merged(b) for a in bundles for b in current]
+                # Comma-join cross product: the one place a FROM clause
+                # goes quadratic, so poll at the skyline cadence.
+                product: list[_Bundle] = []
+                for a in bundles:
+                    for b in current:
+                        if deadline is not None and not len(product) % CHECK_EVERY:
+                            deadline.check()
+                        product.append(a.merged(b))
+                bundles = product
         return bundles if bundles is not None else []
 
     def _source_rows(
@@ -846,12 +861,25 @@ class PreferenceEngine:
         if isinstance(source, ast.Join):
             left = self._source_rows(source.left, evaluator, params, outer)
             right = self._source_rows(source.right, evaluator, params, outer)
+            deadline = active_deadline()
             if source.kind == "CROSS":
-                return [a.merged(b) for a in left for b in right]
+                crossed: list[_Bundle] = []
+                for a in left:
+                    for b in right:
+                        if deadline is not None and not len(crossed) % CHECK_EVERY:
+                            deadline.check()
+                        crossed.append(a.merged(b))
+                return crossed
+            # Nested-loop join: |left| x |right| condition evaluations,
+            # the engine's worst-case quadratic path — poll amortised.
+            pairs = 0
             joined: list[_Bundle] = []
             for a in left:
                 matched = False
                 for b in right:
+                    if deadline is not None and not pairs % CHECK_EVERY:
+                        deadline.check()
+                    pairs += 1
                     bundle = a.merged(b)
                     if evaluator.is_true(source.condition, bundle.environment(outer)):
                         joined.append(bundle)
@@ -872,9 +900,11 @@ class PreferenceEngine:
     # ------------------------------------------------------------------
     # Quality functions
 
+    # prefcheck: disable=deadline-poll -- walks the SELECT's expression trees (query width), never the data
     def _collect_quality_calls(self, select: ast.Select) -> list[ast.FuncCall]:
         calls: list[ast.FuncCall] = []
 
+        # prefcheck: disable=deadline-poll -- same expression-tree walk as its enclosing collector
         def collect(expr: ast.Expr) -> None:
             for node in ast.walk_expr(expr):
                 if (
@@ -906,6 +936,7 @@ class PreferenceEngine:
     ) -> dict[tuple, float]:
         """Per-(group, base) minimum rank for data-dependent optima."""
         optima: dict[tuple, float] = {}
+        deadline = active_deadline()
         for call in calls:
             resolved = resolver.resolve(call.args[0])
             if not resolved.dynamic_optimum:
@@ -913,6 +944,8 @@ class PreferenceEngine:
             base = resolved.base
             assert isinstance(base, WeakOrderBase)
             for i, vector in enumerate(vectors):
+                if deadline is not None and not i % CHECK_EVERY:
+                    deadline.check()
                 key = (group_keys[i] if group_keys is not None else None, id(base))
                 rank = base.rank(vector[resolved.vector_slice][0])
                 if key not in optima or rank < optima[key]:
@@ -993,7 +1026,10 @@ class PreferenceEngine:
             evaluators.append(expr)
 
         rows: list[tuple] = []
+        deadline = active_deadline()
         for i, bundle in enumerate(bundles):
+            if deadline is not None and not i % CHECK_EVERY:
+                deadline.check()
             env = self._with_quality(bundle.environment(outer), quality_values[i])
             values: list[object] = []
             for expr in evaluators:
@@ -1004,6 +1040,7 @@ class PreferenceEngine:
             rows.append(tuple(values))
         return rows, columns
 
+    # prefcheck: disable=deadline-poll -- walks the FROM clause's source tree (query width), never the data
     def _star_names(
         self, sources: Sequence[ast.FromSource], table: str | None
     ) -> list[str]:
@@ -1026,6 +1063,7 @@ class PreferenceEngine:
             visit(source)
         return names
 
+    # prefcheck: disable=deadline-poll -- explicit loops are over select/ORDER BY terms (query width); the row-scale work happens inside host sorted(), which cannot be polled mid-sort
     def _sort_bundles(
         self,
         select: ast.Select,
@@ -1049,6 +1087,7 @@ class PreferenceEngine:
                 expr = aliases.get(expr.name.lower(), expr)
             order_exprs.append(ast.substitute(expr, quality_columns))
 
+        # prefcheck: disable=deadline-poll -- per-row sort key builder looping over ORDER BY terms (query width); called from inside host sorted()
         def key_for(index: int) -> tuple:
             env = self._with_quality(
                 bundles[index].environment(outer), quality_values[index]

@@ -112,6 +112,7 @@ def rank_shape(preference: Preference) -> RankShape | None:
     leaves: list[Preference] = []
     slices: list[tuple[int, int]] = []
 
+    # prefcheck: disable=deadline-poll -- walks the preference tree (query width), never the data
     def build(node: Preference, offset: int) -> tuple[tuple, int] | None:
         kids = node.children()
         if not kids:
@@ -291,6 +292,7 @@ def _vectorized_leaf_ranks(leaf: Preference, values: list) -> array | None:
     return column
 
 
+# prefcheck: disable=deadline-poll -- the loop is per leaf (query width); the row-scale work is one linear array build per leaf with no comparisons, and the kernels that consume the columns poll
 def compute_rank_columns(
     preference: Preference, vectors: Sequence[tuple]
 ) -> RankColumns | None:
@@ -342,6 +344,7 @@ def compute_rank_columns(
     return RankColumns(shape, columns)
 
 
+# prefcheck: disable=deadline-poll -- per-leaf loop (query width) adopting host-computed columns; one linear array copy each
 def rank_columns_from_values(
     preference: Preference, values: Sequence
 ) -> RankColumns | None:
@@ -375,6 +378,7 @@ def _has_nan(row: tuple) -> bool:
     return any(value != value for value in row)
 
 
+# prefcheck: disable=deadline-poll -- per-pair comparator over one rank tuple (query width); every calling kernel loop polls
 def _dominates(a: tuple, b: tuple) -> bool:
     """Componentwise ``<=`` between *distinct* NaN-free rank tuples."""
     for x, y in zip(a, b):
@@ -495,6 +499,11 @@ def rank_row_skyline(
     of the single-minimum shortcut.  ``nan_free=True`` (the caller
     checked the whole columns once) skips the per-row NaN test.
     """
+    # The linear bucketing passes below stay poll-free on purpose: they
+    # are the hottest per-row loops in serving queries and bounded by one
+    # dict pass; the deadline work lives in the kernels they feed and in
+    # the quadratic NaN-cascade path.
+    deadline = active_deadline()
     buckets: dict[tuple, list[int]] = {}
     winners: list[int] = []
     nan_rows = False
@@ -516,8 +525,11 @@ def rank_row_skyline(
         if nan_rows:
             # NaN makes ``<`` non-total: BNL over the bucket keys with the
             # same lexicographic comparator the compiled closures use.
+            # Quadratic in distinct keys, so it polls like the kernels.
             keys = list(buckets)
-            for key in keys:
+            for position, key in enumerate(keys):
+                if deadline is not None and not position % CHECK_EVERY:
+                    deadline.check()
                 if any(other < key for other in keys if other is not key):
                     continue
                 winners.extend(buckets[key])

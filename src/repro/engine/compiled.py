@@ -71,6 +71,7 @@ def _make(node: tuple, ranks: RankColumns) -> tuple[BetterFn, EqualFn]:
     parts = [_make(child, ranks) for child in children]
     if kind == "pareto":
 
+        # prefcheck: disable=deadline-poll -- per-pair comparator over the tree's components (query width); the BNL/SFS loops that call it poll
         def better(i: int, j: int) -> bool:
             strict = False
             for child_better, child_equal in parts:
@@ -86,6 +87,7 @@ def _make(node: tuple, ranks: RankColumns) -> tuple[BetterFn, EqualFn]:
         return better, equal
 
     # cascade
+    # prefcheck: disable=deadline-poll -- per-pair comparator over the tree's components (query width); the BNL/SFS loops that call it poll
     def better(i: int, j: int) -> bool:
         for child_better, child_equal in parts:
             if child_better(i, j):

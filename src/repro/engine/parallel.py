@@ -131,6 +131,7 @@ def partition_count(
     return max(1, min(max(1, workers) * 2, by_size))
 
 
+# prefcheck: disable=deadline-poll -- pure round-robin append, one cheap pass; every kernel that consumes the partitions polls
 def hash_partitions(indices: Sequence[int], count: int) -> list[list[int]]:
     """Deterministically spread indices over ``count`` balanced partitions."""
     if count <= 1:
@@ -390,6 +391,7 @@ class ParallelExecutor:
         union: list[int] = sorted(i for winners in local for i in winners)
         return sorted(evaluate(union))
 
+    # prefcheck: disable=deadline-poll -- explicit loops are one linear grouping pass and per-batch bookkeeping; the per-group evaluators dispatched through _run poll at kernel cadence
     def grouped_maximal_indices(
         self,
         preference: Preference,

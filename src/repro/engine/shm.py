@@ -56,7 +56,9 @@ _INDEX_BYTES = 8  # int64 candidate indices
 # and its unlink, so the chaos suite can assert no segment outlives its
 # query on *any* failure path (broken pool, worker crash, timeout).
 _segment_lock = threading.Lock()
+#: guarded by _segment_lock
 _segments_created = 0
+#: guarded by _segment_lock
 _segments_unlinked = 0
 
 

@@ -22,9 +22,9 @@ class PreferenceSQLError(Exception):
     """
 
     #: Stable machine-readable error code, shipped over the wire.
-    code = "error"
+    code: str = "error"
     #: Whether an identical retry can plausibly succeed.
-    retryable = False
+    retryable: bool = False
 
 
 class LexerError(PreferenceSQLError):
@@ -36,7 +36,7 @@ class LexerError(PreferenceSQLError):
 
     code = "parse"
 
-    def __init__(self, message: str, position: int, line: int, column: int):
+    def __init__(self, message: str, position: int, line: int, column: int) -> None:
         super().__init__(f"{message} (line {line}, column {column})")
         self.position = position
         self.line = line
@@ -48,7 +48,7 @@ class ParseError(PreferenceSQLError):
 
     code = "parse"
 
-    def __init__(self, message: str, line: int = 0, column: int = 0):
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
         if line:
             super().__init__(f"{message} (line {line}, column {column})")
         else:
@@ -129,7 +129,7 @@ class QueryTimeout(DriverError):
     code = "timeout"
     retryable = True
 
-    def __init__(self, message: str = "query deadline exceeded"):
+    def __init__(self, message: str = "query deadline exceeded") -> None:
         super().__init__(message)
 
 
@@ -144,5 +144,5 @@ class PoolTimeout(DriverError):
     code = "overloaded"
     retryable = True
 
-    def __init__(self, message: str = "no pooled connection became free"):
+    def __init__(self, message: str = "no pooled connection became free") -> None:
         super().__init__(message)

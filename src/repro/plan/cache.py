@@ -54,11 +54,15 @@ class PlanCache(Generic[Entry]):
         if maxsize < 1:
             raise ValueError("plan cache needs room for at least one entry")
         self._maxsize = maxsize
-        self._entries: OrderedDict[Hashable, Entry] = OrderedDict()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
         self._lock = threading.Lock()
+        #: guarded by _lock
+        self._entries: OrderedDict[Hashable, Entry] = OrderedDict()
+        #: guarded by _lock
+        self._hits = 0
+        #: guarded by _lock
+        self._misses = 0
+        #: guarded by _lock
+        self._evictions = 0
 
     def get(self, text: str, version: Hashable) -> Entry | None:
         key = (text, version)

@@ -64,11 +64,13 @@ class StatisticsCache:
     ):
         self._connection = connection
         self._version = version
+        self._lock = lock if lock is not None else threading.Lock()
+        #: guarded by _lock
         self._entries: MutableMapping[str, tuple[int, TableStatistics]] = (
             entries if entries is not None else {}
         )
-        self._lock = lock if lock is not None else threading.Lock()
         #: Number of statistics scans issued against the host database.
+        #: guarded by _lock
         self.scan_count = 0
 
     def for_table(self, table: str, columns: Sequence[str] = ()) -> TableStatistics:
@@ -119,6 +121,7 @@ class StatisticsCache:
             return len(self._entries)
 
     def _scalar(self, sql: str) -> int:
+        # prefcheck: disable=lock-discipline -- only called from for_table, which already holds _lock around the whole gather
         self.scan_count += 1
         try:
             row = self._connection.execute(sql).fetchone()

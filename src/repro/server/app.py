@@ -201,6 +201,7 @@ class PreferenceServer:
                 try:
                     request = json.loads(line)
                     if not isinstance(request, dict):
+                        # prefcheck: disable=error-taxonomy -- raised to merge with the json.loads failure path; caught on the next line and converted to the bad_request wire reply
                         raise ValueError("request must be a JSON object")
                 except (ValueError, UnicodeDecodeError) as error:
                     response = {

@@ -68,6 +68,7 @@ class ConnectionPool:
         self.size = size
         self._max_workers = max_workers
         self._lock = threading.Lock()
+        #: guarded by _lock
         self._connections: list[Connection] = [
             self._open() for _ in range(size)
         ]
@@ -77,9 +78,11 @@ class ConnectionPool:
         self._free: queue.LifoQueue[Connection] = queue.LifoQueue()
         for connection in self._connections:
             self._free.put(connection)
+        #: guarded by _lock
         self._closed = False
         #: Connections discarded at checkout because the health ping
         #: failed (each one was replaced by a fresh connection).
+        #: guarded by _lock
         self.recycled = 0
 
     def _open(self) -> Connection:
@@ -115,6 +118,7 @@ class ConnectionPool:
             return checked_out
         try:
             checked_out.close()
+        # prefcheck: disable=error-taxonomy -- closing an already-broken connection may fail; it is being discarded and replaced, there is nothing to report
         except Exception:
             pass
         replacement = self._open()
@@ -130,6 +134,7 @@ class ConnectionPool:
     @contextmanager
     def connection(self, timeout: float | None = None) -> Iterator[Connection]:
         """Check a connection out for exclusive use by this thread."""
+        # prefcheck: disable=lock-discipline -- deliberately racy fast-fail read; the authoritative check re-reads _closed under the lock in this method's finally
         if self._closed:
             raise DriverError("connection pool is closed")
         checked_out = self._checkout(timeout)
@@ -147,6 +152,7 @@ class ConnectionPool:
             if closed:
                 try:
                     checked_out.close()
+                # prefcheck: disable=error-taxonomy -- retiring a connection into a closed pool; a failed close leaves nothing to salvage or report
                 except Exception:
                     pass
 
@@ -188,6 +194,7 @@ class ConnectionPool:
                 break
             try:
                 connection.close()
+            # prefcheck: disable=error-taxonomy -- pool shutdown drains the free queue best-effort; a close failure must not stop the remaining closes
             except Exception:
                 pass
 

@@ -42,7 +42,9 @@ class SharedState:
 
     def __init__(self, plan_cache_size: int = 256):
         self._lock = threading.Lock()
+        #: guarded by _lock
         self._data_epoch = 0
+        #: guarded by _lock
         self._catalog_epoch = 0
         #: The cross-session parse+plan cache (internally locked).
         self.plan_cache: PlanCache = PlanCache(maxsize=plan_cache_size)
@@ -55,6 +57,7 @@ class SharedState:
         #: connection replaced, a process pool rebuilt).  The chaos
         #: suite reads these to assert faults were *detected*, not just
         #: survived.
+        #: guarded by _lock
         self.events: dict[str, int] = {}
 
     def record_event(self, name: str, count: int = 1) -> None:
@@ -70,12 +73,21 @@ class SharedState:
     @property
     def data_epoch(self) -> int:
         """Moves on every statement that may change table contents."""
+        # Deliberately lock-free: this read sits on every query's cache
+        # validation path, and taking the write lock here makes readers
+        # across the whole pool contend with each other.  A CPython int
+        # read cannot tear, and the visibility order version-stamped
+        # caches need is already sequenced by the pool's checkout-queue
+        # handoff: a writer bumps the epoch before returning its
+        # connection, and the reader checks one out afterwards.
+        # prefcheck: disable=lock-discipline -- hot-path racy read; atomic in CPython, ordered by the pool's checkout handoff, and a stale value only costs one extra cache validation
         return self._data_epoch
 
     @property
     def catalog_epoch(self) -> int:
         """Moves on every CREATE/DROP PREFERENCE (and aborted catalog
         transactions — cross-session rollback orphans conservatively)."""
+        # prefcheck: disable=lock-discipline -- same hot-path racy read as data_epoch, same checkout-handoff ordering
         return self._catalog_epoch
 
     def bump_data(self) -> int:

@@ -48,7 +48,24 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Iterator
+from typing import Any, Callable, Iterator
+
+#: The declared injection-point registry: point name → who fires it.
+#: ``"production"`` points are fired by the serving stack itself and must
+#: have at least one ``faults.fire`` call site in ``src/``; ``"client"``
+#: points are decision hooks consulted by chaos *clients* in ``tests/``.
+#: ``tools/prefcheck`` (the ``fault-registry`` rule) keeps this dict, the
+#: call sites and the injection-point table in ``docs/ARCHITECTURE.md``
+#: mutually consistent, and :func:`fire` rejects undeclared names the
+#: moment a plan is installed — a typo'd point can no longer sit inert.
+POINTS: dict[str, str] = {
+    "driver.execute": "production",
+    "pool.checkout": "production",
+    "process.task": "production",
+    "shm.create": "production",
+    "server.slow_query": "production",
+    "client.disconnect": "client",
+}
 
 
 @dataclass
@@ -74,7 +91,7 @@ class FaultRule:
     #: schedule when set; still bounded by ``times``).
     probability: float | None = None
     error: Callable[[], BaseException] | None = None
-    action: Callable[[dict], None] | None = None
+    action: Callable[[dict[str, Any]], None] | None = None
     delay: float | None = None
     # Mutable firing state (managed by the plan).
     seen: int = field(default=0, compare=False)
@@ -101,17 +118,25 @@ class FaultPlan:
     """
 
     def __init__(self, rules: list[FaultRule] | None = None, seed: int = 0):
-        self.rules = list(rules or ())
-        self._rng = random.Random(seed)
         self._lock = threading.Lock()
+        #: guarded by _lock
+        self.rules = list(rules or ())
+        #: guarded by _lock
+        self._rng = random.Random(seed)
+        #: guarded by _lock
         self.hits: dict[str, int] = {}
+        #: guarded by _lock
         self.fires: dict[str, int] = {}
 
     def add(self, rule: FaultRule) -> "FaultPlan":
-        self.rules.append(rule)
+        # Under the lock: chaos tests add rules while server threads are
+        # firing, and list append racing the fire loop's iteration is
+        # exactly the kind of invariant drift prefcheck exists to stop.
+        with self._lock:
+            self.rules.append(rule)
         return self
 
-    def fire(self, point: str, context: dict) -> bool:
+    def fire(self, point: str, context: dict[str, Any]) -> bool:
         """Apply the first matching rule; True when a fault fired."""
         with self._lock:
             self.hits[point] = self.hits.get(point, 0) + 1
@@ -137,16 +162,24 @@ class FaultPlan:
 _plan: FaultPlan | None = None
 
 
-def fire(point: str, **context) -> bool:
+def fire(point: str, **context: Any) -> bool:
     """The injection point hook production code calls.
 
     Returns True when a fault fired (so decision points like
     ``client.disconnect`` can branch); raises whatever the matching
     rule's ``error`` factory builds.  With no plan installed this is a
-    single global-None check.
+    single global-None check; with one installed, an undeclared point
+    name is a programming error and raises ``ValueError`` — the
+    registry (:data:`POINTS`) is the single source of truth for what
+    the chaos harness covers.
     """
     if _plan is None:
         return False
+    if point not in POINTS:
+        raise ValueError(
+            f"undeclared fault injection point {point!r}; declare it in "
+            "repro.testing.faults.POINTS"
+        )
     return _plan.fire(point, context)
 
 
@@ -181,7 +214,7 @@ def _exit_worker() -> None:  # pragma: no cover - runs in a pool worker
     os._exit(1)
 
 
-def crash_pool_worker(context: dict) -> None:
+def crash_pool_worker(context: dict[str, Any]) -> None:
     """A ``process.task`` action: hard-kill one worker of the pool.
 
     Submitting ``os._exit`` gives a *genuine* worker death — the
@@ -197,7 +230,7 @@ def crash_pool_worker(context: dict) -> None:
         pass  # BrokenProcessPool here is the point
 
 
-def break_pooled_connection(context: dict) -> None:
+def break_pooled_connection(context: dict[str, Any]) -> None:
     """A ``pool.checkout`` action: wreck the connection under the user.
 
     Closing the underlying sqlite handle makes every later statement

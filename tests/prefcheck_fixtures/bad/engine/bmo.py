@@ -1,0 +1,8 @@
+"""Known-bad fixture: a kernel-module loop without a deadline poll."""
+
+
+def slow_scan(rows):
+    total = 0
+    for row in rows:
+        total += row
+    return total

@@ -1,0 +1,15 @@
+"""Known-bad fixture: import-time machinery and unpicklable tasks."""
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+_POOL = ThreadPoolExecutor(max_workers=2)  # import-time machinery
+
+
+def ship(items):
+    pool = ProcessPoolExecutor()
+    return list(pool.map(lambda item: item + 1, items))  # lambda task
+
+
+def ship_method(executor_owner, items):
+    pool = ProcessPoolExecutor()
+    return list(pool.map(executor_owner.work, items))  # bound-method task

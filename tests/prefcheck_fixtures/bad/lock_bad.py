@@ -1,0 +1,26 @@
+"""Known-bad fixture: guarded state touched outside its lock."""
+
+import threading
+
+_count_lock = threading.Lock()
+#: guarded by _count_lock
+_count = 0
+
+
+def bump():
+    global _count
+    _count += 1  # outside 'with _count_lock'
+
+
+class BadShared:
+    def __init__(self):
+        self._lock = threading.Lock()
+        #: guarded by _lock
+        self._entries = {}
+
+    def size(self):
+        return len(self._entries)  # outside 'with self._lock'
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value  # fine: under the lock

@@ -1,0 +1,33 @@
+"""Known-bad fixture: unbalanced paired mutations."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+class BadGauge:
+    def __init__(self):
+        self._waiting = 0
+
+    def enter(self):
+        self._waiting += 1  # no finally-guarded decrement on this path
+        self.work()
+
+    def leave(self):
+        self._waiting -= 1
+
+    def work(self):
+        pass
+
+
+class BadPool:
+    def take(self):
+        return self._free.get(timeout=1)  # no finally-guarded .put() anywhere
+
+
+def leaky_create():
+    shm = SharedMemory(create=True, size=16)
+    return shm.name  # no reachable .unlink()
+
+
+def leaky_attach(name):
+    shm = SharedMemory(name=name)
+    return bytes(shm.buf[:1])  # no finally-guarded .close()

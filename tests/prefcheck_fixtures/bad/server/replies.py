@@ -1,0 +1,10 @@
+"""Known-bad fixture: unclassified raise and a silent catch-all swallow."""
+
+
+def handle(request, run):
+    if "q" not in request:
+        raise ValueError("missing query")  # outside the taxonomy
+    try:
+        return run(request["q"])
+    except Exception:
+        pass  # swallowed: the client never hears about this failure

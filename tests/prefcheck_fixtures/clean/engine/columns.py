@@ -1,0 +1,21 @@
+"""Known-clean fixture: kernel loops poll, comprehensions are exempt."""
+
+CHECK_EVERY = 1024
+
+
+def active_deadline():
+    return None
+
+
+def scan(rows):
+    deadline = active_deadline()
+    total = 0
+    for position, row in enumerate(rows):
+        if deadline is not None and not position % CHECK_EVERY:
+            deadline.check()
+        total += row
+    return total
+
+
+def squares(rows):
+    return [row * row for row in rows]  # comprehension-only: exempt

@@ -1,0 +1,15 @@
+"""Known-clean fixture: lazy machinery, module-level picklable tasks."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _work(item):
+    return item + 1
+
+
+def ship(items):
+    pool = ProcessPoolExecutor()
+    try:
+        return list(pool.map(_work, items))
+    finally:
+        pool.shutdown()

@@ -1,0 +1,28 @@
+"""Known-clean fixture: guarded state only touched under its lock."""
+
+import threading
+
+_count_lock = threading.Lock()
+#: guarded by _count_lock
+_count = 0
+
+
+def bump():
+    global _count
+    with _count_lock:
+        _count += 1
+
+
+class GoodShared:
+    def __init__(self):
+        self._lock = threading.Lock()
+        #: guarded by _lock
+        self._entries = {}
+
+    def size(self):
+        with self._lock:
+            return len(self._entries)
+
+    def put(self, key, value):
+        with self._lock:
+            self._entries[key] = value

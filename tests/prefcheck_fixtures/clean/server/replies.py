@@ -1,0 +1,23 @@
+"""Known-clean fixture: taxonomy raises, converting catch-all handlers."""
+
+from repro.errors import DriverError
+
+
+class ReplyError(DriverError):
+    pass
+
+
+def handle(request, run):
+    if "q" not in request:
+        raise DriverError("missing query")
+    try:
+        return run(request["q"])
+    except Exception as error:
+        raise ReplyError(str(error)) from error
+
+
+def handle_soft(request, run):
+    try:
+        return run(request["q"])
+    except Exception:
+        return {"error": "internal"}  # converted to a structured reply

@@ -1,0 +1,9 @@
+"""Fixture call sites: one declared, one undeclared, one non-literal."""
+
+from repro.testing import faults
+
+
+def execute(sql, point_name):
+    faults.fire("driver.execute", sql=sql)
+    faults.fire("undeclared.point")
+    faults.fire(point_name)

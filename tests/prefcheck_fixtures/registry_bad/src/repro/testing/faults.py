@@ -1,0 +1,12 @@
+"""Fixture registry: a dead point, a bad firer, and no client coverage."""
+
+POINTS: dict[str, str] = {
+    "driver.execute": "production",
+    "ghost.point": "production",
+    "client.thing": "client",
+    "weird.point": "sometimes",
+}
+
+
+def fire(point, **context):
+    return False

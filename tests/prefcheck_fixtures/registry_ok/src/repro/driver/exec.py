@@ -1,0 +1,7 @@
+"""Fixture call site for the declared production point."""
+
+from repro.testing import faults
+
+
+def execute(sql):
+    faults.fire("driver.execute", sql=sql)

@@ -1,0 +1,8 @@
+"""Fixture client-side firing of the declared client point."""
+
+from repro.testing import faults
+
+
+def maybe_drop(connection):
+    if faults.fire("client.thing"):
+        connection.drop()

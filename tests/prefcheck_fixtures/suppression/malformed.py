@@ -1,0 +1,4 @@
+"""Fixture: an unparseable prefcheck comment is reported, not ignored."""
+
+# prefcheck: disalbe=lock-discipline -- typo in the directive
+VALUE = 1

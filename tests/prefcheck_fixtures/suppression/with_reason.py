@@ -1,0 +1,14 @@
+"""Fixture: a reasoned suppression silences exactly its finding."""
+
+import threading
+
+
+class RacyRead:
+    def __init__(self):
+        self._lock = threading.Lock()
+        #: guarded by _lock
+        self._closed = False
+
+    def fast(self):
+        # prefcheck: disable=lock-discipline -- deliberately racy fast-fail read; callers re-check under the lock
+        return self._closed

@@ -1,0 +1,14 @@
+"""Fixture: a suppression without a reason is itself a finding."""
+
+import threading
+
+
+class RacyRead:
+    def __init__(self):
+        self._lock = threading.Lock()
+        #: guarded by _lock
+        self._closed = False
+
+    def fast(self):
+        # prefcheck: disable=lock-discipline
+        return self._closed

@@ -94,22 +94,57 @@ class TestModuleHooks:
         assert fire("anything") is False
 
     def test_install_uninstall(self):
-        plan = FaultPlan([FaultRule("p", times=None)])
+        plan = FaultPlan([FaultRule("driver.execute", times=None)])
         install(plan)
         try:
-            assert fire("p")
+            assert fire("driver.execute")
         finally:
             uninstall()
-        assert not fire("p")
+        assert not fire("driver.execute")
 
     def test_injected_scopes_the_plan(self):
-        with injected(FaultPlan([FaultRule("p", times=None)])) as plan:
-            assert fire("p", sql="x")
-            assert plan.hits["p"] == 1
-        assert not fire("p")
+        with injected(FaultPlan([FaultRule("driver.execute", times=None)])) as plan:
+            assert fire("driver.execute", sql="x")
+            assert plan.hits["driver.execute"] == 1
+        assert not fire("driver.execute")
 
     def test_injected_uninstalls_on_error(self):
         with pytest.raises(Boom):
-            with injected(FaultPlan([FaultRule("p", error=Boom)])):
-                fire("p")
+            with injected(FaultPlan([FaultRule("driver.execute", error=Boom)])):
+                fire("driver.execute")
         assert faults._plan is None
+
+    def test_fire_rejects_undeclared_points_when_a_plan_is_installed(self):
+        # The POINTS registry is the single source of truth: a typo'd
+        # point name must fail loudly instead of sitting inert forever.
+        with injected(FaultPlan([FaultRule("driver.execute")])):
+            with pytest.raises(ValueError, match="undeclared fault injection"):
+                fire("driver.exceute")
+        # Without a plan the fast path stays a single None check and
+        # never validates — zero cost in production.
+        assert fire("driver.exceute") is False
+
+    def test_every_declared_point_names_its_firer(self):
+        assert set(faults.POINTS.values()) <= {"production", "client"}
+
+    def test_add_races_fire_without_corruption(self):
+        # Pins the FaultPlan.add lock: rules appended while other threads
+        # iterate the rule list inside fire() must neither crash nor lose
+        # bookkeeping (prefcheck's lock-discipline rule guards this).
+        plan = FaultPlan([FaultRule("driver.execute", times=None)])
+        stop = threading.Event()
+
+        def adder():
+            while not stop.is_set():
+                plan.add(FaultRule("pool.checkout", times=0))
+
+        thread = threading.Thread(target=adder)
+        thread.start()
+        try:
+            for _ in range(2000):
+                assert plan.fire("driver.execute", {})
+        finally:
+            stop.set()
+            thread.join()
+        assert plan.hits["driver.execute"] == 2000
+        assert plan.fires["driver.execute"] == 2000

@@ -1,0 +1,7 @@
+"""``python -m tools.prefcheck`` entry point."""
+
+import sys
+
+from tools.prefcheck.cli import main
+
+sys.exit(main())

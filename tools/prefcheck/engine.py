@@ -1,0 +1,341 @@
+"""The prefcheck rule engine: file contexts, suppressions, findings.
+
+Every rule is a module under :mod:`tools.prefcheck.rules` exposing a
+``RULE`` object (:class:`Rule`).  The engine parses each scanned file
+once, hands the full list of :class:`FileContext` objects to every rule
+(file-local rules simply loop; cross-file rules like the fault-registry
+check correlate), and filters the returned findings against the inline
+suppression comments.
+
+Suppression grammar (one comment, anywhere a comment is legal)::
+
+    # prefcheck: disable=<rule-id>[,<rule-id>...] -- <reason>
+
+A trailing comment suppresses findings on its own line; a standalone
+comment line suppresses findings on the next statement line.  The
+``-- reason`` is mandatory: a suppression without one is reported as a
+finding of the built-in ``suppression-reason`` rule, which cannot itself
+be suppressed.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+#: The built-in rule id for malformed suppressions (not suppressible).
+SUPPRESSION_RULE = "suppression-reason"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*prefcheck:\s*disable=([A-Za-z0-9_,\s-]+?)\s*(?:--\s*(.*\S))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    #: Provenance: the invariant this rule encodes and where it came from.
+    invariant: str = ""
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "invariant": self.invariant,
+        }
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# prefcheck: disable=...`` comment."""
+
+    path: str
+    comment_line: int
+    target_line: int
+    rules: tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+@dataclass
+class FileContext:
+    """One parsed source file, shared by every rule."""
+
+    path: Path
+    rel: str
+    source: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    suppressions: list[Suppression] = field(default_factory=list)
+    _parents: dict[ast.AST, ast.AST] | None = None
+
+    @property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        """Child → parent mapping over the file's AST, built lazily."""
+        if self._parents is None:
+            parents: dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[child] = node
+            self._parents = parents
+        return self._parents
+
+    def ancestors(self, node: ast.AST) -> Iterable[ast.AST]:
+        """The node's enclosing AST nodes, innermost first."""
+        current = self.parents.get(node)
+        while current is not None:
+            yield current
+            current = self.parents.get(current)
+
+    def enclosing_function(self, node: ast.AST) -> ast.AST | None:
+        for ancestor in self.ancestors(node):
+            if isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                return ancestor
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> ast.ClassDef | None:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Keep walking: methods live inside the class body.
+                continue
+        return None
+
+
+class Rule:
+    """One invariant check.  Subclasses set the class attributes and
+    implement :meth:`run` over the full context list."""
+
+    rule_id: str = ""
+    #: One-line statement of the invariant plus its provenance (the PR or
+    #: runtime bug that motivated encoding it).
+    invariant: str = ""
+
+    def run(self, contexts: Sequence[FileContext]) -> list[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, line: int, message: str) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            path=ctx.rel,
+            line=line,
+            message=message,
+            invariant=self.invariant,
+        )
+
+
+@dataclass
+class Report:
+    """The outcome of one analyzer run."""
+
+    findings: list[Finding]
+    suppressed: list[Finding]
+    files: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_json(self) -> dict:
+        return {
+            "files": self.files,
+            "findings": [f.to_json() for f in self.findings],
+            "suppressed": [f.to_json() for f in self.suppressed],
+        }
+
+
+def _comment_tokens(source: str) -> list[tuple[int, int, str]]:
+    """(row, col, text) for every comment; empty on tokenize failure."""
+    comments: list[tuple[int, int, str]] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.start[1], token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return comments
+
+
+def parse_suppressions(
+    rel: str, source: str, lines: list[str]
+) -> tuple[list[Suppression], list[Finding]]:
+    """Extract suppressions; malformed ones come back as findings."""
+    suppressions: list[Suppression] = []
+    malformed: list[Finding] = []
+    for row, col, text in _comment_tokens(source):
+        match = _SUPPRESS_RE.search(text)
+        if "prefcheck:" in text and match is None:
+            malformed.append(
+                Finding(
+                    rule=SUPPRESSION_RULE,
+                    path=rel,
+                    line=row,
+                    message=(
+                        "unparseable prefcheck comment; expected "
+                        "'# prefcheck: disable=<rule>[,<rule>] -- <reason>'"
+                    ),
+                )
+            )
+            continue
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        reason = (match.group(2) or "").strip()
+        if not reason:
+            malformed.append(
+                Finding(
+                    rule=SUPPRESSION_RULE,
+                    path=rel,
+                    line=row,
+                    message=(
+                        f"suppression of {', '.join(rules)} has no reason; "
+                        "append ' -- <why this is safe>'"
+                    ),
+                )
+            )
+            continue
+        before = lines[row - 1][:col] if row - 1 < len(lines) else ""
+        if before.strip():
+            target = row  # trailing comment: suppresses its own line
+        else:
+            target = row  # standalone: suppresses the next statement line
+            for offset in range(row, len(lines)):
+                candidate = lines[offset].strip()
+                if candidate and not candidate.startswith("#"):
+                    target = offset + 1
+                    break
+        suppressions.append(
+            Suppression(
+                path=rel,
+                comment_line=row,
+                target_line=target,
+                rules=rules,
+                reason=reason,
+            )
+        )
+    return suppressions, malformed
+
+
+def load_context(
+    path: Path, rel: str
+) -> tuple[FileContext | None, list[Finding]]:
+    """Parse one file; (None, []) when it is not valid Python."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError):
+        return None, []
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError:
+        return None, []
+    lines = source.splitlines()
+    ctx = FileContext(path=path, rel=rel, source=source, tree=tree, lines=lines)
+    ctx.suppressions, malformed = parse_suppressions(rel, source, lines)
+    return ctx, malformed
+
+
+def collect_files(paths: Sequence[Path]) -> list[Path]:
+    """Every ``.py`` file under the given files/directories, deduplicated."""
+    seen: dict[Path, None] = {}
+    for path in paths:
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                seen.setdefault(candidate.resolve(), None)
+        elif path.suffix == ".py":
+            seen.setdefault(path.resolve(), None)
+    return list(seen)
+
+
+def default_rules() -> list[Rule]:
+    from tools.prefcheck.rules import all_rules
+
+    return all_rules()
+
+
+def analyze_paths(
+    paths: Sequence[Path | str],
+    rules: Sequence[Rule] | None = None,
+    root: Path | None = None,
+) -> Report:
+    """Run the analyzer over files/directories and return a report."""
+    resolved = [Path(p) for p in paths]
+    root = (root or Path.cwd()).resolve()
+    files = collect_files(resolved)
+    contexts: list[FileContext] = []
+    malformed: list[Finding] = []
+    for path in files:
+        try:
+            rel = str(path.relative_to(root))
+        except ValueError:
+            rel = str(path)
+        ctx, bad = load_context(path, rel)
+        if ctx is None:
+            continue
+        contexts.append(ctx)
+        malformed.extend(bad)
+
+    raw: list[Finding] = []
+    for rule in rules if rules is not None else default_rules():
+        raw.extend(rule.run(contexts))
+
+    by_path = {ctx.rel: ctx for ctx in contexts}
+    findings: list[Finding] = list(malformed)
+    suppressed: list[Finding] = []
+    for finding in raw:
+        ctx = by_path.get(finding.path)
+        suppression = None
+        if ctx is not None:
+            for candidate in ctx.suppressions:
+                if (
+                    candidate.target_line == finding.line
+                    and finding.rule in candidate.rules
+                ):
+                    suppression = candidate
+                    break
+        if suppression is not None:
+            suppression.used = True
+            suppressed.append(finding)
+        else:
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    suppressed.sort(key=lambda f: (f.path, f.line, f.rule))
+    return Report(findings=findings, suppressed=suppressed, files=len(contexts))
+
+
+def render_report(report: Report, verbose: bool = False) -> str:
+    """The human-readable rendering the CLI prints."""
+    out: list[str] = []
+    for finding in report.findings:
+        out.append(finding.render())
+        if verbose and finding.invariant:
+            out.append(f"    invariant: {finding.invariant}")
+    out.append(
+        f"prefcheck: {len(report.findings)} finding(s), "
+        f"{len(report.suppressed)} suppressed, {report.files} file(s)"
+    )
+    return "\n".join(out)
+
+
+def dump_json(report: Report) -> str:
+    return json.dumps(report.to_json(), indent=2, sort_keys=True)

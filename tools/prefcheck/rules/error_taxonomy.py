@@ -1,0 +1,167 @@
+"""Rule ``error-taxonomy``: the serving boundary speaks one error language.
+
+The wire protocol (PR 9) promises every failure surfaces as a
+structured, classified reply — ``code`` + ``retryable`` from
+:mod:`repro.errors` — and clients implement retry policy against that
+taxonomy.  One ``raise ValueError`` in the driver or one silently
+swallowed ``except Exception`` in the server and that contract quietly
+leaks: the client sees ``internal`` where it should see ``timeout``, or
+sees nothing at all.
+
+Scope: files under ``server/`` and ``driver/``.  Two checks:
+
+* every ``raise`` must re-raise (bare ``raise``, or the caught handler
+  variable) or raise a taxonomy error — a name imported from
+  ``repro.errors`` or a class defined in the file deriving from one,
+* every catch-all handler (``except Exception``, ``except
+  BaseException``, bare ``except``) must convert (``return``) or
+  re-raise (``raise``), never fall through silently; deliberate swallows
+  on teardown paths carry a reasoned suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Sequence
+
+from tools.prefcheck.engine import FileContext, Finding, Rule
+
+#: Directory fragments this rule applies to.
+SCOPED_DIRS = ("server/", "driver/")
+
+CATCH_ALLS = ("Exception", "BaseException")
+
+
+def _in_scope(rel: str) -> bool:
+    normalized = rel.replace("\\", "/")
+    return any(fragment in normalized for fragment in SCOPED_DIRS)
+
+
+def _taxonomy_names(ctx: FileContext) -> set[str]:
+    """Names usable as taxonomy errors in this file."""
+    names: set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "repro.errors":
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    # Classes defined here that derive (transitively) from a taxonomy name.
+    grew = True
+    while grew:
+        grew = False
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef) or node.name in names:
+                continue
+            for base in node.bases:
+                base_name = None
+                if isinstance(base, ast.Name):
+                    base_name = base.id
+                elif isinstance(base, ast.Attribute):
+                    base_name = base.attr
+                if base_name in names:
+                    names.add(node.name)
+                    grew = True
+                    break
+    return names
+
+
+def _handler_vars(ctx: FileContext, node: ast.AST) -> set[str]:
+    """Exception variables of the handlers enclosing ``node``."""
+    variables: set[str] = set()
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, ast.ExceptHandler) and ancestor.name:
+            variables.add(ancestor.name)
+    return variables
+
+
+def _is_catch_all(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for entry in types:
+        if isinstance(entry, ast.Name) and entry.id in CATCH_ALLS:
+            return True
+        if isinstance(entry, ast.Attribute) and entry.attr in CATCH_ALLS:
+            return True
+    return False
+
+
+class ErrorTaxonomyRule(Rule):
+    rule_id = "error-taxonomy"
+    invariant = (
+        "server/ and driver/ raise only repro.errors taxonomy errors, and "
+        "catch-all handlers there convert or re-raise, never swallow "
+        "(PR 9: clients implement retry policy against code/retryable — "
+        "an unclassified escape or a silent swallow breaks the contract)"
+    )
+
+    def run(self, contexts: Sequence[FileContext]) -> list[Finding]:
+        findings: list[Finding] = []
+        for ctx in contexts:
+            if not _in_scope(ctx.rel):
+                continue
+            findings.extend(self._check_raises(ctx))
+            findings.extend(self._check_handlers(ctx))
+        return findings
+
+    def _check_raises(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        taxonomy = _taxonomy_names(ctx)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            if node.exc is None:
+                continue  # bare re-raise
+            exc = node.exc
+            name = None
+            if isinstance(exc, ast.Call):
+                if isinstance(exc.func, ast.Name):
+                    name = exc.func.id
+                elif isinstance(exc.func, ast.Attribute):
+                    name = exc.func.attr
+            elif isinstance(exc, ast.Name):
+                name = exc.id
+                if name in _handler_vars(ctx, node):
+                    continue  # re-raising the caught exception
+            if name is None or name not in taxonomy:
+                label = name or ast.dump(exc)[:40]
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node.lineno,
+                        f"raise {label}(...) is outside the repro.errors "
+                        "taxonomy — serving code must raise classified "
+                        "errors so the wire reply carries code/retryable",
+                    )
+                )
+        return findings
+
+    def _check_handlers(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_catch_all(node):
+                continue
+            converts = False
+            for sub in node.body:
+                for inner in ast.walk(sub):
+                    if isinstance(inner, (ast.Raise, ast.Return)):
+                        converts = True
+                        break
+                if converts:
+                    break
+            if not converts:
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node.lineno,
+                        "catch-all handler neither converts (return) nor "
+                        "re-raises — a swallowed failure here disappears "
+                        "from the wire taxonomy",
+                    )
+                )
+        return findings

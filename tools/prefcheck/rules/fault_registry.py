@@ -1,0 +1,292 @@
+"""Rule ``fault-registry``: injection points are consistent by construction.
+
+The chaos harness (PR 9) only proves what its injection points cover, so
+the three views of the fault surface must agree:
+
+* the **registry** — the ``POINTS`` dict in ``repro/testing/faults.py``
+  declaring every injection point and who fires it (``"production"`` or
+  ``"client"``),
+* the **call sites** — every ``faults.fire("<name>", ...)`` in the
+  production tree must name a declared point (a typo'd name silently
+  never fires), every production-fired point must have at least one call
+  site (a dead registry entry means the chaos suite asserts coverage it
+  does not have), and client-fired points must be fired somewhere under
+  ``tests/``,
+* the **documentation** — the injection-point table in
+  ``docs/ARCHITECTURE.md`` (a markdown table with ``point`` and
+  ``fired by`` columns) must list exactly the declared set.
+
+The registry module is located among the scanned files by its
+``repro/testing/faults.py`` suffix; the repo root (for ``docs/`` and
+``tests/``) is derived from its location.  When no registry module is in
+the scanned set the rule is inert, so fixture scans stay self-contained.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Sequence
+
+from tools.prefcheck.engine import FileContext, Finding, Rule
+
+REGISTRY_SUFFIX = "repro/testing/faults.py"
+
+_TABLE_ROW_RE = re.compile(r"^\s*\|(.+)\|\s*$")
+_POINT_NAME_RE = re.compile(r"`([a-z_]+\.[a-z_]+)`")
+
+
+def _registry_points(ctx: FileContext) -> tuple[dict[str, str] | None, int]:
+    """The POINTS literal (name → fired-by) and its line, if present."""
+    for node in ctx.tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = list(node.targets), node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(
+            isinstance(t, ast.Name) and t.id == "POINTS" for t in targets
+        ):
+            continue
+        try:
+            literal = ast.literal_eval(value)
+        except (ValueError, TypeError):
+            return None, node.lineno
+        if isinstance(literal, dict) and all(
+            isinstance(k, str) and isinstance(v, str)
+            for k, v in literal.items()
+        ):
+            return literal, node.lineno
+        return None, node.lineno
+    return None, 1
+
+
+def _fire_call_sites(ctx: FileContext) -> list[tuple[int, str | None]]:
+    """(line, point-name-or-None) for every faults.fire()/fire() call."""
+    sites: list[tuple[int, str | None]] = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        is_fire = False
+        if isinstance(func, ast.Name) and func.id == "fire":
+            is_fire = True
+        elif (
+            isinstance(func, ast.Attribute)
+            and func.attr == "fire"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "faults"
+        ):
+            is_fire = True
+        if not is_fire:
+            continue
+        name: str | None = None
+        if node.args and isinstance(node.args[0], ast.Constant):
+            if isinstance(node.args[0].value, str):
+                name = node.args[0].value
+        sites.append((node.lineno, name))
+    return sites
+
+
+def _documented_points(architecture: str) -> dict[str, str] | None:
+    """Parse the injection-point table out of ARCHITECTURE.md.
+
+    Looks for a markdown table whose header row names a ``point`` column
+    and a ``fired by`` column; returns name → fired-by, or None when no
+    such table exists.
+    """
+    lines = architecture.splitlines()
+    for index, line in enumerate(lines):
+        match = _TABLE_ROW_RE.match(line)
+        if match is None:
+            continue
+        header = [cell.strip().lower() for cell in match.group(1).split("|")]
+        if "point" not in header or "fired by" not in header:
+            continue
+        point_col = header.index("point")
+        fired_col = header.index("fired by")
+        documented: dict[str, str] = {}
+        for row in lines[index + 2 :]:  # skip the |---| separator
+            row_match = _TABLE_ROW_RE.match(row)
+            if row_match is None:
+                break
+            cells = [cell.strip() for cell in row_match.group(1).split("|")]
+            if len(cells) <= max(point_col, fired_col):
+                break
+            name_match = _POINT_NAME_RE.search(cells[point_col])
+            if name_match is None:
+                continue
+            documented[name_match.group(1)] = cells[fired_col].lower()
+        return documented
+    return None
+
+
+class FaultRegistryRule(Rule):
+    rule_id = "fault-registry"
+    invariant = (
+        "the POINTS registry in repro.testing.faults, the faults.fire() "
+        "call sites and the ARCHITECTURE.md injection-point table name "
+        "exactly the same fault points (PR 9: the chaos suite only proves "
+        "what its injection points actually cover)"
+    )
+
+    def run(self, contexts: Sequence[FileContext]) -> list[Finding]:
+        registry_ctx = None
+        for ctx in contexts:
+            if ctx.rel.replace("\\", "/").endswith(REGISTRY_SUFFIX):
+                registry_ctx = ctx
+                break
+        if registry_ctx is None:
+            return []
+        findings: list[Finding] = []
+        points, registry_line = _registry_points(registry_ctx)
+        if points is None:
+            return [
+                self.finding(
+                    registry_ctx,
+                    registry_line,
+                    "POINTS must be a literal dict of point name → "
+                    "'production' | 'client' so call sites and docs can "
+                    "be checked against it",
+                )
+            ]
+        for name, fired_by in points.items():
+            if fired_by not in ("production", "client"):
+                findings.append(
+                    self.finding(
+                        registry_ctx,
+                        registry_line,
+                        f"point {name!r} declares fired-by {fired_by!r}; "
+                        "expected 'production' or 'client'",
+                    )
+                )
+
+        # Call sites across the scanned production tree.
+        fired: set[str] = set()
+        for ctx in contexts:
+            if ctx is registry_ctx:
+                continue
+            for line, name in _fire_call_sites(ctx):
+                if name is None:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            line,
+                            "faults.fire() must name its point with a "
+                            "string literal so the registry check can "
+                            "see it",
+                        )
+                    )
+                elif name not in points:
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            line,
+                            f"faults.fire({name!r}) names an undeclared "
+                            "point — declare it in "
+                            "repro.testing.faults.POINTS",
+                        )
+                    )
+                else:
+                    fired.add(name)
+
+        root = self._repo_root(registry_ctx)
+        for name, fired_by in sorted(points.items()):
+            if fired_by == "production" and name not in fired:
+                findings.append(
+                    self.finding(
+                        registry_ctx,
+                        registry_line,
+                        f"declared point {name!r} has no production "
+                        "faults.fire() call site in the scanned tree — "
+                        "dead registry entries overstate chaos coverage",
+                    )
+                )
+            if fired_by == "client" and root is not None:
+                if not self._fired_in_tests(root, name):
+                    findings.append(
+                        self.finding(
+                            registry_ctx,
+                            registry_line,
+                            f"client-fired point {name!r} is never fired "
+                            "under tests/ — the disconnect scenarios it "
+                            "exists for are not exercised",
+                        )
+                    )
+
+        # The documentation table.
+        if root is not None:
+            architecture = root / "docs" / "ARCHITECTURE.md"
+            if architecture.is_file():
+                documented = _documented_points(
+                    architecture.read_text(encoding="utf-8")
+                )
+                if documented is None:
+                    findings.append(
+                        self.finding(
+                            registry_ctx,
+                            registry_line,
+                            "docs/ARCHITECTURE.md has no injection-point "
+                            "table (columns 'point' and 'fired by') to "
+                            "check the registry against",
+                        )
+                    )
+                else:
+                    for name in sorted(set(points) - set(documented)):
+                        findings.append(
+                            self.finding(
+                                registry_ctx,
+                                registry_line,
+                                f"point {name!r} is declared but missing "
+                                "from the ARCHITECTURE.md injection-point "
+                                "table",
+                            )
+                        )
+                    for name in sorted(set(documented) - set(points)):
+                        findings.append(
+                            self.finding(
+                                registry_ctx,
+                                registry_line,
+                                f"point {name!r} is documented in "
+                                "ARCHITECTURE.md but not declared in "
+                                "POINTS",
+                            )
+                        )
+                    for name in sorted(set(points) & set(documented)):
+                        if documented[name] != points[name]:
+                            findings.append(
+                                self.finding(
+                                    registry_ctx,
+                                    registry_line,
+                                    f"point {name!r}: registry says "
+                                    f"{points[name]!r} but "
+                                    "ARCHITECTURE.md says "
+                                    f"{documented[name]!r}",
+                                )
+                            )
+        return findings
+
+    def _repo_root(self, registry_ctx: FileContext) -> Path | None:
+        """<root>/src/repro/testing/faults.py → <root>."""
+        path = registry_ctx.path.resolve()
+        if len(path.parents) < 4:
+            return None
+        root = path.parents[3]
+        return root if (root / "src").is_dir() else None
+
+    def _fired_in_tests(self, root: Path, name: str) -> bool:
+        tests = root / "tests"
+        if not tests.is_dir():
+            return False
+        needle = re.compile(
+            r"fire\(\s*['\"]" + re.escape(name) + r"['\"]"
+        )
+        for candidate in tests.rglob("*.py"):
+            try:
+                if needle.search(candidate.read_text(encoding="utf-8")):
+                    return True
+            except (OSError, UnicodeDecodeError):
+                continue
+        return False

@@ -1,0 +1,212 @@
+"""Rule ``fork-safety``: no import-time concurrency, picklable tasks.
+
+The process backend (PR 8) forks workers, and fork only composes with
+the rest of the stack under two disciplines:
+
+* **no threads, pools or shared-memory segments at import time** — a
+  module-level ``ThreadPoolExecutor()`` or ``SharedMemory(...)`` exists
+  before any fork hook can run, so every forked child inherits dead
+  worker threads or an unlinked segment.  The shared executor in
+  ``engine/parallel.py`` is created lazily behind a lock with an
+  ``os.register_at_fork`` reset for exactly this reason.  Locks are fine
+  (and common) at module scope; live machinery is not.
+* **process-pool tasks are picklable primitives** — a task shipped to a
+  ``ProcessPoolExecutor`` must be a module-level function plus arguments
+  free of lambdas; a bound method or closure capture drags connections,
+  cursors or pool objects into pickle, which either fails loudly or
+  (worse) serialises live handles.
+
+The process-pool detection is local dataflow: a receiver is treated as a
+process pool when it is ``self._processes``, a direct
+``ProcessPoolExecutor(...)`` result, or the result of calling a method
+whose name contains ``process_pool``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Sequence
+
+from tools.prefcheck.engine import FileContext, Finding, Rule
+
+#: Constructors that must not run at module import time.
+FORBIDDEN_AT_IMPORT = {
+    "Thread",
+    "Timer",
+    "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+    "SharedMemory",
+    "Process",
+    "Pool",
+    "fork",
+}
+
+
+def _call_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class ForkSafetyRule(Rule):
+    rule_id = "fork-safety"
+    invariant = (
+        "no thread/pool/SharedMemory creation at module import time, and "
+        "process-pool tasks are module-level functions with lambda-free "
+        "arguments (PR 8: forked children inherit import-time machinery, "
+        "and closure captures drag live handles into pickle)"
+    )
+
+    def run(self, contexts: Sequence[FileContext]) -> list[Finding]:
+        findings: list[Finding] = []
+        for ctx in contexts:
+            findings.extend(self._check_import_time(ctx))
+            findings.extend(self._check_process_tasks(ctx))
+        return findings
+
+    # ------------------------------------------------------------------
+    # Import-time machinery
+
+    def _check_import_time(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node.func)
+            if name not in FORBIDDEN_AT_IMPORT:
+                continue
+            if ctx.enclosing_function(node) is not None:
+                continue
+            findings.append(
+                self.finding(
+                    ctx,
+                    node.lineno,
+                    f"{name}(...) runs at module import time — forked "
+                    "children inherit it dead; create it lazily behind "
+                    "a lock with an os.register_at_fork reset",
+                )
+            )
+        return findings
+
+    # ------------------------------------------------------------------
+    # Process-task purity
+
+    def _module_scope_names(self, ctx: FileContext) -> set[str]:
+        names: set[str] = set()
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                names.add(node.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    names.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    names.add(alias.asname or alias.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+    def _is_process_pool_expr(self, expr: ast.expr) -> bool:
+        if (
+            isinstance(expr, ast.Attribute)
+            and expr.attr == "_processes"
+        ):
+            return True
+        if isinstance(expr, ast.Call):
+            name = _call_name(expr.func)
+            if name == "ProcessPoolExecutor":
+                return True
+            if name is not None and "process_pool" in name:
+                return True
+        return False
+
+    def _process_pool_names(
+        self, function: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> set[str]:
+        pools: set[str] = set()
+        for node in ast.walk(function):
+            if isinstance(node, ast.Assign) and self._is_process_pool_expr(
+                node.value
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        pools.add(target.id)
+        return pools
+
+    def _check_process_tasks(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        module_names = self._module_scope_names(ctx)
+        for function in ast.walk(ctx.tree):
+            if not isinstance(
+                function, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            pools = self._process_pool_names(function)
+            for node in ast.walk(function):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in ("submit", "map")
+                ):
+                    continue
+                receiver = func.value
+                is_pool = self._is_process_pool_expr(receiver) or (
+                    isinstance(receiver, ast.Name) and receiver.id in pools
+                )
+                if not is_pool or not node.args:
+                    continue
+                callable_arg = node.args[0]
+                if isinstance(callable_arg, ast.Lambda):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node.lineno,
+                            "process-pool task callable is a lambda — "
+                            "lambdas do not pickle across the fork "
+                            "boundary",
+                        )
+                    )
+                elif isinstance(callable_arg, ast.Attribute):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node.lineno,
+                            "process-pool task callable is a bound "
+                            "method/attribute — pickling it drags the "
+                            "owning object (connections, pools) into the "
+                            "worker",
+                        )
+                    )
+                elif (
+                    isinstance(callable_arg, ast.Name)
+                    and callable_arg.id not in module_names
+                ):
+                    findings.append(
+                        self.finding(
+                            ctx,
+                            node.lineno,
+                            f"process-pool task callable "
+                            f"{callable_arg.id!r} is not module-level — "
+                            "nested functions close over local state and "
+                            "do not pickle",
+                        )
+                    )
+                for arg in node.args[1:]:
+                    for sub in ast.walk(arg):
+                        if isinstance(sub, ast.Lambda):
+                            findings.append(
+                                self.finding(
+                                    ctx,
+                                    node.lineno,
+                                    "process-pool task arguments contain "
+                                    "a lambda — task tuples must be "
+                                    "picklable primitives",
+                                )
+                            )
+        return findings

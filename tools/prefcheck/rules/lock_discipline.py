@@ -1,0 +1,204 @@
+"""Rule ``lock-discipline``: guarded attributes stay under their lock.
+
+The serving layer (PR 8) shares mutable state across an asyncio loop
+thread, server worker threads and executor threads: pooled connection
+lists, write epochs, statistics entries, fault-plan firing state,
+shared-memory segment counters.  Each such attribute is *declared*
+guarded with an annotation comment on its initialising assignment::
+
+    class ConnectionPool:
+        def __init__(self):
+            self._lock = threading.Lock()
+            #: guarded by _lock
+            self._connections = []
+
+    #: guarded by _segment_lock
+    _segments_created = 0          # module-level globals work the same way
+
+This rule then reports every read or write of a declared attribute that
+is not lexically inside a ``with self._lock`` (or ``with _segment_lock``
+for globals) block in the same class/module.  Accesses inside
+``__init__`` are exempt: the object is not yet shared during
+construction.  Deliberately racy fast-path reads carry a reasoned
+suppression, which is the point — every lockless access of guarded
+state is either re-checked under the lock or documented.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Sequence
+
+from tools.prefcheck.engine import FileContext, Finding, Rule
+
+_ANNOTATION_RE = re.compile(r"#:\s*guarded by\s+([A-Za-z_][A-Za-z0-9_]*)")
+
+
+def _annotation_targets(ctx: FileContext) -> list[tuple[int, str]]:
+    """(statement line, lock name) for every guard annotation."""
+    targets: list[tuple[int, str]] = []
+    for index, line in enumerate(ctx.lines):
+        match = _ANNOTATION_RE.search(line)
+        if match is None:
+            continue
+        lock = match.group(1)
+        before = line[: match.start()].strip()
+        if before:
+            targets.append((index + 1, lock))
+            continue
+        for offset in range(index + 1, len(ctx.lines)):
+            candidate = ctx.lines[offset].strip()
+            if candidate and not candidate.startswith("#"):
+                targets.append((offset + 1, lock))
+                break
+    return targets
+
+
+def _assignment_names(node: ast.stmt) -> list[tuple[str, bool]]:
+    """(name, is_self_attribute) for each target of an assignment stmt."""
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        targets = [node.target]
+    names: list[tuple[str, bool]] = []
+    for target in targets:
+        if isinstance(target, ast.Name):
+            names.append((target.id, False))
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            names.append((target.attr, True))
+    return names
+
+
+class LockDisciplineRule(Rule):
+    rule_id = "lock-discipline"
+    invariant = (
+        "attributes declared '#: guarded by <lock>' are only touched inside "
+        "'with <lock>' in their class/module (PR 8: pooled serving state is "
+        "mutated concurrently by loop, worker and executor threads)"
+    )
+
+    def run(self, contexts: Sequence[FileContext]) -> list[Finding]:
+        findings: list[Finding] = []
+        for ctx in contexts:
+            findings.extend(self._check_file(ctx))
+        return findings
+
+    def _check_file(self, ctx: FileContext) -> list[Finding]:
+        annotations = _annotation_targets(ctx)
+        if not annotations:
+            return []
+        # Resolve each annotated line to its assignment statement, and
+        # bucket the declarations per enclosing class (or module).
+        class_guards: dict[ast.ClassDef | None, dict[str, str]] = {}
+        lines_to_locks = dict(annotations)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                continue
+            lock = lines_to_locks.get(node.lineno)
+            if lock is None:
+                continue
+            for name, is_self in _assignment_names(node):
+                owner = ctx.enclosing_class(node) if is_self else None
+                class_guards.setdefault(owner, {})[name] = lock
+        findings: list[Finding] = []
+        for owner, guards in class_guards.items():
+            if owner is None:
+                findings.extend(self._check_module_globals(ctx, guards))
+            else:
+                findings.extend(self._check_class(ctx, owner, guards))
+        return findings
+
+    # ------------------------------------------------------------------
+
+    def _holds_lock(
+        self, ctx: FileContext, node: ast.AST, lock: str, self_attr: bool
+    ) -> bool:
+        """Whether ``node`` sits inside ``with self.<lock>`` / ``with <lock>``."""
+        for ancestor in ctx.ancestors(node):
+            if not isinstance(ancestor, (ast.With, ast.AsyncWith)):
+                continue
+            for item in ancestor.items:
+                expr = item.context_expr
+                if (
+                    self_attr
+                    and isinstance(expr, ast.Attribute)
+                    and expr.attr == lock
+                    and isinstance(expr.value, ast.Name)
+                    and expr.value.id == "self"
+                ):
+                    return True
+                if (
+                    not self_attr
+                    and isinstance(expr, ast.Name)
+                    and expr.id == lock
+                ):
+                    return True
+        return False
+
+    def _in_init(self, ctx: FileContext, node: ast.AST) -> bool:
+        function = ctx.enclosing_function(node)
+        return (
+            isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and function.name == "__init__"
+        )
+
+    def _check_class(
+        self, ctx: FileContext, owner: ast.ClassDef, guards: dict[str, str]
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(owner):
+            if not (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in guards
+            ):
+                continue
+            lock = guards[node.attr]
+            if self._in_init(ctx, node):
+                continue
+            if self._holds_lock(ctx, node, lock, self_attr=True):
+                continue
+            findings.append(
+                self.finding(
+                    ctx,
+                    node.lineno,
+                    f"self.{node.attr} is declared guarded by self.{lock} "
+                    f"but is accessed outside 'with self.{lock}' "
+                    f"(class {owner.name})",
+                )
+            )
+        return findings
+
+    def _check_module_globals(
+        self, ctx: FileContext, guards: dict[str, str]
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        declaration_lines = {
+            line for line, _ in _annotation_targets(ctx)
+        }
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Name) and node.id in guards):
+                continue
+            if node.lineno in declaration_lines and isinstance(
+                node.ctx, ast.Store
+            ):
+                continue  # the annotated initialising assignment itself
+            lock = guards[node.id]
+            if self._holds_lock(ctx, node, lock, self_attr=False):
+                continue
+            findings.append(
+                self.finding(
+                    ctx,
+                    node.lineno,
+                    f"module global {node.id} is declared guarded by {lock} "
+                    f"but is accessed outside 'with {lock}'",
+                )
+            )
+        return findings
