@@ -23,7 +23,7 @@ from repro.workloads.distributions import (
     lowest_preference_sql,
     vectors_to_relation,
 )
-from repro.workloads.fixtures import cars_relation, load_fixtures, oldtimer_relation
+from repro.workloads.fixtures import load_fixtures
 from repro.workloads.jobs import CONDITION_SETS, POOLS, benchmark_queries, load_jobs
 
 

@@ -66,7 +66,6 @@ from repro.errors import (
     PreferenceSQLError,
     QueryTimeout,
 )
-from repro.testing import faults
 from repro.model.algebra import normalize
 from repro.pdl.catalog import PreferenceCatalog, ViewEntry
 from repro.plan.cache import CacheStats, PlanCache
@@ -86,6 +85,7 @@ from repro.sql.params import bind_parameters
 from repro.sql.parser import parse_statement
 from repro.sql.printer import quote_identifier as _quote
 from repro.sql.printer import to_sql
+from repro.testing import faults
 
 #: Cheap detector for statements that *may* use Preference SQL constructs.
 #:

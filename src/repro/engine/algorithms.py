@@ -45,13 +45,13 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.deadline import CHECK_EVERY, active_deadline
-from repro.errors import EvaluationError
 from repro.engine.columns import (
     RankColumns,
     columnar_skyline,
     compute_rank_columns,
 )
 from repro.engine.compiled import best_better
+from repro.errors import EvaluationError
 from repro.model.categorical import ExplicitPreference, LayeredPreference
 from repro.model.composite import _Composite
 from repro.model.preference import Preference, WeakOrderBase

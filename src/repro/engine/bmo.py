@@ -23,7 +23,6 @@ from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.deadline import CHECK_EVERY, active_deadline
-from repro.errors import EvaluationError, PreferenceConstructionError
 from repro.engine.algorithms import maximal_indices
 from repro.engine.columns import (
     RankColumns,
@@ -31,6 +30,7 @@ from repro.engine.columns import (
     compute_rank_columns,
 )
 from repro.engine.expressions import Evaluator, RowEnvironment
+from repro.errors import EvaluationError, PreferenceConstructionError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type names
     from repro.engine.parallel import ParallelExecutor

@@ -30,7 +30,6 @@ from dataclasses import dataclass, replace
 from typing import Callable, Mapping, Sequence
 
 from repro.engine.parallel import (
-    default_worker_count,
     partition_count,
     process_backend_eligible,
 )

@@ -22,14 +22,14 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 from repro.deadline import active_deadline
+from repro.engine.columns import rank_shape
+from repro.engine.parallel import default_worker_count
 from repro.errors import (
     CatalogError,
     PlanError,
     PreferenceConstructionError,
     RewriteError,
 )
-from repro.engine.columns import rank_shape
-from repro.engine.parallel import default_worker_count
 from repro.model.builder import NameResolver, build_preference
 from repro.model.preference import Preference
 from repro.model.quality import QUALITY_FUNCTIONS

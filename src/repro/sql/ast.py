@@ -17,7 +17,7 @@ so immutability keeps sharing safe.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Union
 
 # ----------------------------------------------------------------------

@@ -1,7 +1,5 @@
 """Public API surface: everything advertised in __all__ works."""
 
-import pytest
-
 import repro
 
 

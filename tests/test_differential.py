@@ -13,7 +13,7 @@ from hypothesis import given, settings
 
 import repro
 from repro.engine import PreferenceEngine, Relation
-from repro.workloads.fixtures import FIXTURES, relation_to_sqlite
+from repro.workloads.fixtures import relation_to_sqlite
 
 COLORS = ["red", "blue", "green", "black", None]
 CATEGORIES = ["roadster", "passenger", "van", None]

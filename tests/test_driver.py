@@ -4,7 +4,6 @@ import pytest
 
 import repro
 from repro.errors import DriverError
-from repro.workloads.fixtures import load_fixtures
 
 
 class TestPassThrough:

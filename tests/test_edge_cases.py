@@ -5,8 +5,8 @@ import pytest
 import repro
 from repro.engine import PreferenceEngine, Relation
 from repro.errors import RewriteError
-from repro.sql.parser import parse_statement
 from repro.rewrite.planner import rewrite_select
+from repro.sql.parser import parse_statement
 
 
 class TestRewriterEdges:

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.errors import EvaluationError
 from repro.engine.expressions import Evaluator, RowEnvironment
+from repro.errors import EvaluationError
 from repro.sql.parser import parse_expression
 
 

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.errors import NotAStrictPartialOrder, PreferenceConstructionError
-from repro.model.categorical import OTHERS, ExplicitPreference, LayeredPreference, neg, pos
 from repro.model.builder import build_preference
+from repro.model.categorical import OTHERS, ExplicitPreference, LayeredPreference, neg, pos
 from repro.sql import ast
 from repro.sql.parser import parse_preferring
 

@@ -5,7 +5,6 @@ import pytest
 from repro.errors import RewriteError
 from repro.rewrite.paper_style import paper_style_script
 from repro.sql.parser import parse_statement
-from repro.workloads.fixtures import load_fixtures
 
 
 def script_for(query, **kwargs):

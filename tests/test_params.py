@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import DriverError
-from repro.sql import ast
 from repro.sql.params import bind_parameters
 from repro.sql.parser import parse_statement
 from repro.sql.printer import to_sql

@@ -27,7 +27,7 @@ from repro.sql import ast
 from repro.sql.parser import parse_expression, parse_preferring, parse_statement
 from repro.sql.printer import to_sql
 from repro.workloads.cosima import MetaSearch, make_catalog, make_shops
-from repro.workloads.fixtures import load_fixtures, relation_to_sqlite
+from repro.workloads.fixtures import relation_to_sqlite
 from repro.workloads.jobs import benchmark_queries, load_jobs
 from repro.workloads.shop import SearchMask, mask_to_preference_sql, washing_machines_relation
 

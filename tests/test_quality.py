@@ -5,7 +5,6 @@ import pytest
 from repro.errors import EvaluationError, PreferenceConstructionError
 from repro.model.builder import build_preference
 from repro.model.quality import QualityResolver
-from repro.sql import ast
 from repro.sql.parser import parse_expression, parse_preferring
 
 

@@ -1,16 +1,11 @@
 """The Preference SQL Optimizer: rewriting correctness and SQL shape."""
 
-import sqlite3
-
 import pytest
 
-import repro
 from repro.errors import RewriteError
 from repro.rewrite.planner import rewrite_select, rewrite_statement
-from repro.sql import ast
 from repro.sql.parser import parse_statement
 from repro.sql.printer import to_sql
-from repro.workloads.fixtures import FIXTURES, load_fixtures
 
 
 def rewrite_text(query, schema=None):

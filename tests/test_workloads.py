@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-import repro
 from repro.workloads import (
     CONDITION_SETS,
     POOLS,
